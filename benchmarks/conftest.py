@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one paper artifact (or one extension study),
+asserts its structural properties, times the core computation with
+pytest-benchmark, and writes the rendered artifact to
+``benchmarks/results/`` so EXPERIMENTS.md can quote it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.testing import TestSequence
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(path: pathlib.Path, name: str, text: str) -> None:
+    (path / name).write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def pc_covering_sequence() -> TestSequence:
+    """The Section-6.1 sequence achieving 100% CoFG arc coverage on the
+    producer-consumer monitor (validated in the integration tests)."""
+    return (
+        TestSequence("pc-covering")
+        .add(1, "c1", "receive", check_completion=False)
+        .add(2, "c2", "receive", check_completion=False)
+        .add(3, "p1", "send", "a", check_completion=False)
+        .add(4, "p2", "send", "bcd", check_completion=False)
+        .add(5, "p3", "send", "e", check_completion=False)
+        .add(6, "c3", "receive", check_completion=False)
+        .add(7, "c4", "receive", check_completion=False)
+        .add(8, "c5", "receive", check_completion=False)
+        .add(9, "c6", "receive", check_completion=False)
+    )

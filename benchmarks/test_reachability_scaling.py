@@ -1,0 +1,85 @@
+"""Bench Ext-D: Petri-net state-space scaling with thread count.
+
+The Figure-1 model generalised to n threads has 4^n - (combinations with
+two threads in their critical sections) reachable markings; this bench
+measures the growth and the cost of exhaustive reachability — the
+quantitative backdrop for the paper's argument that *component-level*
+models (one thread x one lock) keep analysis tractable where whole-system
+models explode.
+"""
+
+import pytest
+from conftest import write_result
+
+from repro.petri import (
+    ConcurrencyModel,
+    build_concurrency_net,
+    build_reachability_graph,
+    check_boundedness,
+)
+from repro.report import render_table
+
+
+def explore(n_threads: int):
+    net, m0 = build_concurrency_net(n_threads)
+    return build_reachability_graph(net, m0, state_limit=2_000_000)
+
+
+@pytest.mark.parametrize("n_threads", [1, 2, 3, 4, 5])
+def test_reachability_scaling(benchmark, n_threads):
+    graph = benchmark(explore, n_threads)
+    # closed form: states = sum_{k in {0,1}} C(n,k) * 3^... simpler check:
+    # 4^n total combinations minus those with >= 2 threads in C.
+    total = 4**n_threads
+    # count combinations with at least two C's
+    from math import comb
+
+    invalid = sum(
+        comb(n_threads, k) * 3 ** (n_threads - k)
+        for k in range(2, n_threads + 1)
+    )
+    assert len(graph) == total - invalid
+    assert not graph.dead
+    assert graph.is_safe()
+
+
+def test_scaling_table(benchmark, results_dir):
+    def study():
+        rows = []
+        for n in range(1, 6):
+            graph = explore(n)
+            model = ConcurrencyModel.create(n_threads=n)
+            mutex_ok = all(
+                model.mutual_exclusion_holds(m) for m in graph.markings
+            )
+            rows.append(
+                (
+                    str(n),
+                    str(len(graph)),
+                    str(len(graph.edges)),
+                    "yes" if mutex_ok else "NO",
+                    "yes" if graph.strongly_connected() else "no",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(study, rounds=1, iterations=1)
+    rendered = render_table(
+        ("threads", "reachable markings", "edges", "mutual exclusion", "reversible"),
+        rows,
+        widths=(7, 18, 10, 16, 10),
+        title="Ext-D: Figure-1 model state space vs thread count",
+    )
+    write_result(results_dir, "extD_reachability_scaling.txt", rendered)
+    print()
+    print(rendered)
+    sizes = [int(r[1]) for r in rows]
+    assert all(b > 3 * a for a, b in zip(sizes, sizes[1:])), (
+        "the state space grows near-geometrically (~4x per thread)"
+    )
+
+
+def test_boundedness_check(benchmark):
+    net, m0 = build_concurrency_net(3)
+    result = benchmark(check_boundedness, net, m0)
+    assert result.bounded and result.bound == 1

@@ -1,0 +1,14 @@
+# Sample ConAn-style test script for the paper's Figure-2 monitor.
+# Run with:  python -m repro run examples/pc_regression.cts --verbose
+component repro.components:ProducerConsumer
+
+thread consumer:
+    @1 receive() -> 'h' @2      # arrives first: blocked until the send at 2
+    @3 receive() -> 'i' @3
+    @6 receive() -> '?' @6      # the producer's own receive took the '!'
+    @7 receive() @never         # nothing left: must still wait at the end
+
+thread producer:
+    @2 send("hi") @2
+    @4 send("!?") @4            # buffer drained at 3, so no blocking
+    @5 receive() -> '!' @5      # producers may consume too

@@ -1,0 +1,109 @@
+"""Hunting FF-T1 races and FF-T2/FF-T4 deadlocks with the detectors.
+
+Three hunts:
+
+1. **Lockset**: the Eraser-style detector flags the unsynchronized
+   counter even on a schedule where the lost update happens to manifest.
+2. **Lock-order graph**: the opposite-order transfer component is flagged
+   as a *potential* deadlock from a run that completed cleanly — the
+   hazard is in the acquisition order, not in luck.
+3. **Schedule exploration**: systematic search then actually *drives* the
+   program into the deadlock, returning the guilty interleaving.
+
+Run:  python examples/race_and_deadlock_hunt.py
+"""
+
+from repro.analysis import check_component
+from repro.components import Account
+from repro.components.faulty import DeadlockPair, UnsyncCounter
+from repro.detect import analyze_run
+from repro.testing import explore_systematic
+from repro.vm import FifoScheduler, Kernel, RoundRobinScheduler, RunStatus
+
+
+def hunt_race():
+    print("=" * 70)
+    print("hunt 1: FF-T1 data race in UnsyncCounter")
+    print("=" * 70)
+
+    for finding in check_component(UnsyncCounter):
+        print("static analysis:", finding)
+
+    kernel = Kernel(scheduler=RoundRobinScheduler())
+    counter = kernel.register(UnsyncCounter())
+
+    def worker():
+        yield from counter.increment()
+
+    kernel.spawn(worker, name="t1")
+    kernel.spawn(worker, name="t2")
+    result = kernel.run()
+    report = analyze_run(result)
+    print(f"\ntwo increments executed; counter value = {counter.value} "
+          f"(one update lost!)")
+    for race in report.races:
+        print("lockset detector:", race)
+    print("classified as:", [c.code for c in report.classes_detected()])
+
+
+def hunt_potential_deadlock():
+    print()
+    print("=" * 70)
+    print("hunt 2: lock-order cycle visible in a CLEAN run")
+    print("=" * 70)
+
+    kernel = Kernel(scheduler=FifoScheduler())  # serial luck: no deadlock
+    a = kernel.register(Account(100), name="AccountA")
+    b = kernel.register(Account(100), name="AccountB")
+    pair = kernel.register(DeadlockPair())
+
+    def t1():
+        yield from pair.transfer(a, b, 10)
+
+    def t2():
+        yield from pair.transfer(b, a, 20)
+
+    kernel.spawn(t1, name="t1")
+    kernel.spawn(t2, name="t2")
+    result = kernel.run()
+    print("run status:", result.status.value, "(this schedule got lucky)")
+    report = analyze_run(result)
+    for hazard in report.potential_deadlocks:
+        print("lock-order graph:", hazard)
+
+
+def hunt_actual_deadlock():
+    print()
+    print("=" * 70)
+    print("hunt 3: schedule exploration drives the deadlock")
+    print("=" * 70)
+
+    def factory(scheduler):
+        kernel = Kernel(scheduler=scheduler)
+        a = kernel.register(Account(100), name="AccountA")
+        b = kernel.register(Account(100), name="AccountB")
+        pair = kernel.register(DeadlockPair())
+
+        def t1():
+            yield from pair.transfer(a, b, 10)
+
+        def t2():
+            yield from pair.transfer(b, a, 20)
+
+        kernel.spawn(t1, name="t1")
+        kernel.spawn(t2, name="t2")
+        return kernel
+
+    exploration = explore_systematic(factory, max_runs=100, stop_on_failure=True)
+    print(exploration.describe())
+    guilty = exploration.runs[-1]
+    assert guilty.result.status is RunStatus.DEADLOCK
+    print("deadlock cycle:", " -> ".join(guilty.result.deadlock_cycle))
+    print("guilty schedule (decision indices):", guilty.decisions)
+    print("replayable: ReplayScheduler(", list(guilty.decisions), ")")
+
+
+if __name__ == "__main__":
+    hunt_race()
+    hunt_potential_deadlock()
+    hunt_actual_deadlock()

@@ -1,0 +1,42 @@
+"""Static analysis: Concurrency Flow Graph construction (paper Section 6).
+
+Public API::
+
+    from repro.analysis import build_cofg, build_all_cofgs, CoFG, NodeKind
+"""
+
+from .astscan import SYSCALL_NODE_KINDS, ScanResult, method_source_ast, scan_method
+from .builder import (
+    PAPER_FIGURE3_SEQUENCES,
+    attribute_arc,
+    build_all_cofgs,
+    build_cofg,
+    component_methods,
+)
+from .dot import cofg_to_dot
+from .metrics import ComponentMetrics, MethodMetrics, component_metrics
+from .static_checks import StaticFinding, check_component, shared_accesses
+from .model import CoFG, CoFGArc, CoFGNode, NodeKind
+
+__all__ = [
+    "CoFG",
+    "CoFGArc",
+    "CoFGNode",
+    "ComponentMetrics",
+    "MethodMetrics",
+    "NodeKind",
+    "PAPER_FIGURE3_SEQUENCES",
+    "SYSCALL_NODE_KINDS",
+    "ScanResult",
+    "StaticFinding",
+    "attribute_arc",
+    "build_all_cofgs",
+    "build_cofg",
+    "check_component",
+    "cofg_to_dot",
+    "component_metrics",
+    "component_methods",
+    "method_source_ast",
+    "scan_method",
+    "shared_accesses",
+]

@@ -1,0 +1,49 @@
+"""Graphviz DOT export for Concurrency Flow Graphs (Figure 3 rendering)."""
+
+from __future__ import annotations
+
+from .model import CoFG, NodeKind
+
+__all__ = ["cofg_to_dot"]
+
+_SHAPES = {
+    NodeKind.START: "circle",
+    NodeKind.END: "doublecircle",
+    NodeKind.WAIT: "box",
+    NodeKind.NOTIFY: "box",
+    NodeKind.NOTIFY_ALL: "box",
+    NodeKind.YIELD: "diamond",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def cofg_to_dot(cofg: CoFG, show_guards: bool = True) -> str:
+    """Render a CoFG as a DOT digraph in the style of the paper's Figure 3:
+    nodes are the concurrency statements, arcs labelled with the transition
+    firings (and optionally their guards)."""
+    title = f"{cofg.component}.{cofg.method}"
+    lines = [
+        f'digraph "{_escape(title)}" {{',
+        "  rankdir=TB;",
+        f'  label="CoFG: {_escape(title)}"; labelloc=t; fontsize=14;',
+        "  node [fontsize=11];",
+    ]
+    for node in cofg.nodes:
+        shape = _SHAPES.get(node.kind, "ellipse")
+        lines.append(
+            f'  "{_escape(node.name)}" [shape={shape}, '
+            f'label="{_escape(node.kind.value)}"];'
+        )
+    for arc in cofg.arcs:
+        label = ", ".join(arc.transitions)
+        if show_guards and arc.guard:
+            label = f"{label}\\n[{_escape(arc.guard)}]" if label else arc.guard
+        lines.append(
+            f'  "{_escape(arc.src.name)}" -> "{_escape(arc.dst.name)}" '
+            f'[label="{label}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

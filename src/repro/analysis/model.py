@@ -1,0 +1,184 @@
+"""Concurrency Flow Graph (CoFG) data model.
+
+Section 6 of the paper: *"To achieve coverage of all concurrent statements,
+a Concurrency Flow Graph (CoFG) is constructed. ... The CoFG contains all
+statements that cause transitions as described in our model.  Each arc in
+the graph is a unique, although possibly overlapping, code region."*
+
+Nodes are the concurrency statements of one method (plus the synthetic
+``start``/``end`` of the synchronized block); arcs are the code regions
+between pairs of concurrency statements that can execute consecutively.
+Every arc carries the sequence of Figure-1 transition firings (T1..T5) the
+region exercises — that annotation is what ties CoFG coverage back to the
+failure classification.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["NodeKind", "CoFGNode", "CoFGArc", "CoFG"]
+
+
+class NodeKind(enum.Enum):
+    """Kinds of CoFG nodes.
+
+    START/END are the boundaries of the method's synchronized block; WAIT,
+    NOTIFY, and NOTIFY_ALL are the concurrency statements of Section 3.2.
+    YIELD marks explicit scheduling points in unsynchronized (faulty)
+    components — they fire no Figure-1 transition but still bound regions.
+    """
+
+    START = "start"
+    WAIT = "wait"
+    NOTIFY = "notify"
+    NOTIFY_ALL = "notifyAll"
+    YIELD = "yield"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class CoFGNode:
+    """One concurrency statement (or block boundary) of a method.
+
+    Attributes:
+        kind: the node kind.
+        line: absolute source line of the statement (``None`` for the
+            synthetic START/END nodes).
+        loop_condition: source text of the enclosing ``while`` condition
+            for guarded waits (e.g. ``"self.cur_pos == 0"``), when the
+            statement sits directly inside a loop.
+        index: disambiguates multiple statements of the same kind on the
+            same line (rare, but legal).
+    """
+
+    kind: NodeKind
+    line: Optional[int] = None
+    loop_condition: Optional[str] = None
+    index: int = 0
+
+    @property
+    def name(self) -> str:
+        if self.kind in (NodeKind.START, NodeKind.END):
+            return self.kind.value
+        suffix = f"@{self.line}" if self.line is not None else f"#{self.index}"
+        return f"{self.kind.value}{suffix}"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class CoFGArc:
+    """A code region between two consecutive concurrency statements.
+
+    Attributes:
+        src / dst: the bounding nodes.
+        transitions: the Figure-1 transition firings the region exercises
+            (model-consistent attribution; see ``builder.attribute_arc``).
+        guard: human-readable condition under which this region executes
+            (e.g. ``"cur_pos == 0 evaluates True on entry"``), best-effort.
+        region: (first_line, last_line) of the covered code, best-effort.
+    """
+
+    src: CoFGNode
+    dst: CoFGNode
+    transitions: Tuple[str, ...] = ()
+    guard: str = ""
+    region: Optional[Tuple[int, int]] = None
+
+    @property
+    def name(self) -> str:
+        return f"{self.src.name} -> {self.dst.name}"
+
+    def __str__(self) -> str:
+        t = ",".join(self.transitions)
+        return f"{self.name} [{t}]" if t else self.name
+
+
+class CoFG:
+    """The Concurrency Flow Graph of one component method."""
+
+    def __init__(
+        self,
+        component: str,
+        method: str,
+        synchronized: bool,
+        nodes: Sequence[CoFGNode],
+        arcs: Sequence[CoFGArc],
+    ) -> None:
+        self.component = component
+        self.method = method
+        self.synchronized = synchronized
+        self.nodes: Tuple[CoFGNode, ...] = tuple(nodes)
+        self.arcs: Tuple[CoFGArc, ...] = tuple(arcs)
+        self._node_by_name: Dict[str, CoFGNode] = {n.name: n for n in self.nodes}
+        self._arc_by_pair: Dict[Tuple[str, str], CoFGArc] = {
+            (a.src.name, a.dst.name): a for a in self.arcs
+        }
+
+    # -- lookups ---------------------------------------------------------------
+
+    @property
+    def start(self) -> CoFGNode:
+        return self._node_by_name["start"]
+
+    @property
+    def end(self) -> CoFGNode:
+        return self._node_by_name["end"]
+
+    def node(self, name: str) -> CoFGNode:
+        return self._node_by_name[name]
+
+    def node_at_line(self, kind: NodeKind, line: int) -> Optional[CoFGNode]:
+        """The node of ``kind`` at source ``line``, or None."""
+        for node in self.nodes:
+            if node.kind is kind and node.line == line:
+                return node
+        return None
+
+    def arc(self, src: str, dst: str) -> Optional[CoFGArc]:
+        return self._arc_by_pair.get((src, dst))
+
+    def arcs_from(self, src: str) -> List[CoFGArc]:
+        return [a for a in self.arcs if a.src.name == src]
+
+    def arcs_into(self, dst: str) -> List[CoFGArc]:
+        return [a for a in self.arcs if a.dst.name == dst]
+
+    def wait_nodes(self) -> List[CoFGNode]:
+        return [n for n in self.nodes if n.kind is NodeKind.WAIT]
+
+    def notify_nodes(self) -> List[CoFGNode]:
+        return [
+            n for n in self.nodes if n.kind in (NodeKind.NOTIFY, NodeKind.NOTIFY_ALL)
+        ]
+
+    # -- structure checks --------------------------------------------------------
+
+    def is_isomorphic_to(self, other: "CoFG") -> bool:
+        """True when the two graphs have the same shape: equal multisets of
+        (src_kind, dst_kind, transitions) arcs.  The paper observes the
+        CoFGs of ``send`` and ``receive`` are identical in this sense."""
+        key = lambda a: (a.src.kind.value, a.dst.kind.value, a.transitions)  # noqa: E731
+        return sorted(map(key, self.arcs)) == sorted(map(key, other.arcs))
+
+    def __len__(self) -> int:
+        return len(self.arcs)
+
+    def __repr__(self) -> str:
+        return (
+            f"CoFG({self.component}.{self.method}, nodes={len(self.nodes)}, "
+            f"arcs={len(self.arcs)})"
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable listing (used by the Figure-3 bench)."""
+        lines = [f"CoFG for {self.component}.{self.method}:"]
+        for i, arc in enumerate(self.arcs, 1):
+            guard = f"  [{arc.guard}]" if arc.guard else ""
+            firing = ", ".join(arc.transitions) or "-"
+            lines.append(f"  {i}. {arc.src.name} -> {arc.dst.name}: {firing}{guard}")
+        return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Static checks for the T1 failure classes.
+
+Table 1 prescribes *static analysis / model checking* for both T1
+deviations, and they are indeed statically visible in component source:
+
+* **FF-T1** (missing synchronization): an ``@unsynchronized`` method that
+  reads or writes shared instance state — under the component-testing
+  assumption of multiple thread access (Section 1), any such access is a
+  potential interference.
+* **EF-T1** (unnecessary synchronization): a ``@synchronized`` method that
+  touches no shared instance state and neither waits nor notifies — the
+  lock buys nothing and only costs contention.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import List, Tuple, Type
+
+from repro.classify.taxonomy import FailureClass
+from repro.vm.api import MonitorComponent
+
+from .astscan import method_source_ast, scan_method
+from .builder import component_methods
+
+__all__ = ["StaticFinding", "check_component", "shared_accesses"]
+
+
+@dataclass(frozen=True)
+class StaticFinding:
+    """One static-analysis finding on a component method."""
+
+    component: str
+    method: str
+    failure_class: FailureClass
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.failure_class.code}] {self.component}.{self.method}: "
+            f"{self.detail}"
+        )
+
+
+def shared_accesses(method) -> Tuple[List[str], List[str]]:
+    """(reads, writes) of ``self.<field>`` instance attributes in a method,
+    excluding underscore-prefixed internals."""
+    func, _ = method_source_ast(method)
+    self_name = func.args.args[0].arg if func.args.args else "self"
+    reads: List[str] = []
+    writes: List[str] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            if node.value.id != self_name or node.attr.startswith("_"):
+                continue
+            if isinstance(node.ctx, (ast.Store, ast.Del)):
+                writes.append(node.attr)
+            else:
+                reads.append(node.attr)
+    return reads, writes
+
+
+def check_component(
+    component: Type[MonitorComponent] | MonitorComponent,
+) -> List[StaticFinding]:
+    """Run the FF-T1 / EF-T1 static checks on every declared method."""
+    cls = component if isinstance(component, type) else type(component)
+    findings: List[StaticFinding] = []
+    for name in component_methods(cls):
+        method = getattr(cls, name)
+        synchronized = bool(getattr(method, "_vm_synchronized", False))
+        reads, writes = shared_accesses(method)
+        scan = scan_method(method)
+        has_sync_statements = bool(scan.nodes)
+        if not synchronized and (reads or writes):
+            accessed = sorted(set(reads + writes))
+            findings.append(
+                StaticFinding(
+                    component=cls.__name__,
+                    method=name,
+                    failure_class=FailureClass.FF_T1,
+                    detail=(
+                        f"unsynchronized access to shared field(s) "
+                        f"{accessed}; interference possible under multiple "
+                        f"thread access"
+                    ),
+                )
+            )
+        if synchronized and not (reads or writes) and not has_sync_statements:
+            findings.append(
+                StaticFinding(
+                    component=cls.__name__,
+                    method=name,
+                    failure_class=FailureClass.EF_T1,
+                    detail=(
+                        "synchronized method touches no shared state and "
+                        "neither waits nor notifies: unnecessary "
+                        "synchronization"
+                    ),
+                )
+            )
+    return findings

@@ -1,0 +1,49 @@
+"""The paper's failure classification (Section 5, Table 1).
+
+Public API::
+
+    from repro.classify import (
+        FailureClass, FailureMode, TABLE1_ENTRIES,   # the taxonomy
+        hazop_skeleton, derive_table1,               # the HAZOP engine
+        Symptom, symptoms_from_run, classify_symptoms,  # diagnosis
+    )
+"""
+
+from .hazop import AnalysisRow, DeviationItem, derive_table1, hazop_skeleton
+from .symptoms import (
+    CANDIDATES,
+    ClassificationReport,
+    ObservedFailure,
+    Symptom,
+    classify_symptoms,
+    symptoms_from_run,
+)
+from .taxonomy import (
+    TABLE1_ENTRIES,
+    ClassificationEntry,
+    DetectionTechnique,
+    FailureClass,
+    FailureMode,
+    entries_for,
+    entry_count,
+)
+
+__all__ = [
+    "AnalysisRow",
+    "CANDIDATES",
+    "ClassificationEntry",
+    "ClassificationReport",
+    "DetectionTechnique",
+    "DeviationItem",
+    "FailureClass",
+    "FailureMode",
+    "ObservedFailure",
+    "Symptom",
+    "TABLE1_ENTRIES",
+    "classify_symptoms",
+    "derive_table1",
+    "entries_for",
+    "entry_count",
+    "hazop_skeleton",
+    "symptoms_from_run",
+]

@@ -1,0 +1,139 @@
+"""HAZOP-style derivation of the failure classification (paper Section 5).
+
+*"Following techniques of hazard/safety analysis, failure conditions are
+identified for each of the transitions.  This approach is taken for
+completeness, to ensure all failures are identified and classified.  Using
+a HAZOP style of analysis, we analyze each transition for two deviations,
+1) failure to fire the transition, and 2) erroneous firing of the
+transition."*
+
+The engine here is generic: it takes any Petri net plus per-transition
+semantic metadata and applies the two deviation guide-words, producing one
+:class:`DeviationItem` per (transition, deviation) — the analysis skeleton.
+For the Figure-1 concurrency model, the curated Table-1 knowledge
+(:mod:`repro.classify.taxonomy`) is joined onto that skeleton, and
+:func:`derive_table1` verifies the join is *complete* (every transition ×
+both deviations is covered) and *consistent* (no taxonomy entry refers to
+a transition that does not exist in the model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.petri import PetriNet, build_figure1_net
+
+from .taxonomy import (
+    TABLE1_ENTRIES,
+    ClassificationEntry,
+    FailureClass,
+    FailureMode,
+)
+
+__all__ = ["DeviationItem", "AnalysisRow", "hazop_skeleton", "derive_table1"]
+
+
+@dataclass(frozen=True)
+class DeviationItem:
+    """One cell of the HAZOP skeleton: a transition under a deviation.
+
+    ``structural_effect`` is derived mechanically from the net: which
+    token movements do not happen (failure to fire) or happen when they
+    should not (erroneous firing)."""
+
+    transition: str
+    transition_label: str
+    mode: FailureMode
+    structural_effect: str
+
+
+@dataclass(frozen=True)
+class AnalysisRow:
+    """A HAZOP skeleton item joined with its curated Table-1 entries."""
+
+    item: DeviationItem
+    entries: Tuple[ClassificationEntry, ...]
+
+    @property
+    def failure_class(self) -> FailureClass:
+        prefix = "FF" if self.item.mode is FailureMode.FAILURE_TO_FIRE else "EF"
+        return FailureClass.from_code(f"{prefix}-{self.item.transition}")
+
+
+def _structural_effect(net: PetriNet, transition: str, mode: FailureMode) -> str:
+    """Mechanical description of the deviation in token terms."""
+    pre = net.preset(transition)
+    post = net.postset(transition)
+    consumed = ", ".join(sorted(pre)) or "nothing"
+    produced = ", ".join(sorted(post)) or "nothing"
+    if mode is FailureMode.FAILURE_TO_FIRE:
+        return (
+            f"tokens remain in {{{consumed}}}; {{{produced}}} never receive "
+            f"the marking this transition produces"
+        )
+    return (
+        f"tokens move from {{{consumed}}} to {{{produced}}} although the "
+        f"firing was not intended"
+    )
+
+
+def hazop_skeleton(net: Optional[PetriNet] = None) -> List[DeviationItem]:
+    """Apply the two deviation guide-words to every transition of ``net``
+    (the Figure-1 model by default), in declaration order.
+
+    This is the completeness argument made executable: correct firing plus
+    these two deviations partition all possible behaviours of a transition.
+    """
+    if net is None:
+        net, _ = build_figure1_net()
+    items: List[DeviationItem] = []
+    for transition in net.transitions:
+        for mode in (FailureMode.FAILURE_TO_FIRE, FailureMode.ERRONEOUS_FIRING):
+            items.append(
+                DeviationItem(
+                    transition=transition.name,
+                    transition_label=transition.label,
+                    mode=mode,
+                    structural_effect=_structural_effect(
+                        net, transition.name, mode
+                    ),
+                )
+            )
+    return items
+
+
+def derive_table1(
+    net: Optional[PetriNet] = None,
+    entries: Sequence[ClassificationEntry] = tuple(TABLE1_ENTRIES),
+) -> List[AnalysisRow]:
+    """Join the HAZOP skeleton with the curated classification.
+
+    Raises ``ValueError`` when the join is incomplete (a transition ×
+    deviation cell with no entry) or inconsistent (an entry whose
+    transition is not in the model) — i.e. the function *checks* the
+    paper's completeness claim rather than assuming it.
+    """
+    skeleton = hazop_skeleton(net)
+    by_cell: Dict[Tuple[str, FailureMode], List[ClassificationEntry]] = {}
+    for entry in entries:
+        by_cell.setdefault((entry.transition, entry.mode), []).append(entry)
+
+    model_transitions = {item.transition for item in skeleton}
+    for (transition, _mode), _ in by_cell.items():
+        if transition not in model_transitions:
+            raise ValueError(
+                f"classification entry references transition {transition!r} "
+                f"not present in the model"
+            )
+
+    rows: List[AnalysisRow] = []
+    for item in skeleton:
+        cell = by_cell.get((item.transition, item.mode))
+        if not cell:
+            raise ValueError(
+                f"HAZOP incompleteness: no classification entry for "
+                f"{item.transition} / {item.mode.value}"
+            )
+        rows.append(AnalysisRow(item=item, entries=tuple(cell)))
+    return rows

@@ -1,0 +1,208 @@
+"""From observed symptoms to failure classes.
+
+Table 1's *Consequences* column is, read backwards, a diagnosis table:
+an observed consequence (a thread permanently suspended, a call that
+completed too early, interference on shared state...) points back at the
+failure classes that can produce it.  This module makes that backward
+reading executable:
+
+* :class:`Symptom` — the observable consequences;
+* :data:`CANDIDATES` — symptom → candidate failure classes (derived from
+  the Consequences column);
+* :func:`symptoms_from_run` — extract VM-level symptoms from a
+  :class:`~repro.vm.kernel.RunResult`;
+* :func:`classify_symptoms` — produce ranked :class:`ObservedFailure`
+  records.
+
+Dynamic detectors (:mod:`repro.detect`) feed additional symptoms in —
+e.g. the lockset race detector produces :attr:`Symptom.DATA_RACE`, the
+completion-time oracle produces the COMPLETED_* symptoms.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.vm.events import EventKind
+from repro.vm.kernel import RunResult, RunStatus
+from repro.vm.thread import ThreadState
+
+from .taxonomy import FailureClass
+
+__all__ = [
+    "Symptom",
+    "ObservedFailure",
+    "ClassificationReport",
+    "CANDIDATES",
+    "symptoms_from_run",
+    "classify_symptoms",
+]
+
+
+class Symptom(enum.Enum):
+    """Observable consequences, in the vocabulary of Table 1."""
+
+    DATA_RACE = "interference on shared state (race condition)"
+    UNNECESSARY_SYNC = "synchronization with no shared access"
+    PERMANENTLY_BLOCKED = "thread permanently blocked acquiring a lock"
+    DEADLOCK_CYCLE = "cyclic lock wait among threads"
+    PERMANENTLY_WAITING = "thread permanently suspended in wait state"
+    NEVER_COMPLETES = "thread never completes (step budget exhausted)"
+    COMPLETED_EARLY = "call completed earlier than expected"
+    COMPLETED_LATE = "call completed later than expected"
+    LOST_NOTIFICATION = "notify delivered to an empty wait set"
+    PREMATURE_REENTRY = "thread re-entered critical section prematurely"
+    PREMATURE_RELEASE = "lock released before the critical section ended"
+
+
+#: Symptom -> candidate failure classes, most likely first.  Derived from
+#: the Consequences column of Table 1 (see taxonomy module).
+CANDIDATES: Dict[Symptom, Tuple[FailureClass, ...]] = {
+    Symptom.DATA_RACE: (FailureClass.FF_T1,),
+    Symptom.UNNECESSARY_SYNC: (FailureClass.EF_T1,),
+    Symptom.PERMANENTLY_BLOCKED: (FailureClass.FF_T2, FailureClass.FF_T4),
+    Symptom.DEADLOCK_CYCLE: (FailureClass.FF_T4, FailureClass.FF_T2),
+    Symptom.PERMANENTLY_WAITING: (FailureClass.FF_T5, FailureClass.EF_T3),
+    Symptom.NEVER_COMPLETES: (FailureClass.FF_T4,),
+    Symptom.COMPLETED_EARLY: (
+        FailureClass.FF_T3,
+        FailureClass.EF_T5,
+        FailureClass.EF_T4,
+    ),
+    Symptom.COMPLETED_LATE: (FailureClass.EF_T3, FailureClass.EF_T1),
+    Symptom.LOST_NOTIFICATION: (FailureClass.FF_T5,),
+    Symptom.PREMATURE_REENTRY: (FailureClass.EF_T5,),
+    Symptom.PREMATURE_RELEASE: (FailureClass.EF_T4,),
+}
+
+
+@dataclass(frozen=True)
+class ObservedFailure:
+    """One diagnosed anomaly: a symptom plus its candidate classes."""
+
+    symptom: Symptom
+    thread: Optional[str] = None
+    component: Optional[str] = None
+    method: Optional[str] = None
+    detail: str = ""
+    candidates: Tuple[FailureClass, ...] = ()
+
+    @property
+    def primary(self) -> Optional[FailureClass]:
+        """The most likely failure class."""
+        return self.candidates[0] if self.candidates else None
+
+    def __str__(self) -> str:
+        where = self.thread or "?"
+        codes = "/".join(c.code for c in self.candidates) or "?"
+        extra = f" — {self.detail}" if self.detail else ""
+        return f"[{codes}] {where}: {self.symptom.value}{extra}"
+
+
+@dataclass
+class ClassificationReport:
+    """All anomalies diagnosed for one execution."""
+
+    failures: List[ObservedFailure] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.failures
+
+    def classes_seen(self) -> List[FailureClass]:
+        """Primary failure classes, deduplicated, in diagnosis order."""
+        seen: Dict[FailureClass, None] = {}
+        for failure in self.failures:
+            if failure.primary is not None:
+                seen.setdefault(failure.primary)
+        return list(seen)
+
+    def by_class(self, failure_class: FailureClass) -> List[ObservedFailure]:
+        return [f for f in self.failures if failure_class in f.candidates]
+
+    def describe(self) -> str:
+        if self.clean:
+            return "no concurrency failures observed"
+        return "\n".join(str(f) for f in self.failures)
+
+
+def classify_symptoms(
+    observations: Sequence[Tuple[Symptom, Dict[str, Any]]]
+) -> ClassificationReport:
+    """Turn raw (symptom, context) observations into a report.
+
+    ``context`` may carry ``thread``, ``component``, ``method``, and
+    ``detail`` keys; everything else is ignored.
+    """
+    report = ClassificationReport()
+    for symptom, context in observations:
+        report.failures.append(
+            ObservedFailure(
+                symptom=symptom,
+                thread=context.get("thread"),
+                component=context.get("component"),
+                method=context.get("method"),
+                detail=str(context.get("detail", "")),
+                candidates=CANDIDATES.get(symptom, ()),
+            )
+        )
+    return report
+
+
+def symptoms_from_run(result: RunResult) -> List[Tuple[Symptom, Dict[str, Any]]]:
+    """Extract the VM-level symptoms visible in a run outcome alone
+    (no oracle or detector input): permanently blocked/waiting threads,
+    deadlock cycles, step-budget exhaustion, and lost notifications."""
+    observations: List[Tuple[Symptom, Dict[str, Any]]] = []
+    if result.status is RunStatus.STEP_LIMIT:
+        observations.append(
+            (
+                Symptom.NEVER_COMPLETES,
+                {"detail": f"step budget exhausted after {result.steps} steps"},
+            )
+        )
+    if result.status is RunStatus.DEADLOCK:
+        observations.append(
+            (
+                Symptom.DEADLOCK_CYCLE,
+                {
+                    "thread": ", ".join(result.deadlock_cycle),
+                    "detail": f"cycle: {' -> '.join(result.deadlock_cycle)}",
+                },
+            )
+        )
+    incomplete = {r.thread: r for r in result.trace.incomplete_calls()}
+    for thread, state in result.thread_states.items():
+        call = incomplete.get(thread)
+        context: Dict[str, Any] = {"thread": thread}
+        if call is not None:
+            context["component"] = call.component
+            context["method"] = call.method
+            context["detail"] = f"inside {call.component}.{call.method}"
+        if state == ThreadState.BLOCKED.value and thread not in result.deadlock_cycle:
+            observations.append((Symptom.PERMANENTLY_BLOCKED, context))
+        elif state == ThreadState.WAITING.value:
+            observations.append((Symptom.PERMANENTLY_WAITING, context))
+    # A notify that woke nobody is only evidence of failure when some
+    # thread on the same monitor ended up waiting forever — otherwise it is
+    # the normal "notify with nobody waiting" of a correct monitor.
+    waiting_monitors = set()
+    for event in result.trace.by_kind(EventKind.MONITOR_WAIT):
+        if result.thread_states.get(event.thread) == ThreadState.WAITING.value:
+            waiting_monitors.add(event.monitor)
+    for event in result.trace.lost_notifications():
+        if event.monitor in waiting_monitors:
+            observations.append(
+                (
+                    Symptom.LOST_NOTIFICATION,
+                    {
+                        "thread": event.thread,
+                        "component": event.component,
+                        "method": event.method,
+                        "detail": f"{event.kind.value} on {event.monitor} woke nobody",
+                    },
+                )
+            )
+    return observations

@@ -1,0 +1,248 @@
+"""The paper's Table-1 failure taxonomy as a data model.
+
+Ten failure classes: for each Figure-1 transition T1..T5, the two HAZOP
+deviations *failure to fire* (FF) and *erroneous firing* (EF).  Together
+with correct firing these form "a complete set of transition firings"
+(Section 5).  Some classes carry several distinct causes (Table 1 lists
+two causes for FF-T4), so the canonical table is a list of
+:class:`ClassificationEntry` rows, one per (class, cause).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "FailureMode",
+    "FailureClass",
+    "DetectionTechnique",
+    "ClassificationEntry",
+    "TABLE1_ENTRIES",
+    "entries_for",
+    "entry_count",
+]
+
+
+class FailureMode(enum.Enum):
+    """The two HAZOP deviations applied to every transition."""
+
+    FAILURE_TO_FIRE = "Failure to fire"
+    ERRONEOUS_FIRING = "Erroneous firing"
+
+
+class FailureClass(enum.Enum):
+    """The ten concurrency failure classes of Table 1."""
+
+    FF_T1 = ("T1", FailureMode.FAILURE_TO_FIRE)
+    EF_T1 = ("T1", FailureMode.ERRONEOUS_FIRING)
+    FF_T2 = ("T2", FailureMode.FAILURE_TO_FIRE)
+    EF_T2 = ("T2", FailureMode.ERRONEOUS_FIRING)
+    FF_T3 = ("T3", FailureMode.FAILURE_TO_FIRE)
+    EF_T3 = ("T3", FailureMode.ERRONEOUS_FIRING)
+    FF_T4 = ("T4", FailureMode.FAILURE_TO_FIRE)
+    EF_T4 = ("T4", FailureMode.ERRONEOUS_FIRING)
+    FF_T5 = ("T5", FailureMode.FAILURE_TO_FIRE)
+    EF_T5 = ("T5", FailureMode.ERRONEOUS_FIRING)
+
+    def __init__(self, transition: str, mode: FailureMode) -> None:
+        self.transition = transition
+        self.mode = mode
+
+    @property
+    def code(self) -> str:
+        """The paper's short code, e.g. ``"FF-T1"``."""
+        prefix = "FF" if self.mode is FailureMode.FAILURE_TO_FIRE else "EF"
+        return f"{prefix}-{self.transition}"
+
+    @classmethod
+    def from_code(cls, code: str) -> "FailureClass":
+        for member in cls:
+            if member.code == code:
+                return member
+        raise ValueError(f"unknown failure class code {code!r}")
+
+
+class DetectionTechnique(enum.Enum):
+    """Technique families named in Table 1's "Testing Notes" column."""
+
+    STATIC_ANALYSIS = "static analysis / model checking"
+    STATIC_AND_DYNAMIC = "static and dynamic analysis"
+    COMPLETION_TIME = "check completion time of call"
+    NOT_APPLICABLE = "not applicable"
+
+
+@dataclass(frozen=True)
+class ClassificationEntry:
+    """One row of Table 1.
+
+    ``applicable=False`` reproduces the EF-T2 row, which the paper marks
+    "Not applicable" because the JVM is assumed to hand out locks
+    correctly.
+    """
+
+    failure_class: FailureClass
+    cause: str
+    conditions: str
+    consequences: str
+    testing_notes: str
+    techniques: Tuple[DetectionTechnique, ...]
+    applicable: bool = True
+
+    @property
+    def transition(self) -> str:
+        return self.failure_class.transition
+
+    @property
+    def mode(self) -> FailureMode:
+        return self.failure_class.mode
+
+
+#: The canonical Table 1, row for row (FF-T4 contributes two cause rows,
+#: exactly as printed in the paper).
+TABLE1_ENTRIES: List[ClassificationEntry] = [
+    ClassificationEntry(
+        failure_class=FailureClass.FF_T1,
+        cause="Thread does not access a synchronized block when required",
+        conditions="Two or more threads access a shared resource",
+        consequences=(
+            "Interference (also known as a race condition or data race)"
+        ),
+        testing_notes=(
+            "Static analysis / model checking (often combined with dynamic "
+            "analysis)"
+        ),
+        techniques=(DetectionTechnique.STATIC_ANALYSIS,),
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.EF_T1,
+        cause="Program logic accesses critical section",
+        conditions=(
+            "No more than one thread accesses shared resources. The thread "
+            "is not required to wait or notify other threads."
+        ),
+        consequences="Unnecessary synchronization",
+        testing_notes=(
+            "Static analysis / model checking (often combined with dynamic "
+            "analysis)"
+        ),
+        techniques=(DetectionTechnique.STATIC_ANALYSIS,),
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.FF_T2,
+        cause="The object lock to be acquired has been acquired by another thread",
+        conditions=(
+            "Another thread has acquired the lock being acquired by this "
+            "thread. This can occur in 2 ways: 1) one thread continuously "
+            "holds the lock, or 2) one or more threads repeatedly acquire "
+            "the lock being requested by this thread."
+        ),
+        consequences="The thread is permanently suspended",
+        testing_notes="Static and dynamic analysis",
+        techniques=(DetectionTechnique.STATIC_AND_DYNAMIC,),
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.EF_T2,
+        cause="Not applicable",
+        conditions="",
+        consequences="",
+        testing_notes="",
+        techniques=(DetectionTechnique.NOT_APPLICABLE,),
+        applicable=False,
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.FF_T3,
+        cause="No call to wait is made",
+        conditions="Thread is required to make a call to wait",
+        consequences=(
+            "Program code may erroneously execute in a critical section, or "
+            "leave critical section prematurely."
+        ),
+        testing_notes="Check completion time of call",
+        techniques=(DetectionTechnique.COMPLETION_TIME,),
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.EF_T3,
+        cause="Program logic makes an erroneous call to wait",
+        conditions="A call to wait is not desired",
+        consequences=(
+            "A thread may suspend indefinitely if no other thread exists to "
+            "notify it. The object lock is released."
+        ),
+        testing_notes="Check completion time of call",
+        techniques=(DetectionTechnique.COMPLETION_TIME,),
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.FF_T4,
+        cause="The thread never releases object lock.",
+        conditions=(
+            "Thread is either in endless loop, waiting for blocking input "
+            "(which is never received), or acquiring an additional lock "
+            "which is locked by another thread"
+        ),
+        consequences=(
+            "Thread never completes. Other threads may be blocked if they "
+            "are waiting for the lock."
+        ),
+        testing_notes="Check completion time of call",
+        techniques=(DetectionTechnique.COMPLETION_TIME,),
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.FF_T4,
+        cause="The thread fires T3, that is, it waits instead",
+        conditions="None",
+        consequences=(
+            "Thread waits instead of completing and leaving the critical "
+            "section."
+        ),
+        testing_notes="Check completion time of call",
+        techniques=(DetectionTechnique.COMPLETION_TIME,),
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.EF_T4,
+        cause="Thread releases the object lock prematurely",
+        conditions="None",
+        consequences=(
+            "Thread exits and subsequent statements may access shared "
+            "resources."
+        ),
+        testing_notes="Static analysis and completion time of call",
+        techniques=(
+            DetectionTechnique.STATIC_ANALYSIS,
+            DetectionTechnique.COMPLETION_TIME,
+        ),
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.FF_T5,
+        cause="Thread is not notified",
+        conditions=(
+            "No other thread calls notify whilst this thread is in the wait "
+            "state."
+        ),
+        consequences="Thread is permanently suspended",
+        testing_notes="Check completion time of call",
+        techniques=(DetectionTechnique.COMPLETION_TIME,),
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.EF_T5,
+        cause="Thread is notified before it should be",
+        conditions="None",
+        consequences="Thread prematurely re-enters the critical section",
+        testing_notes="Check completion time of call",
+        techniques=(DetectionTechnique.COMPLETION_TIME,),
+    ),
+]
+
+
+def entries_for(failure_class: FailureClass) -> List[ClassificationEntry]:
+    """All Table-1 rows of one failure class (FF-T4 has two)."""
+    return [e for e in TABLE1_ENTRIES if e.failure_class is failure_class]
+
+
+def entry_count() -> Dict[str, int]:
+    """Row count per transition (T1..T5), matching the printed table."""
+    counts: Dict[str, int] = {}
+    for entry in TABLE1_ENTRIES:
+        counts[entry.transition] = counts.get(entry.transition, 0) + 1
+    return counts

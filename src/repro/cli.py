@@ -1,0 +1,335 @@
+"""Command-line interface.
+
+::
+
+    python -m repro table1                      # print Table 1
+    python -m repro figure1 [--threads N] [--dot]
+    python -m repro figure3
+    python -m repro cofg repro.components:ProducerConsumer [--method receive] [--dot]
+    python -m repro check repro.components.faulty:UnsyncCounter
+    python -m repro run script.cts [--save-trace run.jsonl] [--verbose]
+    python -m repro analyze run.jsonl
+    python -m repro contention run.jsonl
+
+The ``run`` command executes a ConAn-style test script (see
+:mod:`repro.testing.script` for the format); ``analyze`` re-runs every
+trace-based detector over a saved run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Type
+
+from repro.vm.api import MonitorComponent
+
+__all__ = ["main", "build_parser"]
+
+
+def _resolve_component(spec: str) -> Type[MonitorComponent]:
+    """Resolve ``module:ClassName`` (or ``module.ClassName``) to a class."""
+    if ":" in spec:
+        module_name, class_name = spec.split(":", 1)
+    elif "." in spec:
+        module_name, class_name = spec.rsplit(".", 1)
+    else:
+        raise SystemExit(f"error: component spec {spec!r} must be module:Class")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise SystemExit(f"error: cannot import {module_name!r}: {exc}")
+    try:
+        cls = getattr(module, class_name)
+    except AttributeError:
+        raise SystemExit(f"error: {module_name!r} has no class {class_name!r}")
+    return cls
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.report import render_table1
+
+    print(render_table1(width=args.width))
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    if args.dot:
+        from repro.petri import build_concurrency_net, net_to_dot
+
+        net, m0 = build_concurrency_net(args.threads)
+        print(net_to_dot(net, m0))
+    else:
+        from repro.report import render_figure1
+
+        print(render_figure1(args.threads))
+    return 0
+
+
+def _cmd_figure3(_args: argparse.Namespace) -> int:
+    from repro.report import render_figure3
+
+    print(render_figure3())
+    return 0
+
+
+def _cmd_cofg(args: argparse.Namespace) -> int:
+    from repro.analysis import build_all_cofgs, build_cofg, cofg_to_dot
+
+    cls = _resolve_component(args.component)
+    if args.method:
+        cofgs = {args.method: build_cofg(cls, args.method)}
+    else:
+        cofgs = build_all_cofgs(cls)
+        if not cofgs:
+            print(f"{cls.__name__} declares no @synchronized/@unsynchronized methods")
+            return 1
+    for name, cofg in cofgs.items():
+        if args.dot:
+            print(cofg_to_dot(cofg))
+        else:
+            print(cofg.describe())
+        print()
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis import check_component
+
+    cls = _resolve_component(args.component)
+    findings = check_component(cls)
+    if not findings:
+        print(f"{cls.__name__}: no static findings")
+        return 0
+    for finding in findings:
+        print(finding)
+    return 2
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.testing.script import parse_script
+    from repro.vm.monitor import SelectionPolicy
+    from repro.vm.scheduler import FifoScheduler, RandomScheduler
+
+    text = Path(args.script).read_text()
+    parsed = parse_script(text, name=Path(args.script).stem)
+
+    scheduler = (
+        RandomScheduler(args.seed) if args.seed is not None else FifoScheduler()
+    )
+    outcome = parsed.run(
+        scheduler=scheduler,
+        lock_policy=SelectionPolicy(args.lock_policy),
+        notify_policy=SelectionPolicy(args.notify_policy),
+    )
+    print(outcome.describe())
+    if args.verbose:
+        print()
+        print(outcome.coverage.describe())
+        print()
+        print(outcome.report.describe())
+    if args.save_trace:
+        from repro.vm.serialize import save_trace
+
+        save_trace(
+            outcome.result.trace,
+            args.save_trace,
+            schedule=outcome.result.schedule_log,
+        )
+        print(f"\ntrace saved to {args.save_trace}")
+    return 0 if outcome.passed else 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.detect import (
+        analyze_starvation,
+        detect_lock_cycles,
+        detect_races,
+        find_deadlock_cycle,
+    )
+    from repro.vm.serialize import load_trace
+
+    trace = load_trace(args.trace)
+    print(f"loaded {len(trace)} events, threads: {', '.join(trace.threads())}")
+    clean = True
+    for race in detect_races(trace):
+        print("race:", race)
+        clean = False
+    for cycle in detect_lock_cycles(trace):
+        print("lock-order hazard:", cycle)
+        clean = False
+    deadlock = find_deadlock_cycle(trace)
+    if deadlock:
+        print("deadlock cycle:", " -> ".join(deadlock))
+        clean = False
+    for starved in analyze_starvation(trace):
+        print("starvation:", starved)
+        clean = False
+    if clean:
+        print("no findings")
+    return 0 if clean else 2
+
+
+def _cmd_contention(args: argparse.Namespace) -> int:
+    from repro.detect.contention import profile_contention
+    from repro.vm.serialize import load_trace
+
+    report = profile_contention(load_trace(args.trace))
+    print(report.describe())
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.analysis.metrics import component_metrics
+
+    cls = _resolve_component(args.component)
+    print(component_metrics(cls).describe())
+    return 0
+
+
+def _parse_alphabet(specs: List[str]):
+    """Turn ``method`` / ``method:arg1,arg2`` specs into CallTemplates."""
+    import ast as ast_module
+
+    from repro.testing.generator import CallTemplate
+
+    templates = []
+    for spec in specs:
+        if ":" in spec:
+            method, args_text = spec.split(":", 1)
+            args = tuple(ast_module.literal_eval(f"({args_text},)"))
+            templates.append(
+                CallTemplate(method, lambda i, a=args: a, label=spec)
+            )
+        else:
+            templates.append(CallTemplate(spec))
+    return templates
+
+
+def _cmd_method(args: argparse.Namespace) -> int:
+    from repro.method import systematic_test
+
+    cls = _resolve_component(args.component)
+    report = systematic_test(
+        cls,
+        alphabet=_parse_alphabet(args.call),
+        max_generated_length=args.max_length,
+    )
+    print(report.describe())
+    if args.save_suite:
+        report.suite.save(args.save_suite)
+        print(f"\ngolden suite saved to {args.save_suite}")
+    return 0 if report.passed else 1
+
+
+def _cmd_suite_run(args: argparse.Namespace) -> int:
+    from repro.testing.regression import RegressionSuite
+
+    cls = _resolve_component(args.component)
+    suite = RegressionSuite.load(args.suite)
+    report = suite.run(cls)
+    print(report.describe())
+    return 0 if report.passed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Classification of Concurrency Failures in "
+            "Java Components' (Long & Strooper, IPPS 2003)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table1 = sub.add_parser("table1", help="print the Table-1 classification")
+    p_table1.add_argument("--width", type=int, default=24, help="column wrap width")
+    p_table1.set_defaults(func=_cmd_table1)
+
+    p_fig1 = sub.add_parser("figure1", help="print the Figure-1 Petri-net model")
+    p_fig1.add_argument("--threads", type=int, default=1)
+    p_fig1.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    p_fig1.set_defaults(func=_cmd_figure1)
+
+    p_fig3 = sub.add_parser("figure3", help="print the Figure-3 CoFG tables")
+    p_fig3.set_defaults(func=_cmd_figure3)
+
+    p_cofg = sub.add_parser("cofg", help="build CoFGs for a component")
+    p_cofg.add_argument("component", help="module:ClassName")
+    p_cofg.add_argument("--method", help="single method (default: all)")
+    p_cofg.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    p_cofg.set_defaults(func=_cmd_cofg)
+
+    p_check = sub.add_parser(
+        "check", help="run the FF-T1/EF-T1 static checks on a component"
+    )
+    p_check.add_argument("component", help="module:ClassName")
+    p_check.set_defaults(func=_cmd_check)
+
+    p_run = sub.add_parser("run", help="execute a ConAn-style test script")
+    p_run.add_argument("script", help="path to the script file")
+    p_run.add_argument("--seed", type=int, help="random scheduler seed")
+    from repro.vm.monitor import SelectionPolicy
+
+    policy_names = [p.value for p in SelectionPolicy]
+    p_run.add_argument("--lock-policy", default="fifo", choices=policy_names)
+    p_run.add_argument("--notify-policy", default="fifo", choices=policy_names)
+    p_run.add_argument("--save-trace", help="write the trace to this JSONL path")
+    p_run.add_argument("--verbose", action="store_true")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_analyze = sub.add_parser("analyze", help="run detectors over a saved trace")
+    p_analyze.add_argument("trace", help="path to a .jsonl trace")
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_cont = sub.add_parser(
+        "contention", help="monitor-contention profile of a saved trace"
+    )
+    p_cont.add_argument("trace", help="path to a .jsonl trace")
+    p_cont.set_defaults(func=_cmd_contention)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="CoFG complexity metrics of a component"
+    )
+    p_metrics.add_argument("component", help="module:ClassName")
+    p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_method = sub.add_parser(
+        "method",
+        help="run the paper's full method: CoFGs, static checks, "
+        "generated covering sequence, golden oracle",
+    )
+    p_method.add_argument("component", help="module:ClassName")
+    p_method.add_argument(
+        "--call",
+        action="append",
+        default=[],
+        required=True,
+        help="alphabet entry: 'method' or 'method:arg1,arg2' (repeatable)",
+    )
+    p_method.add_argument("--max-length", type=int, default=16)
+    p_method.add_argument(
+        "--save-suite", help="write the golden suite JSON to this path"
+    )
+    p_method.set_defaults(func=_cmd_method)
+
+    p_suite = sub.add_parser(
+        "suite-run", help="run a saved golden suite against a component"
+    )
+    p_suite.add_argument("suite", help="path to a suite .json")
+    p_suite.add_argument("component", help="module:ClassName to test")
+    p_suite.set_defaults(func=_cmd_suite_run)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Example monitor components, correct and faulty.
+
+Correct components::
+
+    from repro.components import (
+        ProducerConsumer,    # the paper's Figure 2
+        BoundedBuffer, ReadersWriters, Semaphore,
+        CyclicBarrier, CountDownLatch, Account, OrderedPair,
+    )
+
+Faulty components (one seeded defect per Table-1 failure class) live in
+:mod:`repro.components.faulty`, with metadata in ``FAULT_REGISTRY``.
+"""
+
+from .barrier import CyclicBarrier
+from .bounded_buffer import BoundedBuffer
+from .fair_lock import FairLock
+from .future_value import Exchanger, FutureValue
+from .latch import CountDownLatch
+from .nested_locks import Account, OrderedPair
+from .producer_consumer import ProducerConsumer
+from .readers_writers import ReadersWriters
+from .semaphore import Semaphore
+from .task_queue import TaskQueue
+
+__all__ = [
+    "Account",
+    "BoundedBuffer",
+    "CountDownLatch",
+    "CyclicBarrier",
+    "Exchanger",
+    "FairLock",
+    "FutureValue",
+    "OrderedPair",
+    "ProducerConsumer",
+    "ReadersWriters",
+    "Semaphore",
+    "TaskQueue",
+]

@@ -1,0 +1,46 @@
+"""A cyclic barrier monitor component."""
+
+from __future__ import annotations
+
+from repro.vm import MonitorComponent, NotifyAll, Wait, synchronized
+
+__all__ = ["CyclicBarrier"]
+
+
+class CyclicBarrier(MonitorComponent):
+    """``parties`` threads meet at the barrier; the last arrival releases
+    everyone and resets the barrier for the next cycle.
+
+    A generation counter distinguishes cycles so a thread woken by a
+    *later* cycle's arrivals cannot leak through early — the guard is
+    ``generation`` change, not arrival count, the standard recipe against
+    premature re-entry (EF-T5)."""
+
+    def __init__(self, parties: int) -> None:
+        super().__init__()
+        if parties < 1:
+            raise ValueError("parties must be >= 1")
+        self.parties = parties
+        self.arrived = 0
+        self.generation = 0
+
+    @synchronized
+    def arrive(self):
+        """Block until ``parties`` threads have arrived; returns the
+        0-based arrival index within the cycle."""
+        my_generation = self.generation
+        index = self.arrived
+        self.arrived = self.arrived + 1
+        if self.arrived == self.parties:
+            self.arrived = 0
+            self.generation = self.generation + 1
+            yield NotifyAll()
+            return index
+        while self.generation == my_generation:
+            yield Wait()
+        return index
+
+    @synchronized
+    def waiting(self):
+        """Number of threads currently blocked at the barrier."""
+        return self.arrived

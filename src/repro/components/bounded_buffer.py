@@ -1,0 +1,50 @@
+"""A classic bounded FIFO buffer monitor.
+
+Unlike the paper's asymmetric producer-consumer (which holds one string at
+a time), this is the standard N-slot buffer: ``put`` blocks while the
+buffer is full, ``get`` blocks while it is empty.  It exercises the same
+CoFG shape with a different guard structure and is the second workload of
+the exploration study.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.vm import MonitorComponent, NotifyAll, Wait, synchronized
+
+__all__ = ["BoundedBuffer"]
+
+
+class BoundedBuffer(MonitorComponent):
+    """FIFO buffer with at most ``capacity`` items."""
+
+    def __init__(self, capacity: int = 4) -> None:
+        super().__init__()
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.items: List[Any] = []
+
+    @synchronized
+    def put(self, item: Any):
+        """Append ``item``; waits while the buffer is full."""
+        while len(self.items) >= self.capacity:
+            yield Wait()
+        self.items = self.items + [item]
+        yield NotifyAll()
+
+    @synchronized
+    def get(self):
+        """Remove and return the oldest item; waits while empty."""
+        while len(self.items) == 0:
+            yield Wait()
+        item = self.items[0]
+        self.items = self.items[1:]
+        yield NotifyAll()
+        return item
+
+    @synchronized
+    def size(self):
+        """Current number of buffered items."""
+        return len(self.items)

@@ -1,0 +1,131 @@
+"""Faulty components: one seeded defect per Table-1 failure class.
+
+Every module here contains a deliberately broken monitor together with
+metadata (:data:`FAULT_REGISTRY`) recording which failure class the defect
+seeds and which detection technique Table 1 predicts will catch it.  The
+mutation-detection study (bench Ext-A) runs each faulty component under
+its nominal workload and checks that the predicted detector fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple, Type
+
+from repro.classify.taxonomy import DetectionTechnique, FailureClass
+from repro.vm.api import MonitorComponent
+
+from .deadlock_pair import DeadlockPair
+from .early_release import EarlyReleaseBuffer
+from .hold_forever import HoldForever
+from .over_synchronized import OverSynchronized
+from .pc_if_instead_of_while import IfGuardProducerConsumer
+from .pc_no_notify import NoNotifyProducerConsumer
+from .pc_no_wait import NoWaitProducerConsumer
+from .pc_notify_single import SingleNotifyProducerConsumer
+from .pc_spurious_wait import SpuriousWaitProducerConsumer
+from .rw_reader_preference import ReaderPreferenceRW
+from .unsync_counter import UnsyncCounter
+
+
+@dataclass(frozen=True)
+class FaultInfo:
+    """Metadata of one seeded defect."""
+
+    component: Type[MonitorComponent]
+    seeded_class: FailureClass
+    predicted_techniques: Tuple[DetectionTechnique, ...]
+    description: str
+
+
+#: component class name -> fault metadata, one entry per failure class
+#: (EF-T2 is unrepresentable by construction: the paper assumes a correct
+#: JVM, and our kernel *is* the JVM — it cannot erroneously grant a lock).
+FAULT_REGISTRY: Dict[str, FaultInfo] = {
+    "UnsyncCounter": FaultInfo(
+        UnsyncCounter,
+        FailureClass.FF_T1,
+        (DetectionTechnique.STATIC_ANALYSIS,),
+        "increment reads/writes shared state with no synchronized block",
+    ),
+    "OverSynchronized": FaultInfo(
+        OverSynchronized,
+        FailureClass.EF_T1,
+        (DetectionTechnique.STATIC_ANALYSIS,),
+        "synchronizes a method that touches no shared state",
+    ),
+    "DeadlockPair": FaultInfo(
+        DeadlockPair,
+        FailureClass.FF_T2,
+        (DetectionTechnique.STATIC_AND_DYNAMIC,),
+        "acquires two monitors in caller order; opposite calls deadlock",
+    ),
+    "ReaderPreferenceRW": FaultInfo(
+        ReaderPreferenceRW,
+        FailureClass.FF_T2,
+        (DetectionTechnique.STATIC_AND_DYNAMIC,),
+        "reader-preference lock: overlapping readers starve the writer",
+    ),
+    "NoWaitProducerConsumer": FaultInfo(
+        NoWaitProducerConsumer,
+        FailureClass.FF_T3,
+        (DetectionTechnique.COMPLETION_TIME,),
+        "receive omits the guarded wait and runs on an empty buffer",
+    ),
+    "SpuriousWaitProducerConsumer": FaultInfo(
+        SpuriousWaitProducerConsumer,
+        FailureClass.EF_T3,
+        (DetectionTechnique.COMPLETION_TIME,),
+        "receive waits once more after consuming, with no notifier left",
+    ),
+    "HoldForever": FaultInfo(
+        HoldForever,
+        FailureClass.FF_T4,
+        (DetectionTechnique.COMPLETION_TIME,),
+        "compute() loops forever inside the critical section",
+    ),
+    "EarlyReleaseBuffer": FaultInfo(
+        EarlyReleaseBuffer,
+        FailureClass.EF_T4,
+        (
+            DetectionTechnique.STATIC_ANALYSIS,
+            DetectionTechnique.COMPLETION_TIME,
+        ),
+        "releases the monitor mid-method and mutates state unprotected",
+    ),
+    "NoNotifyProducerConsumer": FaultInfo(
+        NoNotifyProducerConsumer,
+        FailureClass.FF_T5,
+        (DetectionTechnique.COMPLETION_TIME,),
+        "send never notifies, leaving waiting consumers suspended",
+    ),
+    "SingleNotifyProducerConsumer": FaultInfo(
+        SingleNotifyProducerConsumer,
+        FailureClass.FF_T5,
+        (DetectionTechnique.COMPLETION_TIME,),
+        "send/receive use notify() although waiters of both kinds exist",
+    ),
+    "IfGuardProducerConsumer": FaultInfo(
+        IfGuardProducerConsumer,
+        FailureClass.EF_T5,
+        (DetectionTechnique.COMPLETION_TIME,),
+        "guards wait with `if` instead of `while`; a premature wake-up "
+        "re-enters the critical section with the guard violated",
+    ),
+}
+
+__all__ = [
+    "DeadlockPair",
+    "EarlyReleaseBuffer",
+    "FAULT_REGISTRY",
+    "FaultInfo",
+    "HoldForever",
+    "IfGuardProducerConsumer",
+    "NoNotifyProducerConsumer",
+    "NoWaitProducerConsumer",
+    "OverSynchronized",
+    "ReaderPreferenceRW",
+    "SingleNotifyProducerConsumer",
+    "SpuriousWaitProducerConsumer",
+    "UnsyncCounter",
+]

@@ -1,0 +1,35 @@
+"""FF-T2 / FF-T4: deadlock through opposite-order nested locking.
+
+``transfer`` acquires the two account monitors in *caller* order, so two
+concurrent transfers in opposite directions can each hold one lock while
+requesting the other — the circular wait of Section 3.1's nested-lock
+discussion.  Contrast :class:`repro.components.nested_locks.OrderedPair`,
+which sorts the monitors first.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.vm import Acquire, MonitorComponent, Release, Yield, unsynchronized
+
+__all__ = ["DeadlockPair"]
+
+
+class DeadlockPair(MonitorComponent):
+    """Transfers that lock accounts in argument order (deadlock-prone)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    @unsynchronized
+    def transfer(self, source: Any, target: Any, amount: int):
+        """Move ``amount`` holding both account locks — acquired in the
+        order given, which is the seeded defect."""
+        yield Acquire(source)
+        yield Yield()  # window for the opposite transfer to take its first lock
+        yield Acquire(target)
+        source.balance = source.balance - amount
+        target.balance = target.balance + amount
+        yield Release(target)
+        yield Release(source)

@@ -1,0 +1,37 @@
+"""EF-T4: the object lock is released prematurely.
+
+``put`` releases the monitor in the middle of its critical section and
+reacquires it before returning, leaving the read-modify-write of ``count``
+unprotected in between (Table 1 EF-T4: *"Thread exits and subsequent
+statements may access shared resources."*).  The lockset detector sees
+``count`` written with an empty lockset; deterministic tests see lost
+updates.
+"""
+
+from __future__ import annotations
+
+from repro.vm import Acquire, MonitorComponent, Release, Yield, synchronized
+
+__all__ = ["EarlyReleaseBuffer"]
+
+
+class EarlyReleaseBuffer(MonitorComponent):
+    """A counter-like buffer whose put drops the lock mid-update."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.count = 0
+
+    @synchronized
+    def put(self):
+        """Seeded EF-T4: lock released before the update is complete."""
+        current = self.count
+        yield Release(self)   # premature release (leaving the block too early)
+        yield Yield()         # another thread may now interleave
+        self.count = current + 1  # subsequent statement accesses shared state
+        yield Acquire(self)   # reacquire so the method wrapper stays balanced
+        return self.count
+
+    @synchronized
+    def get_count(self):
+        return self.count

@@ -1,0 +1,35 @@
+"""FF-T4: a thread that never releases the object lock.
+
+``compute`` spins in an endless loop inside the critical section (Table 1
+FF-T4: *"Thread is either in endless loop, waiting for blocking input ...
+Thread never completes.  Other threads may be blocked if they are waiting
+for the lock."*).  Every later call on the component blocks forever; the
+run ends at the kernel's step budget — the VM's rendering of "check
+completion time of call" timing out.
+"""
+
+from __future__ import annotations
+
+from repro.vm import MonitorComponent, Yield, synchronized
+
+__all__ = ["HoldForever"]
+
+
+class HoldForever(MonitorComponent):
+    """A component whose compute() never leaves its critical section."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.progress = 0
+
+    @synchronized
+    def compute(self):
+        """Seeded FF-T4: the loop condition can never become false."""
+        while True:
+            self.progress = self.progress + 1
+            yield Yield()
+
+    @synchronized
+    def read_progress(self):
+        """Blocks forever once compute() is running."""
+        return self.progress

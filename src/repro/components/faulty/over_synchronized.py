@@ -1,0 +1,35 @@
+"""EF-T1: unnecessary synchronization.
+
+``scale`` locks the monitor although it touches no shared state — the
+thread "accesses [a] critical section" it never needed (Table 1, EF-T1).
+Not a correctness failure, but detectable statically: the method reads and
+writes only locals and arguments.
+"""
+
+from __future__ import annotations
+
+from repro.vm import MonitorComponent, synchronized
+
+__all__ = ["OverSynchronized"]
+
+
+class OverSynchronized(MonitorComponent):
+    """A component with a pointlessly synchronized pure function."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.log_count = 0
+
+    @synchronized
+    def scale(self, values, factor):
+        """Pure computation on its arguments — the lock buys nothing."""
+        result = []
+        for value in values:
+            result.append(value * factor)
+        return result
+
+    @synchronized
+    def record(self):
+        """Correctly synchronized: mutates shared state."""
+        self.log_count = self.log_count + 1
+        return self.log_count

@@ -1,0 +1,46 @@
+"""EF-T5: premature re-entry into the critical section.
+
+The wait guard uses ``if`` instead of ``while``: a thread woken while its
+guard still holds (because another waiter consumed the state first, or by
+a spurious wakeup) proceeds anyway — Table 1's EF-T5 consequence *"Thread
+prematurely re-enters the critical section"*.  With two consumers and one
+item, the second consumer can read an empty buffer.
+"""
+
+from __future__ import annotations
+
+from repro.vm import MonitorComponent, NotifyAll, Wait, synchronized
+
+__all__ = ["IfGuardProducerConsumer"]
+
+
+class IfGuardProducerConsumer(MonitorComponent):
+    """Producer-consumer with the classic if-instead-of-while bug."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.contents = ""
+        self.total_length = 0
+        self.cur_pos = 0
+
+    @synchronized
+    def receive(self):
+        if self.cur_pos == 0:  # seeded EF-T5: guard not re-checked on wake-up
+            yield Wait()
+        if self.cur_pos == 0:
+            # woke with the guard still violated; reads stale/empty state
+            y = "?"
+        else:
+            y = self.contents[self.total_length - self.cur_pos]
+            self.cur_pos = self.cur_pos - 1
+        yield NotifyAll()
+        return y
+
+    @synchronized
+    def send(self, x: str):
+        if self.cur_pos > 0:  # seeded EF-T5 (same bug, producer side)
+            yield Wait()
+        self.contents = x
+        self.total_length = len(x)
+        self.cur_pos = self.total_length
+        yield NotifyAll()

@@ -1,0 +1,42 @@
+"""FF-T5: the waiting thread is never notified.
+
+``send`` stores its string but never calls ``notifyAll``: a consumer that
+arrived first and went to sleep stays in the wait set forever (Table 1
+FF-T5: *"No other thread calls notify whilst this thread is in the wait
+state ... Thread is permanently suspended."*).
+"""
+
+from __future__ import annotations
+
+from repro.vm import MonitorComponent, NotifyAll, Wait, synchronized
+
+__all__ = ["NoNotifyProducerConsumer"]
+
+
+class NoNotifyProducerConsumer(MonitorComponent):
+    """Producer-consumer whose send forgot to notify."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.contents = ""
+        self.total_length = 0
+        self.cur_pos = 0
+
+    @synchronized
+    def receive(self):
+        while self.cur_pos == 0:
+            yield Wait()
+        y = self.contents[self.total_length - self.cur_pos]
+        self.cur_pos = self.cur_pos - 1
+        yield NotifyAll()
+        return y
+
+    @synchronized
+    def send(self, x: str):
+        """Seeded FF-T5: the notifyAll at the end was dropped."""
+        while self.cur_pos > 0:
+            yield Wait()
+        self.contents = x
+        self.total_length = len(x)
+        self.cur_pos = self.total_length
+        # (missing) yield NotifyAll()

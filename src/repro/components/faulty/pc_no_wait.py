@@ -1,0 +1,46 @@
+"""FF-T3: missing call to wait.
+
+``receive`` omits the guarded wait entirely: on an empty buffer it
+"erroneously execute[s] in a critical section" (Table 1, FF-T3), reading
+garbage and completing *earlier* than the deterministic test expects —
+exactly the symptom the completion-time check catches.
+"""
+
+from __future__ import annotations
+
+from repro.vm import MonitorComponent, NotifyAll, Wait, synchronized
+
+__all__ = ["NoWaitProducerConsumer"]
+
+
+class NoWaitProducerConsumer(MonitorComponent):
+    """Producer-consumer whose receive forgot to wait."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.contents = ""
+        self.total_length = 0
+        self.cur_pos = 0
+
+    @synchronized
+    def receive(self):
+        """Seeded FF-T3: no ``while cur_pos == 0: wait()`` guard."""
+        if self.cur_pos == 0:
+            # proceeds anyway — the wait that should be here was dropped
+            self.cur_pos = 1
+            self.contents = "?"
+            self.total_length = 1
+        y = self.contents[self.total_length - self.cur_pos]
+        self.cur_pos = self.cur_pos - 1
+        yield NotifyAll()
+        return y
+
+    @synchronized
+    def send(self, x: str):
+        """Correct send (as in the paper's Figure 2)."""
+        while self.cur_pos > 0:
+            yield Wait()
+        self.contents = x
+        self.total_length = len(x)
+        self.cur_pos = self.total_length
+        yield NotifyAll()

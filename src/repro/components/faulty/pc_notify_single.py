@@ -1,0 +1,44 @@
+"""FF-T5 (unfair/insufficient notify): ``notify`` where ``notifyAll`` is
+required.
+
+Section 5.5.1: FF-T5 *"also occurs when a notify is called rather than a
+notifyAll, there is more than one thread continuously in the wait state,
+and one particular thread is never selected for notification."*  Here both
+producers and consumers share one wait set; a single ``notify`` can wake a
+thread of the *wrong kind* (e.g. a producer waking another producer),
+which re-waits, losing the signal — some waiter is never served.
+"""
+
+from __future__ import annotations
+
+from repro.vm import MonitorComponent, Notify, Wait, synchronized
+
+__all__ = ["SingleNotifyProducerConsumer"]
+
+
+class SingleNotifyProducerConsumer(MonitorComponent):
+    """Producer-consumer using notify() on a mixed wait set."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.contents = ""
+        self.total_length = 0
+        self.cur_pos = 0
+
+    @synchronized
+    def receive(self):
+        while self.cur_pos == 0:
+            yield Wait()
+        y = self.contents[self.total_length - self.cur_pos]
+        self.cur_pos = self.cur_pos - 1
+        yield Notify()  # seeded FF-T5: may wake a waiter of the wrong kind
+        return y
+
+    @synchronized
+    def send(self, x: str):
+        while self.cur_pos > 0:
+            yield Wait()
+        self.contents = x
+        self.total_length = len(x)
+        self.cur_pos = self.total_length
+        yield Notify()  # seeded FF-T5: may wake a waiter of the wrong kind

@@ -1,0 +1,43 @@
+"""EF-T3: an erroneous call to wait.
+
+After consuming its character, ``receive`` waits once more "for good
+measure".  Table 1's EF-T3 row: *"A thread may suspend indefinitely if no
+other thread exists to notify it.  The object lock is released."*  In the
+single-producer/single-consumer test the extra wait is never notified and
+the receive call never completes.
+"""
+
+from __future__ import annotations
+
+from repro.vm import MonitorComponent, NotifyAll, Wait, synchronized
+
+__all__ = ["SpuriousWaitProducerConsumer"]
+
+
+class SpuriousWaitProducerConsumer(MonitorComponent):
+    """Producer-consumer whose receive waits when it should not."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.contents = ""
+        self.total_length = 0
+        self.cur_pos = 0
+
+    @synchronized
+    def receive(self):
+        while self.cur_pos == 0:
+            yield Wait()
+        y = self.contents[self.total_length - self.cur_pos]
+        self.cur_pos = self.cur_pos - 1
+        yield Wait()  # seeded EF-T3: an undesired wait before notifying
+        yield NotifyAll()
+        return y
+
+    @synchronized
+    def send(self, x: str):
+        while self.cur_pos > 0:
+            yield Wait()
+        self.contents = x
+        self.total_length = len(x)
+        self.cur_pos = self.total_length
+        yield NotifyAll()

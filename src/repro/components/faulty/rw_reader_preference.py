@@ -1,0 +1,49 @@
+"""FF-T2 (liveness): writer starvation in a reader-preference lock.
+
+The correct :class:`~repro.components.readers_writers.ReadersWriters`
+gives writers preference (`waiting_writers` blocks new readers).  This
+variant omits that check: as long as readers keep overlapping, a waiting
+writer's guard (`active_readers > 0`) never becomes false at its wake-ups
+— "one or more threads repeatedly acquire the lock being requested by
+this thread" (Table 1, FF-T2, way 2), at the resource level rather than
+the monitor level.
+"""
+
+from __future__ import annotations
+
+from repro.vm import MonitorComponent, NotifyAll, Wait, synchronized
+
+__all__ = ["ReaderPreferenceRW"]
+
+
+class ReaderPreferenceRW(MonitorComponent):
+    """Readers-writers without writer preference (writers can starve)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.active_readers = 0
+        self.active_writers = 0
+
+    @synchronized
+    def start_read(self):
+        """Seeded defect: ignores waiting writers entirely."""
+        while self.active_writers > 0:
+            yield Wait()
+        self.active_readers = self.active_readers + 1
+
+    @synchronized
+    def end_read(self):
+        self.active_readers = self.active_readers - 1
+        if self.active_readers == 0:
+            yield NotifyAll()
+
+    @synchronized
+    def start_write(self):
+        while self.active_readers > 0 or self.active_writers > 0:
+            yield Wait()
+        self.active_writers = 1
+
+    @synchronized
+    def end_write(self):
+        self.active_writers = 0
+        yield NotifyAll()

@@ -1,0 +1,35 @@
+"""FF-T1: shared state accessed without synchronization (data race).
+
+``increment`` performs the classic read-modify-write with an explicit
+scheduling point between the read and the write.  Two incrementing
+threads can interleave at that point and lose an update — the
+"interference" consequence of Table 1's FF-T1 row.  The lockset detector
+flags the race on ``value`` regardless of whether the loss manifests.
+"""
+
+from __future__ import annotations
+
+from repro.vm import MonitorComponent, Yield, synchronized, unsynchronized
+
+__all__ = ["UnsyncCounter"]
+
+
+class UnsyncCounter(MonitorComponent):
+    """A counter whose increment forgot the synchronized block."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.value = 0
+
+    @unsynchronized
+    def increment(self):
+        """Read-modify-write with no lock (the seeded FF-T1 defect)."""
+        current = self.value
+        yield Yield()  # scheduling point inside the unprotected section
+        self.value = current + 1
+        return self.value
+
+    @synchronized
+    def get(self):
+        """Correctly synchronized read."""
+        return self.value

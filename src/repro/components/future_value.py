@@ -1,0 +1,83 @@
+"""A single-assignment future and a rendezvous exchanger."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.vm import MonitorComponent, NotifyAll, Wait, synchronized
+
+__all__ = ["FutureValue", "Exchanger"]
+
+
+class FutureValue(MonitorComponent):
+    """A write-once cell: ``get`` blocks until ``set_value`` is called.
+
+    Setting twice raises — the future is single-assignment, and the error
+    surfaces inside the monitor, exercising the VM's exception-unwinding
+    release path."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.resolved = False
+        self.value = None
+
+    @synchronized
+    def set_value(self, value: Any):
+        if self.resolved:
+            raise ValueError("future already resolved")
+        self.value = value
+        self.resolved = True
+        yield NotifyAll()
+
+    @synchronized
+    def get(self):
+        while not self.resolved:
+            yield Wait()
+        return self.value
+
+    @synchronized
+    def is_resolved(self):
+        return self.resolved
+
+
+class Exchanger(MonitorComponent):
+    """A two-party rendezvous: each ``exchange(x)`` blocks until a partner
+    arrives, then each receives the other's item (java.util.concurrent's
+    Exchanger in monitor form).
+
+    The slot protocol: the first arrival deposits its item and waits; the
+    second takes it, deposits its own, wakes the first, and the pair
+    completes.  A generation flag prevents a third thread from pairing
+    with a completed exchange (the premature-re-entry hazard)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.slot_full = False
+        self.offered = None
+        self.reply = None
+        self.reply_ready = False
+
+    @synchronized
+    def exchange(self, item: Any):
+        while self.reply_ready:
+            # a previous pair is still completing: wait for a clean slot
+            yield Wait()
+        if not self.slot_full:
+            # first of the pair
+            self.offered = item
+            self.slot_full = True
+            while not self.reply_ready:
+                yield Wait()
+            received = self.reply
+            self.reply_ready = False
+            self.reply = None
+            yield NotifyAll()
+            return received
+        # second of the pair
+        received = self.offered
+        self.offered = None
+        self.slot_full = False
+        self.reply = item
+        self.reply_ready = True
+        yield NotifyAll()
+        return received

@@ -1,0 +1,37 @@
+"""A one-shot countdown latch monitor component."""
+
+from __future__ import annotations
+
+from repro.vm import MonitorComponent, NotifyAll, Wait, synchronized
+
+__all__ = ["CountDownLatch"]
+
+
+class CountDownLatch(MonitorComponent):
+    """Threads ``await_zero`` until ``count_down`` has been called
+    ``count`` times.  One-shot: once open, it stays open."""
+
+    def __init__(self, count: int) -> None:
+        super().__init__()
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self.count = count
+
+    @synchronized
+    def count_down(self):
+        """Decrement the count; opens the latch (wakes all) at zero."""
+        if self.count > 0:
+            self.count = self.count - 1
+            if self.count == 0:
+                yield NotifyAll()
+
+    @synchronized
+    def await_zero(self):
+        """Block until the count reaches zero."""
+        while self.count > 0:
+            yield Wait()
+
+    @synchronized
+    def get_count(self):
+        """Remaining count."""
+        return self.count

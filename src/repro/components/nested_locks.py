@@ -1,0 +1,57 @@
+"""Nested-lock components (paper Section 3.1).
+
+The paper's two-lock example: *"A thread can lock more than one object ...
+Both locks are held whilst in the inner-most synchronized block."*  These
+components exercise multi-monitor acquisition, which feeds the lock-order
+graph detector: :class:`OrderedPair` always locks in a global order (safe);
+the faulty counterpart in ``repro.components.faulty.deadlock_pair`` locks
+in caller order (deadlock-prone).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.vm import Acquire, MonitorComponent, Release, synchronized, unsynchronized
+
+__all__ = ["Account", "OrderedPair"]
+
+
+class Account(MonitorComponent):
+    """A bank account; balance mutations must hold the account's monitor."""
+
+    def __init__(self, balance: int = 0) -> None:
+        super().__init__()
+        self.balance = balance
+
+    @synchronized
+    def deposit(self, amount: int):
+        self.balance = self.balance + amount
+
+    @synchronized
+    def withdraw(self, amount: int):
+        self.balance = self.balance - amount
+
+    @synchronized
+    def get_balance(self):
+        return self.balance
+
+
+class OrderedPair(MonitorComponent):
+    """Transfers between two accounts, always locking in a fixed global
+    order (by registered name) — the standard deadlock-free discipline."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    @unsynchronized
+    def transfer(self, source: Any, target: Any, amount: int):
+        """Move ``amount`` from ``source`` to ``target`` atomically with
+        respect to both accounts, acquiring their monitors in name order."""
+        ordered = sorted((source, target), key=lambda a: a.vm_name)
+        yield Acquire(ordered[0])
+        yield Acquire(ordered[1])
+        source.balance = source.balance - amount
+        target.balance = target.balance + amount
+        yield Release(ordered[1])
+        yield Release(ordered[0])

@@ -1,0 +1,56 @@
+"""The paper's Figure-2 producer-consumer monitor, ported line-for-line.
+
+The asymmetric Producer-Consumer monitor (the Java equivalent of Brinch
+Hansen's Concurrent-Pascal program): ``send`` places a *string* of
+characters into the buffer; ``receive`` retrieves it one *character* at a
+time.  A consumer waits while the buffer is empty; a producer waits while
+it is nonempty.
+
+Monitor state (names follow the paper):
+
+* ``contents`` — the stored string;
+* ``cur_pos`` — characters of ``contents`` not yet received;
+* ``total_length`` — length of ``contents``.
+"""
+
+from __future__ import annotations
+
+from repro.vm import MonitorComponent, NotifyAll, Wait, synchronized
+
+__all__ = ["ProducerConsumer"]
+
+
+class ProducerConsumer(MonitorComponent):
+    """Asymmetric producer-consumer monitor (paper Figure 2)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.contents = ""
+        self.total_length = 0
+        self.cur_pos = 0
+
+    @synchronized
+    def receive(self):
+        """Retrieve a single character; waits while no character is available."""
+        # wait if no character is available
+        while self.cur_pos == 0:
+            yield Wait()
+        # retrieve character
+        y = self.contents[self.total_length - self.cur_pos]
+        self.cur_pos = self.cur_pos - 1
+        # notify blocked send/receive calls
+        yield NotifyAll()
+        return y
+
+    @synchronized
+    def send(self, x: str):
+        """Store a string of characters; waits while characters remain."""
+        # wait if there are more characters
+        while self.cur_pos > 0:
+            yield Wait()
+        # store string
+        self.contents = x
+        self.total_length = len(x)
+        self.cur_pos = self.total_length
+        # notify blocked send/receive calls
+        yield NotifyAll()

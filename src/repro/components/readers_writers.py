@@ -1,0 +1,52 @@
+"""A readers-writers monitor (writer-preference variant).
+
+Multiple readers may hold the resource simultaneously; a writer needs
+exclusive access.  Writers are given preference: arriving writers block
+new readers, the classic recipe whose *reader-starvation-free* property
+the starvation analyzer can probe.
+"""
+
+from __future__ import annotations
+
+from repro.vm import MonitorComponent, NotifyAll, Wait, synchronized
+
+__all__ = ["ReadersWriters"]
+
+
+class ReadersWriters(MonitorComponent):
+    """Monitor guarding a shared resource for readers and writers."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.active_readers = 0
+        self.active_writers = 0
+        self.waiting_writers = 0
+
+    @synchronized
+    def start_read(self):
+        """Block until no writer is active or waiting, then register."""
+        while self.active_writers > 0 or self.waiting_writers > 0:
+            yield Wait()
+        self.active_readers = self.active_readers + 1
+
+    @synchronized
+    def end_read(self):
+        """Deregister a reader; wake blocked writers when the last leaves."""
+        self.active_readers = self.active_readers - 1
+        if self.active_readers == 0:
+            yield NotifyAll()
+
+    @synchronized
+    def start_write(self):
+        """Block until the resource is completely free, then claim it."""
+        self.waiting_writers = self.waiting_writers + 1
+        while self.active_readers > 0 or self.active_writers > 0:
+            yield Wait()
+        self.waiting_writers = self.waiting_writers - 1
+        self.active_writers = 1
+
+    @synchronized
+    def end_write(self):
+        """Release exclusive access and wake everyone."""
+        self.active_writers = 0
+        yield NotifyAll()

@@ -1,0 +1,49 @@
+"""A counting semaphore built as a monitor component."""
+
+from __future__ import annotations
+
+from repro.vm import MonitorComponent, Notify, NotifyAll, Wait, synchronized
+
+__all__ = ["Semaphore"]
+
+
+class Semaphore(MonitorComponent):
+    """Counting semaphore: ``acquire`` blocks while no permits remain.
+
+    ``release`` uses single ``notify`` deliberately: every waiter waits on
+    the same condition (permits available) and one release satisfies
+    exactly one waiter, so a single wake is sufficient *and* efficient —
+    the textbook situation where ``notify`` is correct.
+    """
+
+    def __init__(self, permits: int = 1) -> None:
+        super().__init__()
+        if permits < 0:
+            raise ValueError("permits must be >= 0")
+        self.permits = permits
+
+    @synchronized
+    def acquire(self):
+        """Take one permit; waits until one is available."""
+        while self.permits == 0:
+            yield Wait()
+        self.permits = self.permits - 1
+
+    @synchronized
+    def release(self):
+        """Return one permit and wake one waiter."""
+        self.permits = self.permits + 1
+        yield Notify()
+
+    @synchronized
+    def try_acquire(self):
+        """Non-blocking acquire; returns True on success."""
+        if self.permits > 0:
+            self.permits = self.permits - 1
+            return True
+        return False
+
+    @synchronized
+    def available(self):
+        """Current permit count."""
+        return self.permits

@@ -1,0 +1,57 @@
+"""A shut-down-able task queue (the core of a thread pool).
+
+Workers loop on ``take``; ``shutdown`` wakes everyone and ``take`` then
+returns ``None`` once drained — the poison-pill-free shutdown protocol.
+Exercises a guard with *two* exit conditions (item available OR shutting
+down), whose CoFG differs from the single-guard monitors: the wait loop
+has two distinct false-exits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.vm import MonitorComponent, NotifyAll, Wait, synchronized
+
+__all__ = ["TaskQueue"]
+
+
+class TaskQueue(MonitorComponent):
+    """FIFO task queue with cooperative shutdown."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.tasks: List[Any] = []
+        self.closed = False
+
+    @synchronized
+    def put(self, task: Any):
+        """Enqueue a task; rejected after shutdown."""
+        if self.closed:
+            raise RuntimeError("queue is shut down")
+        self.tasks = self.tasks + [task]
+        yield NotifyAll()
+
+    @synchronized
+    def take(self):
+        """Dequeue the next task, waiting while empty; returns ``None``
+        when the queue is shut down and drained."""
+        while len(self.tasks) == 0 and not self.closed:
+            yield Wait()
+        if len(self.tasks) == 0:
+            return None
+        task = self.tasks[0]
+        self.tasks = self.tasks[1:]
+        yield NotifyAll()
+        return task
+
+    @synchronized
+    def shutdown(self):
+        """Close the queue and release all waiting workers."""
+        self.closed = True
+        yield NotifyAll()
+
+    @synchronized
+    def pending(self):
+        """Tasks enqueued but not yet taken."""
+        return len(self.tasks)

@@ -1,0 +1,24 @@
+"""CoFG arc-coverage measurement (paper Section 6).
+
+Public API::
+
+    from repro.coverage import CoverageTracker, CoverageMatrix
+"""
+
+from .matrix import CoverageMatrix
+from .tracker import (
+    ArcHit,
+    CallPath,
+    CoverageAnomaly,
+    CoverageTracker,
+    MethodCoverage,
+)
+
+__all__ = [
+    "ArcHit",
+    "CallPath",
+    "CoverageAnomaly",
+    "CoverageMatrix",
+    "CoverageTracker",
+    "MethodCoverage",
+]

@@ -1,0 +1,86 @@
+"""Coverage matrices: arc coverage across many runs / test sequences.
+
+Used by the exploration-cost study (Ext-B): rows are runs (e.g. one per
+random-schedule seed or one per generated test sequence), columns are CoFG
+arcs, entries are hit counts.  The matrix answers questions like "how many
+random schedules until every arc is covered?" and "which arcs are rare?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.model import CoFG
+
+from .tracker import CoverageTracker
+
+__all__ = ["CoverageMatrix"]
+
+
+@dataclass
+class CoverageMatrix:
+    """Hit counts of every arc for every run.
+
+    Build incrementally with :meth:`add_run`; arcs are fixed at
+    construction from the supplied CoFGs.
+    """
+
+    cofgs: Dict[str, CoFG]
+    arc_keys: List[Tuple[str, str, str]] = field(default_factory=list)
+    rows: List[np.ndarray] = field(default_factory=list)
+    labels: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.arc_keys:
+            for method, cofg in self.cofgs.items():
+                for arc in cofg.arcs:
+                    self.arc_keys.append((method, arc.src.name, arc.dst.name))
+
+    def add_run(self, tracker: CoverageTracker, label: str = "") -> None:
+        """Append one run's hit counts (from a fed tracker)."""
+        row = np.zeros(len(self.arc_keys), dtype=np.int64)
+        for i, (method, src, dst) in enumerate(self.arc_keys):
+            coverage = tracker.methods.get(method)
+            if coverage is not None:
+                row[i] = coverage.hits.get((src, dst), 0)
+        self.rows.append(row)
+        self.labels.append(label or f"run{len(self.rows)}")
+
+    # -- queries -------------------------------------------------------------
+
+    def as_array(self) -> np.ndarray:
+        """(runs x arcs) hit-count matrix."""
+        if not self.rows:
+            return np.zeros((0, len(self.arc_keys)), dtype=np.int64)
+        return np.vstack(self.rows)
+
+    def cumulative_coverage(self) -> np.ndarray:
+        """Fraction of arcs covered by the union of the first k runs,
+        for k = 1..n (the saturation curve of the exploration study)."""
+        matrix = self.as_array()
+        if matrix.size == 0:
+            return np.zeros(0)
+        covered = (np.cumsum(matrix > 0, axis=0) > 0)
+        return covered.sum(axis=1) / matrix.shape[1]
+
+    def runs_to_full_coverage(self) -> Optional[int]:
+        """Smallest k with full union coverage after k runs, or None."""
+        curve = self.cumulative_coverage()
+        full = np.nonzero(curve >= 1.0)[0]
+        return int(full[0]) + 1 if full.size else None
+
+    def arc_hit_rates(self) -> np.ndarray:
+        """Per-arc fraction of runs that covered the arc (rarity measure)."""
+        matrix = self.as_array()
+        if matrix.shape[0] == 0:
+            return np.zeros(len(self.arc_keys))
+        return (matrix > 0).mean(axis=0)
+
+    def rarest_arcs(self, k: int = 3) -> List[Tuple[Tuple[str, str, str], float]]:
+        """The k arcs covered by the fewest runs, with their hit rates."""
+        rates = self.arc_hit_rates()
+        order = np.argsort(rates)[:k]
+        return [(self.arc_keys[i], float(rates[i])) for i in order]

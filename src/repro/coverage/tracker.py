@@ -1,0 +1,228 @@
+"""CoFG arc-coverage measurement over VM traces (paper Section 6).
+
+The paper's test-selection criterion is: *construct test sequences that
+cover the arcs of the CoFGs*.  This module measures that coverage: given
+the static CoFGs of a component and an execution trace, it maps each
+component call to the path it took through its method's CoFG and counts
+arc hits.
+
+The mapping uses source lines: every runtime wait/notify event carries the
+line of the ``yield`` that produced it (captured by the kernel from the
+generator frame), and every static CoFG node carries the line of the
+statement it was built from — the same line, because both come from the
+same source file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.model import CoFG, CoFGArc, CoFGNode, NodeKind
+from repro.vm.events import Event, EventKind
+from repro.vm.trace import CallRecord, Trace
+
+__all__ = ["ArcHit", "CallPath", "CoverageAnomaly", "MethodCoverage", "CoverageTracker"]
+
+_EVENT_NODE_KIND: Dict[EventKind, NodeKind] = {
+    EventKind.MONITOR_WAIT: NodeKind.WAIT,
+    EventKind.NOTIFY: NodeKind.NOTIFY,
+    EventKind.NOTIFY_ALL: NodeKind.NOTIFY_ALL,
+    EventKind.YIELD: NodeKind.YIELD,
+}
+
+
+@dataclass(frozen=True)
+class ArcHit:
+    """One traversal of a CoFG arc by one call."""
+
+    arc: CoFGArc
+    thread: str
+    call_begin_seq: int
+
+
+@dataclass(frozen=True)
+class CoverageAnomaly:
+    """A dynamic step that does not match any static arc — either the
+    static analysis missed a region or the component behaved outside its
+    analysed control flow (e.g. a monkey-patched mutant)."""
+
+    method: str
+    thread: str
+    src: str
+    dst: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"unmatched dynamic arc {self.src} -> {self.dst} in {self.method} "
+            f"(thread {self.thread}){': ' + self.detail if self.detail else ''}"
+        )
+
+
+@dataclass(frozen=True)
+class CallPath:
+    """The CoFG node path one call took (including synthetic start/end)."""
+
+    record: CallRecord
+    nodes: Tuple[str, ...]
+    completed: bool
+
+
+@dataclass
+class MethodCoverage:
+    """Arc-coverage state of one method's CoFG."""
+
+    cofg: CoFG
+    hits: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for arc in self.cofg.arcs:
+            self.hits.setdefault((arc.src.name, arc.dst.name), 0)
+
+    @property
+    def total_arcs(self) -> int:
+        return len(self.cofg.arcs)
+
+    @property
+    def covered_arcs(self) -> int:
+        return sum(1 for count in self.hits.values() if count > 0)
+
+    @property
+    def fraction(self) -> float:
+        return self.covered_arcs / self.total_arcs if self.total_arcs else 1.0
+
+    def uncovered(self) -> List[CoFGArc]:
+        return [
+            arc
+            for arc in self.cofg.arcs
+            if self.hits[(arc.src.name, arc.dst.name)] == 0
+        ]
+
+    def is_complete(self) -> bool:
+        return self.covered_arcs == self.total_arcs
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.cofg.component}.{self.cofg.method}: "
+            f"{self.covered_arcs}/{self.total_arcs} arcs "
+            f"({self.fraction:.0%})"
+        ]
+        for arc in self.cofg.arcs:
+            count = self.hits[(arc.src.name, arc.dst.name)]
+            mark = "COVERED" if count else "UNCOVERED"
+            lines.append(f"  {mark:>9}  {arc.name}  x{count}")
+        return "\n".join(lines)
+
+
+class CoverageTracker:
+    """Accumulates CoFG arc coverage for one component across traces."""
+
+    def __init__(self, cofgs: Dict[str, CoFG]) -> None:
+        if not cofgs:
+            raise ValueError("no CoFGs supplied")
+        self.component = next(iter(cofgs.values())).component
+        self.methods: Dict[str, MethodCoverage] = {
+            name: MethodCoverage(cofg) for name, cofg in cofgs.items()
+        }
+        self.paths: List[CallPath] = []
+        self.anomalies: List[CoverageAnomaly] = []
+
+    # -- feeding ------------------------------------------------------------
+
+    def _node_for_event(self, cofg: CoFG, event: Event) -> Optional[CoFGNode]:
+        kind = _EVENT_NODE_KIND.get(event.kind)
+        if kind is None:
+            return None
+        line = event.detail.get("line")
+        if line is None:
+            return None
+        return cofg.node_at_line(kind, line)
+
+    def feed(self, trace: Trace) -> None:
+        """Measure coverage contributed by one trace."""
+        concurrency_events: Dict[str, List[Event]] = {}
+        for event in trace:
+            if event.kind in _EVENT_NODE_KIND and event.component == self.component:
+                concurrency_events.setdefault(event.thread, []).append(event)
+
+        for record in trace.call_records():
+            coverage = self.methods.get(record.method)
+            if coverage is None or record.component != self.component:
+                continue
+            events = [
+                e
+                for e in concurrency_events.get(record.thread, [])
+                if e.seq > record.begin_seq
+                and (record.end_seq is None or e.seq < record.end_seq)
+                and e.method == record.method
+            ]
+            node_names: List[str] = ["start"]
+            for event in events:
+                node = self._node_for_event(coverage.cofg, event)
+                if node is None:
+                    self.anomalies.append(
+                        CoverageAnomaly(
+                            method=record.method,
+                            thread=record.thread,
+                            src=node_names[-1],
+                            dst=f"{event.kind.value}@{event.detail.get('line')}",
+                            detail="no static node at this source line",
+                        )
+                    )
+                    continue
+                node_names.append(node.name)
+            if record.completed:
+                node_names.append("end")
+            path = CallPath(record, tuple(node_names), record.completed)
+            self.paths.append(path)
+            for src, dst in zip(node_names, node_names[1:]):
+                key = (src, dst)
+                if key in coverage.hits:
+                    coverage.hits[key] += 1
+                else:
+                    self.anomalies.append(
+                        CoverageAnomaly(
+                            method=record.method,
+                            thread=record.thread,
+                            src=src,
+                            dst=dst,
+                            detail="dynamic arc absent from static CoFG",
+                        )
+                    )
+
+    # -- results -------------------------------------------------------------
+
+    @property
+    def total_arcs(self) -> int:
+        return sum(m.total_arcs for m in self.methods.values())
+
+    @property
+    def covered_arcs(self) -> int:
+        return sum(m.covered_arcs for m in self.methods.values())
+
+    @property
+    def fraction(self) -> float:
+        return self.covered_arcs / self.total_arcs if self.total_arcs else 1.0
+
+    def is_complete(self) -> bool:
+        return all(m.is_complete() for m in self.methods.values())
+
+    def uncovered(self) -> Dict[str, List[CoFGArc]]:
+        return {
+            name: coverage.uncovered()
+            for name, coverage in self.methods.items()
+            if coverage.uncovered()
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"CoFG coverage for {self.component}: "
+            f"{self.covered_arcs}/{self.total_arcs} arcs ({self.fraction:.0%})"
+        ]
+        for coverage in self.methods.values():
+            lines.append(coverage.describe())
+        if self.anomalies:
+            lines.append("anomalies:")
+            lines.extend(f"  {a}" for a in self.anomalies)
+        return "\n".join(lines)

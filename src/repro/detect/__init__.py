@@ -1,0 +1,60 @@
+"""Dynamic concurrency-failure detectors.
+
+Public API::
+
+    from repro.detect import (
+        detect_races, LocksetDetector,            # FF-T1
+        detect_lock_cycles, build_lock_graph,     # FF-T2/FF-T4 potential
+        find_deadlock_cycle, reconstruct_final_state,  # actual deadlock
+        analyze_starvation,                       # FF-T2/FF-T5 fairness
+        Expectation, check_completion_times,      # the Table-1 oracle
+        analyze_run, DetectionReport,             # everything at once
+    )
+"""
+
+from .contention import ContentionReport, MonitorProfile, profile_contention
+from .completion import (
+    CompletionChecker,
+    Expectation,
+    Violation,
+    check_completion_times,
+)
+from .eraser import FieldState, LocksetDetector, RaceReport, detect_races
+from .lockgraph import (
+    LockOrderEdge,
+    PotentialDeadlock,
+    build_lock_graph,
+    detect_lock_cycles,
+)
+from .report import DetectionReport, analyze_run
+from .starvation import StarvationReport, analyze_starvation
+from .vectorclock import HbRace, VectorClock, detect_races_hb
+from .waitgraph import WaitForState, find_deadlock_cycle, reconstruct_final_state
+
+__all__ = [
+    "CompletionChecker",
+    "ContentionReport",
+    "MonitorProfile",
+    "DetectionReport",
+    "Expectation",
+    "FieldState",
+    "HbRace",
+    "LockOrderEdge",
+    "LocksetDetector",
+    "PotentialDeadlock",
+    "RaceReport",
+    "StarvationReport",
+    "VectorClock",
+    "Violation",
+    "WaitForState",
+    "analyze_run",
+    "analyze_starvation",
+    "build_lock_graph",
+    "check_completion_times",
+    "detect_lock_cycles",
+    "detect_races",
+    "detect_races_hb",
+    "profile_contention",
+    "find_deadlock_cycle",
+    "reconstruct_final_state",
+]

@@ -1,0 +1,190 @@
+"""Completion-time checking — the paper's central dynamic oracle.
+
+Six of the ten Table-1 rows say, in the Testing Notes column, *"Check
+completion time of call"*: under deterministic execution the tester knows
+at which abstract-clock time each component call must complete, so a call
+that completes early (FF-T3, EF-T5, EF-T4), late (EF-T3), or never
+(FF-T4, FF-T5, FF-T2) pins down the failure class.
+
+An expectation targets one call occurrence — ``(thread, component,
+method, occurrence)`` — and states either an exact clock time, an
+inclusive window, or that the call must never complete.  Return-value
+expectations ride along, since the same test drivers check outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.vm.events import EventKind
+from repro.vm.trace import CallRecord, Trace
+
+from repro.classify.symptoms import Symptom
+
+__all__ = ["UNSET", "Expectation", "Violation", "CompletionChecker", "check_completion_times"]
+
+_UNSET = object()
+
+#: Public sentinel for "no return-value expectation".
+UNSET = _UNSET
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """Expected completion behaviour of one call occurrence.
+
+    Attributes:
+        thread: name of the calling thread (``None`` matches any).
+        component / method: the call to match.
+        occurrence: 0-based index among the thread's matching calls.
+        at: exact abstract-clock completion time.
+        between: inclusive (lo, hi) clock window; overrides ``at``.
+        never: the call must NOT complete (e.g. the single-consumer
+            receive on an empty buffer must wait forever).
+        returns: expected return value (checked only if set).
+    """
+
+    component: str
+    method: str
+    thread: Optional[str] = None
+    occurrence: int = 0
+    at: Optional[int] = None
+    between: Optional[Tuple[int, int]] = None
+    never: bool = False
+    returns: Any = _UNSET
+
+    def window(self) -> Optional[Tuple[int, int]]:
+        if self.between is not None:
+            return self.between
+        if self.at is not None:
+            return (self.at, self.at)
+        return None
+
+    def describe(self) -> str:
+        who = self.thread or "<any>"
+        target = f"{who}:{self.component}.{self.method}[{self.occurrence}]"
+        if self.never:
+            return f"{target} must never complete"
+        window = self.window()
+        if window is None:
+            return f"{target} must complete (any time)"
+        lo, hi = window
+        when = f"at clock {lo}" if lo == hi else f"within clock [{lo}, {hi}]"
+        return f"{target} must complete {when}"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One completion-time (or return-value) violation."""
+
+    expectation: Expectation
+    symptom: Symptom
+    actual_clock: Optional[int]
+    call: Optional[CallRecord]
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.symptom.value}: {self.expectation.describe()} — {self.detail}"
+
+
+class CompletionChecker:
+    """Check a set of expectations against a trace."""
+
+    def __init__(self, expectations: Sequence[Expectation]) -> None:
+        self.expectations = list(expectations)
+
+    def _clock_at(self, trace: Trace, kernel_time: int) -> int:
+        clock = 0
+        for event in trace:
+            if event.time > kernel_time:
+                break
+            if event.kind is EventKind.CLOCK_TICK:
+                clock = event.detail.get("now", clock + 1)
+        return clock
+
+    def _match(self, trace: Trace, exp: Expectation) -> Optional[CallRecord]:
+        matching = [
+            r
+            for r in trace.call_records()
+            if r.component == exp.component
+            and r.method == exp.method
+            and (exp.thread is None or r.thread == exp.thread)
+        ]
+        if exp.occurrence < len(matching):
+            return matching[exp.occurrence]
+        return None
+
+    def check(self, trace: Trace) -> List[Violation]:
+        violations: List[Violation] = []
+        for exp in self.expectations:
+            call = self._match(trace, exp)
+            if call is None or not call.completed:
+                if not exp.never:
+                    symptom = (
+                        Symptom.PERMANENTLY_WAITING
+                        if call is not None
+                        else Symptom.NEVER_COMPLETES
+                    )
+                    detail = (
+                        "call never completed"
+                        if call is not None
+                        else "call never began"
+                    )
+                    violations.append(Violation(exp, symptom, None, call, detail))
+                continue
+            # The call completed.
+            if exp.never:
+                clock = self._clock_at(trace, call.end_time or 0)
+                violations.append(
+                    Violation(
+                        exp,
+                        Symptom.COMPLETED_EARLY,
+                        clock,
+                        call,
+                        f"expected never to complete, completed at clock {clock}",
+                    )
+                )
+                continue
+            window = exp.window()
+            clock = self._clock_at(trace, call.end_time or 0)
+            if window is not None:
+                lo, hi = window
+                if clock < lo:
+                    violations.append(
+                        Violation(
+                            exp,
+                            Symptom.COMPLETED_EARLY,
+                            clock,
+                            call,
+                            f"completed at clock {clock}, expected >= {lo}",
+                        )
+                    )
+                elif clock > hi:
+                    violations.append(
+                        Violation(
+                            exp,
+                            Symptom.COMPLETED_LATE,
+                            clock,
+                            call,
+                            f"completed at clock {clock}, expected <= {hi}",
+                        )
+                    )
+            if exp.returns is not _UNSET and call.result != exp.returns:
+                violations.append(
+                    Violation(
+                        exp,
+                        Symptom.DATA_RACE,
+                        clock,
+                        call,
+                        f"returned {call.result!r}, expected {exp.returns!r}",
+                    )
+                )
+        return violations
+
+
+def check_completion_times(
+    trace: Trace, expectations: Sequence[Expectation]
+) -> List[Violation]:
+    """Convenience wrapper around :class:`CompletionChecker`."""
+    return CompletionChecker(expectations).check(trace)

@@ -1,0 +1,109 @@
+"""Lock-order-graph deadlock detection (the LockTree/Goodlock family the
+paper cites via JPF's runtime analysis).
+
+FF-T2/FF-T4 deadlocks through nested locking (Section 3.1's two-lock
+example) leave a static footprint even in runs that happen not to
+deadlock: if thread 1 ever acquires ``B`` while holding ``A`` and thread 2
+acquires ``A`` while holding ``B``, the lock-order graph ``A -> B -> A``
+has a cycle and some schedule deadlocks.  This detector builds that graph
+from a trace and reports its cycles as *potential* deadlocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+import networkx as nx
+
+from repro.vm.events import EventKind
+from repro.vm.trace import Trace
+
+__all__ = ["LockOrderEdge", "PotentialDeadlock", "build_lock_graph", "detect_lock_cycles"]
+
+
+@dataclass(frozen=True)
+class LockOrderEdge:
+    """Thread ``thread`` acquired ``inner`` while holding ``outer``."""
+
+    outer: str
+    inner: str
+    thread: str
+    seq: int
+
+
+@dataclass(frozen=True)
+class PotentialDeadlock:
+    """A cycle in the lock-order graph.
+
+    ``locks`` lists the cycle's monitors in order; ``witnesses`` gives one
+    edge per cycle step (which thread established that ordering).
+    """
+
+    locks: Tuple[str, ...]
+    witnesses: Tuple[LockOrderEdge, ...]
+
+    def __str__(self) -> str:
+        ring = " -> ".join(self.locks + (self.locks[0],))
+        threads = {w.thread for w in self.witnesses}
+        return (
+            f"potential deadlock: lock cycle {ring} established by threads "
+            f"{sorted(threads)}"
+        )
+
+
+def build_lock_graph(trace: Trace) -> Tuple[nx.DiGraph, List[LockOrderEdge]]:
+    """The lock-order graph of a trace: edge ``A -> B`` when some thread
+    acquired ``B`` while holding ``A``.  Reentrant re-acquisitions of the
+    same monitor do not add edges."""
+    graph = nx.DiGraph()
+    edges: List[LockOrderEdge] = []
+    held: Dict[str, List[str]] = {}
+    for event in trace:
+        stack = held.setdefault(event.thread, [])
+        if event.kind is EventKind.MONITOR_REQUEST:
+            # The ordering edge is established at *request* time: a thread
+            # blocked on `inner` while holding `outer` is the hazard even
+            # if the grant never happens (as in an actual deadlock run).
+            monitor = event.monitor or "?"
+            for outer in set(stack):
+                if outer != monitor:
+                    edge = LockOrderEdge(outer, monitor, event.thread, event.seq)
+                    if not graph.has_edge(outer, monitor):
+                        graph.add_edge(outer, monitor, witness=edge)
+                    edges.append(edge)
+        elif event.kind is EventKind.MONITOR_ACQUIRE:
+            monitor = event.monitor or "?"
+            for _ in range(event.detail.get("count", 1)):
+                stack.append(monitor)
+        elif event.kind is EventKind.MONITOR_RELEASE:
+            if event.monitor in stack:
+                stack.reverse()
+                stack.remove(event.monitor)
+                stack.reverse()
+        elif event.kind is EventKind.MONITOR_WAIT:
+            held[event.thread] = [m for m in stack if m != event.monitor]
+    return graph, edges
+
+
+def detect_lock_cycles(trace: Trace) -> List[PotentialDeadlock]:
+    """All simple cycles of the lock-order graph as potential deadlocks.
+
+    A cycle formed entirely by one thread's acquisitions is excluded:
+    a single thread cannot deadlock with itself through reentrant locks.
+    """
+    graph, _ = build_lock_graph(trace)
+    results: List[PotentialDeadlock] = []
+    for cycle in nx.simple_cycles(graph):
+        witnesses = []
+        ordered = list(cycle)
+        for i, lock in enumerate(ordered):
+            nxt = ordered[(i + 1) % len(ordered)]
+            witnesses.append(graph.edges[lock, nxt]["witness"])
+        threads = {w.thread for w in witnesses}
+        if len(threads) < 2:
+            continue
+        results.append(
+            PotentialDeadlock(locks=tuple(ordered), witnesses=tuple(witnesses))
+        )
+    return results

@@ -1,0 +1,181 @@
+"""Unified dynamic analysis: run every detector, classify every finding.
+
+:func:`analyze_run` is the one-call entry point used by the examples and
+the mutation-study bench: it takes a finished :class:`RunResult` (plus
+optional completion-time expectations), runs
+
+* the VM-level symptom extraction (blocked/waiting/deadlock/step-limit),
+* the lockset race detector (FF-T1),
+* the lock-order-graph potential-deadlock detector (FF-T2/FF-T4),
+* the wait-for-graph actual-deadlock check,
+* the starvation analyzer (FF-T2 unfair lock, FF-T5 unfair notify),
+* the completion-time checker (the Table-1 oracle),
+
+and folds everything into one :class:`DetectionReport` whose findings are
+classified against the Table-1 taxonomy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.classify.symptoms import (
+    ClassificationReport,
+    Symptom,
+    classify_symptoms,
+    symptoms_from_run,
+)
+from repro.classify.taxonomy import FailureClass
+from repro.vm.kernel import RunResult
+
+from .completion import Expectation, Violation, check_completion_times
+from .eraser import RaceReport, detect_races
+from .lockgraph import PotentialDeadlock, detect_lock_cycles
+from .starvation import StarvationReport, analyze_starvation
+from .vectorclock import HbRace, detect_races_hb
+from .waitgraph import find_deadlock_cycle
+
+__all__ = ["DetectionReport", "analyze_run"]
+
+
+@dataclass
+class DetectionReport:
+    """Everything the dynamic analyses found in one run."""
+
+    races: List[RaceReport] = field(default_factory=list)
+    hb_races: List[HbRace] = field(default_factory=list)
+    potential_deadlocks: List[PotentialDeadlock] = field(default_factory=list)
+    deadlock_cycle: List[str] = field(default_factory=list)
+    starvation: List[StarvationReport] = field(default_factory=list)
+    completion_violations: List[Violation] = field(default_factory=list)
+    classification: ClassificationReport = field(
+        default_factory=ClassificationReport
+    )
+
+    @property
+    def clean(self) -> bool:
+        return (
+            not self.races
+            and not self.hb_races
+            and not self.potential_deadlocks
+            and not self.deadlock_cycle
+            and not self.starvation
+            and not self.completion_violations
+            and self.classification.clean
+        )
+
+    def classes_detected(self) -> List[FailureClass]:
+        """All failure classes implicated by any finding."""
+        return self.classification.classes_seen()
+
+    def describe(self) -> str:
+        if self.clean:
+            return "clean run: no concurrency failures detected"
+        lines: List[str] = []
+        if self.races:
+            lines.append("data races (lockset):")
+            lines.extend(f"  {r}" for r in self.races)
+        if self.hb_races:
+            lines.append("data races (happens-before):")
+            lines.extend(f"  {r}" for r in self.hb_races)
+        if self.deadlock_cycle:
+            lines.append(f"deadlock cycle: {' -> '.join(self.deadlock_cycle)}")
+        if self.potential_deadlocks:
+            lines.append("potential deadlocks (lock-order cycles):")
+            lines.extend(f"  {d}" for d in self.potential_deadlocks)
+        if self.starvation:
+            lines.append("starvation:")
+            lines.extend(f"  {s}" for s in self.starvation)
+        if self.completion_violations:
+            lines.append("completion-time violations:")
+            lines.extend(f"  {v}" for v in self.completion_violations)
+        lines.append("classification:")
+        lines.append(
+            "\n".join(f"  {f}" for f in self.classification.failures)
+            or "  (no classified symptoms)"
+        )
+        return "\n".join(lines)
+
+
+def analyze_run(
+    result: RunResult,
+    expectations: Sequence[Expectation] = (),
+    bypass_threshold: int = 3,
+) -> DetectionReport:
+    """Run all detectors over a finished run and classify the findings."""
+    trace = result.trace
+    races = detect_races(trace)
+    hb_races = detect_races_hb(trace)
+    potential = detect_lock_cycles(trace)
+    cycle = find_deadlock_cycle(trace)
+    starvation = analyze_starvation(trace, bypass_threshold=bypass_threshold)
+    violations = (
+        check_completion_times(trace, expectations) if expectations else []
+    )
+
+    observations: List[Tuple[Symptom, Dict[str, Any]]] = symptoms_from_run(result)
+    # happens-before races that lockset also saw are one finding, not two;
+    # HB-only findings (rare: requires an unlocked-but-ordered pattern to
+    # later become unordered) are reported on their own.
+    lockset_fields = {(r.component, r.field) for r in races}
+    for hb_race in hb_races:
+        if (hb_race.component, hb_race.field) not in lockset_fields:
+            observations.append(
+                (
+                    Symptom.DATA_RACE,
+                    {
+                        "thread": hb_race.second_thread,
+                        "component": hb_race.component,
+                        "detail": f"field {hb_race.field!r}: unordered "
+                        f"conflicting accesses (happens-before)",
+                    },
+                )
+            )
+    for race in races:
+        observations.append(
+            (
+                Symptom.DATA_RACE,
+                {
+                    "thread": race.second_thread,
+                    "component": race.component,
+                    "detail": f"field {race.field!r} shared with "
+                    f"{race.first_thread!r} without a common lock",
+                },
+            )
+        )
+    for starved in starvation:
+        observations.append(
+            (
+                Symptom.PERMANENTLY_BLOCKED
+                if starved.kind == "lock"
+                else Symptom.PERMANENTLY_WAITING,
+                {
+                    "thread": starved.thread,
+                    "detail": f"bypassed {starved.bypasses}x on "
+                    f"{starved.monitor!r} ({starved.kind} starvation)",
+                },
+            )
+        )
+    for violation in violations:
+        observations.append(
+            (
+                violation.symptom,
+                {
+                    "thread": violation.expectation.thread,
+                    "component": violation.expectation.component,
+                    "method": violation.expectation.method,
+                    "detail": violation.detail,
+                },
+            )
+        )
+
+    return DetectionReport(
+        races=races,
+        hb_races=hb_races,
+        potential_deadlocks=potential,
+        deadlock_cycle=cycle,
+        starvation=starvation,
+        completion_violations=violations,
+        classification=classify_symptoms(observations),
+    )

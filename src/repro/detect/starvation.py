@@ -1,0 +1,121 @@
+"""Starvation and fairness analysis (FF-T2 way 2, FF-T5 unfair notify).
+
+Section 5.2.1: *"If there is high contention and there is always more than
+one thread requesting a lock, it is possible that one thread is never
+selected to receive a lock ... Since the Java virtual machine is not
+required to be fair, this could be a potential problem."*  Section 5.5.1
+makes the same point for notify selection.
+
+Two measures are computed from a trace:
+
+* **lock bypasses** — each time monitor ``M`` is granted to thread ``B``
+  while an *earlier-arrived* thread ``A`` sits in the entry set, ``A`` is
+  *bypassed* (overtaken) once.  Under a FIFO grant policy the count is
+  zero by construction; unfair policies accumulate overtakes.  A thread
+  bypassed more than ``threshold`` times (or bypassed and still blocked
+  at the end) is flagged as starved.
+* **notify bypasses** — each time a waiter is woken on ``M`` while an
+  earlier-waiting ``A`` remains in the wait set, ``A`` is overtaken once.
+  Symmetric flagging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.vm.events import EventKind
+from repro.vm.trace import Trace
+
+__all__ = ["StarvationReport", "analyze_starvation"]
+
+
+@dataclass(frozen=True)
+class StarvationReport:
+    """One starved thread.
+
+    ``kind`` is ``"lock"`` (never granted the monitor: FF-T2) or
+    ``"notify"`` (never selected by notify: FF-T5).
+    """
+
+    thread: str
+    monitor: str
+    kind: str
+    bypasses: int
+    resolved: bool  # True when the thread did eventually proceed
+
+    def __str__(self) -> str:
+        fate = "eventually proceeded" if self.resolved else "still stuck at end"
+        return (
+            f"{self.kind}-starvation: {self.thread!r} bypassed {self.bypasses}x "
+            f"on {self.monitor!r} ({fate})"
+        )
+
+
+def analyze_starvation(
+    trace: Trace,
+    bypass_threshold: int = 3,
+    include_resolved: bool = False,
+) -> List[StarvationReport]:
+    """Count bypasses per (thread, monitor) and flag starvation.
+
+    A report is produced when a thread was bypassed more than
+    ``bypass_threshold`` times, unless it eventually proceeded and
+    ``include_resolved`` is False; a thread bypassed at least once and
+    still stuck at the end of the trace is always reported.
+    """
+    # monitor -> {thread: arrival seq}; a bypass is a grant/wake of a
+    # thread while a STRICTLY EARLIER arrival is still queued (an
+    # overtake) — FIFO policies therefore score zero by construction.
+    entry_sets: Dict[str, Dict[str, int]] = {}
+    wait_sets: Dict[str, Dict[str, int]] = {}
+    lock_bypasses: Dict[Tuple[str, str], int] = {}
+    notify_bypasses: Dict[Tuple[str, str], int] = {}
+
+    for event in trace:
+        monitor = event.monitor
+        thread = event.thread
+        if event.kind is EventKind.MONITOR_REQUEST:
+            entry_sets.setdefault(monitor, {}).setdefault(thread, event.seq)
+        elif event.kind is EventKind.MONITOR_ACQUIRE:
+            queued = entry_sets.setdefault(monitor, {})
+            arrived = queued.pop(thread, event.seq)
+            for bystander, bystander_arrived in queued.items():
+                if bystander_arrived < arrived:
+                    key = (bystander, monitor)
+                    lock_bypasses[key] = lock_bypasses.get(key, 0) + 1
+        elif event.kind is EventKind.MONITOR_WAIT:
+            wait_sets.setdefault(monitor, {}).setdefault(thread, event.seq)
+        elif event.kind is EventKind.MONITOR_NOTIFIED:
+            waiters = wait_sets.setdefault(monitor, {})
+            arrived = waiters.pop(thread, event.seq)
+            for bystander, bystander_arrived in waiters.items():
+                if bystander_arrived < arrived:
+                    key = (bystander, monitor)
+                    notify_bypasses[key] = notify_bypasses.get(key, 0) + 1
+            # the woken thread re-enters the entry set
+            entry_sets.setdefault(monitor, {}).setdefault(thread, event.seq)
+        elif event.kind in (EventKind.THREAD_END, EventKind.THREAD_CRASH):
+            for queued in entry_sets.values():
+                queued.pop(thread, None)
+            for waiters in wait_sets.values():
+                waiters.pop(thread, None)
+
+    reports: List[StarvationReport] = []
+    for (thread, monitor), count in sorted(lock_bypasses.items()):
+        stuck = thread in entry_sets.get(monitor, {})
+        if (count > bypass_threshold and (include_resolved or stuck)) or (
+            stuck and count >= 1
+        ):
+            reports.append(
+                StarvationReport(thread, monitor, "lock", count, resolved=not stuck)
+            )
+    for (thread, monitor), count in sorted(notify_bypasses.items()):
+        stuck = thread in wait_sets.get(monitor, {})
+        if (count > bypass_threshold and (include_resolved or stuck)) or (
+            stuck and count >= 1
+        ):
+            reports.append(
+                StarvationReport(thread, monitor, "notify", count, resolved=not stuck)
+            )
+    return reports

@@ -1,0 +1,99 @@
+"""Wait-for-graph analysis: *actual* deadlock in a finished run.
+
+Complements :mod:`repro.detect.lockgraph` (which finds deadlocks that
+*could* happen under another schedule): this module reconstructs, from the
+trace alone, which threads were blocked on which monitors when the run
+ended, who owned those monitors, and whether the blocked-on relation
+contains a cycle.  It reproduces the kernel's own quiescence diagnosis but
+works on any stored trace, so post-mortem analysis does not need the
+kernel object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.vm.events import EventKind
+from repro.vm.trace import Trace
+
+__all__ = ["WaitForState", "reconstruct_final_state", "find_deadlock_cycle"]
+
+
+@dataclass
+class WaitForState:
+    """Final synchronization state reconstructed from a trace.
+
+    Attributes:
+        owner: monitor -> owning thread (monitors absent are free).
+        blocked_on: thread -> monitor it was blocked acquiring.
+        waiting_on: thread -> monitor whose wait set it sat in.
+    """
+
+    owner: Dict[str, str] = field(default_factory=dict)
+    blocked_on: Dict[str, str] = field(default_factory=dict)
+    waiting_on: Dict[str, str] = field(default_factory=dict)
+
+    def blocked_threads(self) -> List[str]:
+        return sorted(self.blocked_on)
+
+    def waiting_threads(self) -> List[str]:
+        return sorted(self.waiting_on)
+
+
+def reconstruct_final_state(trace: Trace) -> WaitForState:
+    """Replay monitor-protocol events to the end of the trace."""
+    state = WaitForState()
+    hold_count: Dict[Tuple[str, str], int] = {}
+    for event in trace:
+        thread = event.thread
+        monitor = event.monitor
+        if event.kind is EventKind.MONITOR_REQUEST:
+            # Blocked until a matching ACQUIRE appears.
+            if state.owner.get(monitor) != thread:
+                state.blocked_on[thread] = monitor
+        elif event.kind is EventKind.MONITOR_ACQUIRE:
+            state.blocked_on.pop(thread, None)
+            state.owner[monitor] = thread
+            hold_count[(thread, monitor)] = hold_count.get(
+                (thread, monitor), 0
+            ) + event.detail.get("count", 1)
+        elif event.kind is EventKind.MONITOR_RELEASE:
+            key = (thread, monitor)
+            hold_count[key] = hold_count.get(key, 1) - 1
+            if hold_count[key] <= 0:
+                hold_count.pop(key, None)
+                if state.owner.get(monitor) == thread:
+                    del state.owner[monitor]
+        elif event.kind is EventKind.MONITOR_WAIT:
+            hold_count.pop((thread, monitor), None)
+            if state.owner.get(monitor) == thread:
+                del state.owner[monitor]
+            state.waiting_on[thread] = monitor
+        elif event.kind is EventKind.MONITOR_NOTIFIED:
+            state.waiting_on.pop(thread, None)
+            state.blocked_on[thread] = monitor
+        elif event.kind in (EventKind.THREAD_END, EventKind.THREAD_CRASH):
+            state.blocked_on.pop(thread, None)
+            state.waiting_on.pop(thread, None)
+    return state
+
+
+def find_deadlock_cycle(trace: Trace) -> List[str]:
+    """Threads forming a blocked-on cycle at the end of the trace, in
+    cycle order ([] when there is none)."""
+    state = reconstruct_final_state(trace)
+    edges: Dict[str, str] = {}
+    for thread, monitor in state.blocked_on.items():
+        owner = state.owner.get(monitor)
+        if owner is not None and owner != thread:
+            edges[thread] = owner
+    for start in sorted(edges):
+        chain: List[str] = []
+        node: Optional[str] = start
+        while node in edges and node not in chain:
+            chain.append(node)
+            node = edges[node]
+        if node in chain:
+            return chain[chain.index(node):]
+    return []

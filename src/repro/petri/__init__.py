@@ -1,0 +1,90 @@
+"""Petri-net engine and the paper's Figure-1 Java concurrency model.
+
+Public API::
+
+    from repro.petri import (
+        PetriNet, Marking, Place, Transition, Arc, NetBuilder,
+        build_reachability_graph, place_invariants,
+        build_figure1_net, build_concurrency_net, ConcurrencyModel,
+    )
+"""
+
+from .analysis import (
+    CoverabilityResult,
+    ReachabilityGraph,
+    build_reachability_graph,
+    check_boundedness,
+    find_firing_sequence,
+)
+from .builder import NetBuilder
+from .concurrency_model import (
+    PLACE_LABELS,
+    TRANSITION_LABELS,
+    ConcurrencyModel,
+    build_concurrency_net,
+    build_figure1_net,
+    thread_place,
+)
+from .dot import net_to_dot, reachability_to_dot
+from .errors import (
+    DuplicateNodeError,
+    InvalidMarkingError,
+    NotEnabledError,
+    PetriNetError,
+    StateSpaceLimitError,
+    UnknownNodeError,
+)
+from .invariants import (
+    PlaceInvariant,
+    conserved_sum,
+    invariant_holds,
+    place_invariants,
+)
+from .net import Arc, Marking, NetState, PetriNet, Place, Transition
+from .simulate import SimulationRun, simulate, transition_frequencies
+from .structural import (
+    emptiable_siphons,
+    find_minimal_siphons,
+    is_siphon,
+    is_trap,
+)
+
+__all__ = [
+    "Arc",
+    "ConcurrencyModel",
+    "CoverabilityResult",
+    "DuplicateNodeError",
+    "InvalidMarkingError",
+    "Marking",
+    "NetBuilder",
+    "NetState",
+    "NotEnabledError",
+    "PLACE_LABELS",
+    "PetriNet",
+    "PetriNetError",
+    "Place",
+    "PlaceInvariant",
+    "ReachabilityGraph",
+    "SimulationRun",
+    "StateSpaceLimitError",
+    "TRANSITION_LABELS",
+    "Transition",
+    "UnknownNodeError",
+    "build_concurrency_net",
+    "build_figure1_net",
+    "build_reachability_graph",
+    "check_boundedness",
+    "conserved_sum",
+    "emptiable_siphons",
+    "find_minimal_siphons",
+    "find_firing_sequence",
+    "invariant_holds",
+    "is_siphon",
+    "is_trap",
+    "net_to_dot",
+    "place_invariants",
+    "reachability_to_dot",
+    "simulate",
+    "thread_place",
+    "transition_frequencies",
+]

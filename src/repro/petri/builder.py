@@ -1,0 +1,70 @@
+"""Fluent builder for :class:`~repro.petri.net.PetriNet` instances."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .net import Arc, Marking, Place, PetriNet, Transition
+
+__all__ = ["NetBuilder"]
+
+
+class NetBuilder:
+    """Incrementally assemble a Petri net and an initial marking.
+
+    Example::
+
+        builder = NetBuilder("mutex")
+        builder.place("idle", tokens=1).place("lock", tokens=1).place("cs")
+        builder.transition("acquire").arc("idle", "acquire")
+        builder.arc("lock", "acquire").arc("acquire", "cs")
+        net, m0 = builder.build()
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._places: List[Place] = []
+        self._transitions: List[Transition] = []
+        self._arcs: List[Arc] = []
+        self._initial: Dict[str, int] = {}
+
+    def place(
+        self,
+        name: str,
+        label: str = "",
+        tokens: int = 0,
+        capacity: Optional[int] = None,
+    ) -> "NetBuilder":
+        """Add a place, optionally with initial tokens."""
+        self._places.append(Place(name, label, capacity))
+        if tokens:
+            self._initial[name] = self._initial.get(name, 0) + tokens
+        return self
+
+    def transition(self, name: str, label: str = "") -> "NetBuilder":
+        """Add a transition."""
+        self._transitions.append(Transition(name, label))
+        return self
+
+    def arc(self, source: str, target: str, weight: int = 1) -> "NetBuilder":
+        """Add a weighted arc between a place and a transition."""
+        self._arcs.append(Arc(source, target, weight))
+        return self
+
+    def flow(self, *nodes: str) -> "NetBuilder":
+        """Add unit arcs along a path of alternating places/transitions."""
+        for source, target in zip(nodes, nodes[1:]):
+            self.arc(source, target)
+        return self
+
+    def tokens(self, place: str, count: int) -> "NetBuilder":
+        """Set the initial token count of ``place`` (overwrites)."""
+        self._initial[place] = count
+        return self
+
+    def build(self) -> tuple[PetriNet, Marking]:
+        """Construct the net and initial marking, validating both."""
+        net = PetriNet(self.name, self._places, self._transitions, self._arcs)
+        marking = Marking(self._initial)
+        net.validate_marking(marking)
+        return net, marking

@@ -1,0 +1,187 @@
+"""The paper's Figure-1 Petri-net model of Java concurrency.
+
+Places (per thread ``i``):
+
+* ``A`` — executing outside a synchronized block
+* ``B`` — requesting entry to a critical section (blocked if no lock)
+* ``C`` — executing in the critical section (holds the lock)
+* ``D`` — in the *wait* state (suspended on the object's wait set)
+
+Shared place:
+
+* ``E`` — the object lock is available
+
+Transitions (per thread ``i``):
+
+* ``T1`` — requesting an object lock (enter synchronized block): A → B
+* ``T2`` — locking an object (JVM serves the lock):            B + E → C
+* ``T3`` — waiting on an object (``wait()``; releases lock):   C → D + E
+* ``T4`` — releasing an object lock (leave synchronized):      C → A + E
+* ``T5`` — thread notification (woken, re-contends for lock):  D → B
+
+The paper draws the single-thread instance; :func:`build_concurrency_net`
+generalises to ``n`` threads sharing one lock, which is what the
+classification's multi-thread failure conditions (e.g. FF-T2 lock contention,
+FF-T5 "no other thread calls notify") actually require.  T5 carries the
+paper's dashed "another thread notifies" arc as a *side condition*: a real
+notification needs some other thread in its critical section.  Because plain
+Petri nets cannot test "some other thread" without reading a token it does
+not consume, the model offers two fidelity levels:
+
+* ``notify_requires_peer=False`` (the paper's literal Figure 1): T5 is
+  enabled whenever the thread waits.  The dashed arc is documentation.
+* ``notify_requires_peer=True``: each T5_i consumes and re-produces a token
+  from every other thread's C place via a shared "notifier active" encoding
+  (a read arc simulated as consume+produce from C_j), giving one T5_{i,j}
+  transition per notifier j ≠ i.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .builder import NetBuilder
+from .net import Marking, PetriNet
+
+__all__ = [
+    "PLACE_LABELS",
+    "TRANSITION_LABELS",
+    "build_figure1_net",
+    "build_concurrency_net",
+    "thread_place",
+    "ConcurrencyModel",
+]
+
+PLACE_LABELS: Dict[str, str] = {
+    "A": "thread executing outside a synchronized block",
+    "B": "thread requesting entry to a critical section",
+    "C": "thread executing in a critical section",
+    "D": "thread in the wait state",
+    "E": "object lock is available",
+}
+
+TRANSITION_LABELS: Dict[str, str] = {
+    "T1": "requesting an object lock",
+    "T2": "locking an object",
+    "T3": "waiting on an object",
+    "T4": "releasing an object lock",
+    "T5": "thread notification",
+}
+
+
+def thread_place(base: str, thread: int, n_threads: int) -> str:
+    """Name of per-thread place ``base`` for thread ``thread``.
+
+    For the single-thread Figure-1 net the paper's bare names are kept.
+    """
+    return base if n_threads == 1 else f"{base}{thread}"
+
+
+def build_concurrency_net(
+    n_threads: int = 1,
+    notify_requires_peer: bool = False,
+) -> Tuple[PetriNet, Marking]:
+    """Build the Figure-1 model for ``n_threads`` threads and one lock.
+
+    Every thread starts outside the synchronized block (place ``A``) and the
+    lock starts available (one token in ``E``).
+    """
+    if n_threads < 1:
+        raise ValueError("n_threads must be >= 1")
+    builder = NetBuilder(
+        "figure1" if n_threads == 1 else f"figure1-n{n_threads}"
+    )
+    builder.place("E", PLACE_LABELS["E"], tokens=1)
+    for i in range(n_threads):
+        suffix = "" if n_threads == 1 else str(i)
+        for base in ("A", "B", "C", "D"):
+            builder.place(
+                base + suffix,
+                f"{PLACE_LABELS[base]} (thread {i})" if suffix else PLACE_LABELS[base],
+                tokens=1 if base == "A" else 0,
+            )
+        t = lambda name: name + suffix  # noqa: E731 - local naming helper
+        builder.transition(t("T1"), TRANSITION_LABELS["T1"])
+        builder.transition(t("T2"), TRANSITION_LABELS["T2"])
+        builder.transition(t("T3"), TRANSITION_LABELS["T3"])
+        builder.transition(t("T4"), TRANSITION_LABELS["T4"])
+        builder.arc("A" + suffix, t("T1")).arc(t("T1"), "B" + suffix)
+        builder.arc("B" + suffix, t("T2")).arc("E", t("T2")).arc(t("T2"), "C" + suffix)
+        builder.arc("C" + suffix, t("T3")).arc(t("T3"), "D" + suffix)
+        builder.arc(t("T3"), "E")
+        builder.arc("C" + suffix, t("T4")).arc(t("T4"), "A" + suffix)
+        builder.arc(t("T4"), "E")
+    # T5: notification.
+    for i in range(n_threads):
+        suffix = "" if n_threads == 1 else str(i)
+        if not notify_requires_peer or n_threads == 1:
+            builder.transition("T5" + suffix, TRANSITION_LABELS["T5"])
+            builder.arc("D" + suffix, "T5" + suffix)
+            builder.arc("T5" + suffix, "B" + suffix)
+        else:
+            # One T5_{i,j} per potential notifier j; the notifier must be in
+            # its critical section (token in C_j is read: consumed and
+            # immediately re-produced).
+            for j in range(n_threads):
+                if j == i:
+                    continue
+                name = f"T5{i}_by{j}"
+                builder.transition(
+                    name, f"{TRANSITION_LABELS['T5']} (thread {i} notified by {j})"
+                )
+                builder.arc(f"D{i}", name)
+                builder.arc(f"C{j}", name)
+                builder.arc(name, f"B{i}")
+                builder.arc(name, f"C{j}")
+    return builder.build()
+
+
+def build_figure1_net() -> Tuple[PetriNet, Marking]:
+    """The literal single-thread net of the paper's Figure 1."""
+    return build_concurrency_net(n_threads=1)
+
+
+@dataclass(frozen=True)
+class ConcurrencyModel:
+    """A built concurrency net together with its structural metadata."""
+
+    net: PetriNet
+    initial: Marking
+    n_threads: int
+    notify_requires_peer: bool
+
+    @classmethod
+    def create(
+        cls, n_threads: int = 1, notify_requires_peer: bool = False
+    ) -> "ConcurrencyModel":
+        net, initial = build_concurrency_net(n_threads, notify_requires_peer)
+        return cls(net, initial, n_threads, notify_requires_peer)
+
+    def thread_state_places(self, thread: int) -> List[str]:
+        """The four per-thread state places of ``thread``."""
+        suffix = "" if self.n_threads == 1 else str(thread)
+        return [base + suffix for base in ("A", "B", "C", "D")]
+
+    def transition_base(self, transition_name: str) -> str:
+        """Map a (possibly suffixed) transition name back to T1..T5."""
+        for base in ("T1", "T2", "T3", "T4", "T5"):
+            if transition_name.startswith(base):
+                return base
+        raise ValueError(f"not a model transition: {transition_name!r}")
+
+    def mutual_exclusion_holds(self, marking: Marking) -> bool:
+        """At most one thread in its critical section, and the lock token is
+        absent exactly when some thread is inside."""
+        in_cs = sum(
+            marking.tokens("C" if self.n_threads == 1 else f"C{i}")
+            for i in range(self.n_threads)
+        )
+        return in_cs <= 1 and in_cs + marking.tokens("E") == 1
+
+    def thread_state_consistent(self, marking: Marking) -> bool:
+        """Every thread occupies exactly one of its four state places."""
+        for i in range(self.n_threads):
+            if sum(marking.tokens(p) for p in self.thread_state_places(i)) != 1:
+                return False
+        return True

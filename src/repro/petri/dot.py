@@ -1,0 +1,81 @@
+"""Graphviz DOT export for Petri nets and reachability graphs."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .analysis import ReachabilityGraph
+from .net import Marking, PetriNet
+
+__all__ = ["net_to_dot", "reachability_to_dot"]
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def net_to_dot(
+    net: PetriNet,
+    marking: Optional[Marking] = None,
+    rankdir: str = "TB",
+) -> str:
+    """Render ``net`` as a DOT digraph.
+
+    Places are circles (with their token count when ``marking`` is given,
+    shown as a dot count like the paper's markers), transitions are boxes.
+    """
+    lines = [
+        f'digraph "{_escape(net.name)}" {{',
+        f"  rankdir={rankdir};",
+        "  node [fontsize=11];",
+    ]
+    for place in net.places:
+        tokens = marking.tokens(place.name) if marking is not None else None
+        label = place.name
+        if tokens:
+            label += "\\n" + "•" * min(tokens, 6)
+            if tokens > 6:
+                label += f" ({tokens})"
+        tooltip = _escape(place.label or place.name)
+        lines.append(
+            f'  "{_escape(place.name)}" [shape=circle, label="{_escape(label)}", '
+            f'tooltip="{tooltip}"];'
+        )
+    for transition in net.transitions:
+        tooltip = _escape(transition.label or transition.name)
+        lines.append(
+            f'  "{_escape(transition.name)}" [shape=box, height=0.2, '
+            f'style=filled, fillcolor=black, fontcolor=white, '
+            f'label="{_escape(transition.name)}", tooltip="{tooltip}"];'
+        )
+    for arc in net.arcs:
+        attrs = "" if arc.weight == 1 else f' [label="{arc.weight}"]'
+        lines.append(f'  "{_escape(arc.source)}" -> "{_escape(arc.target)}"{attrs};')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def reachability_to_dot(graph: ReachabilityGraph, max_states: int = 200) -> str:
+    """Render a reachability graph as DOT (truncated at ``max_states``)."""
+    lines = [f'digraph "reach_{_escape(graph.net.name)}" {{', "  rankdir=LR;"]
+    shown = set()
+    for i, marking in enumerate(graph.markings[:max_states]):
+        shown.add(marking)
+        label = ",".join(f"{p}" for p, _ in marking)
+        dead = graph.net.is_dead(marking)
+        style = ', style=filled, fillcolor="#ffcccc"' if dead else ""
+        initial = ", peripheries=2" if marking == graph.initial else ""
+        lines.append(f'  s{i} [label="{_escape(label)}"{style}{initial}];')
+    index = {m: i for i, m in enumerate(graph.markings)}
+    for source, transition, target in graph.edges:
+        if source in shown and target in shown:
+            lines.append(
+                f'  s{index[source]} -> s{index[target]} '
+                f'[label="{_escape(transition)}"];'
+            )
+    if len(graph.markings) > max_states:
+        lines.append(
+            f'  truncated [shape=plaintext, label="… {len(graph.markings) - max_states} more states"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

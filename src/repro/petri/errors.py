@@ -1,0 +1,35 @@
+"""Exceptions raised by the Petri-net engine."""
+
+from __future__ import annotations
+
+
+class PetriNetError(Exception):
+    """Base class for all Petri-net engine errors."""
+
+
+class DuplicateNodeError(PetriNetError):
+    """A place or transition with the same name already exists in the net."""
+
+
+class UnknownNodeError(PetriNetError):
+    """A referenced place or transition does not exist in the net."""
+
+
+class NotEnabledError(PetriNetError):
+    """An attempt was made to fire a transition that is not enabled."""
+
+
+class InvalidMarkingError(PetriNetError):
+    """A marking refers to unknown places or has negative token counts."""
+
+
+class StateSpaceLimitError(PetriNetError):
+    """Reachability exploration exceeded the configured state budget."""
+
+    def __init__(self, limit: int, explored: int) -> None:
+        super().__init__(
+            f"reachability exploration exceeded the limit of {limit} states "
+            f"(explored {explored}); the net may be unbounded or the limit too small"
+        )
+        self.limit = limit
+        self.explored = explored

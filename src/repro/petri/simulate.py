@@ -1,0 +1,73 @@
+"""Random and policy-driven token-game simulation of Petri nets."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .net import Marking, PetriNet
+
+__all__ = ["SimulationRun", "simulate", "transition_frequencies"]
+
+ChoicePolicy = Callable[[Sequence[str], random.Random], str]
+
+
+def _uniform_choice(enabled: Sequence[str], rng: random.Random) -> str:
+    return enabled[rng.randrange(len(enabled))]
+
+
+@dataclass
+class SimulationRun:
+    """The outcome of one token-game simulation.
+
+    Attributes:
+        firings: the transition names fired, in order.
+        markings: the marking trajectory (``len(firings) + 1`` entries).
+        deadlocked: True when the run stopped because no transition was
+            enabled (rather than reaching the step budget).
+    """
+
+    firings: List[str] = field(default_factory=list)
+    markings: List[Marking] = field(default_factory=list)
+    deadlocked: bool = False
+
+    @property
+    def steps(self) -> int:
+        return len(self.firings)
+
+
+def simulate(
+    net: PetriNet,
+    initial: Marking,
+    max_steps: int = 1_000,
+    seed: Optional[int] = None,
+    policy: ChoicePolicy = _uniform_choice,
+) -> SimulationRun:
+    """Play the token game for up to ``max_steps`` firings.
+
+    At each step the set of enabled transitions is computed and ``policy``
+    picks one (uniformly at random by default, using a seeded RNG for
+    reproducibility).  The run stops early on a dead marking.
+    """
+    rng = random.Random(seed)
+    run = SimulationRun(markings=[initial])
+    marking = initial
+    for _ in range(max_steps):
+        enabled = net.enabled_transitions(marking)
+        if not enabled:
+            run.deadlocked = True
+            break
+        transition = policy(enabled, rng)
+        marking = net.fire(transition, marking)
+        run.firings.append(transition)
+        run.markings.append(marking)
+    return run
+
+
+def transition_frequencies(run: SimulationRun) -> Dict[str, int]:
+    """Histogram of transition firings in a run."""
+    counts: Dict[str, int] = {}
+    for transition in run.firings:
+        counts[transition] = counts.get(transition, 0) + 1
+    return counts

@@ -1,0 +1,125 @@
+"""Structural Petri-net analysis: siphons and traps.
+
+A **siphon** is a place set S whose presets are covered by its postsets
+(``pre(S) ⊆ post(S)``): once S is empty it stays empty forever, and every
+transition needing a token from S is dead — the structural shadow of a
+deadlock.  A **trap** is the dual (``post(S) ⊆ pre(S)``): once marked it
+stays marked.  The classical Commoner condition says a free-choice net is
+deadlock-free iff every minimal siphon contains an initially-marked trap.
+
+For the Figure-1 family these analyses make the FF-T5 discussion
+structural: in the literal Figure-1 net every siphon stays marked, but in
+the ``notify_requires_peer`` variant the set of C-places ("some thread
+is inside a critical section") is a siphon that *can* empty — both
+threads waiting — and once empty no notification can ever fire again.
+
+Enumeration is exponential in the number of places; intended for the
+component-scale nets this reproduction works with (a guard rejects nets
+beyond ``max_places``).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, List, Set, Tuple
+
+from .net import Marking, PetriNet
+
+__all__ = [
+    "is_siphon",
+    "is_trap",
+    "find_minimal_siphons",
+    "emptiable_siphons",
+]
+
+_DEFAULT_MAX_PLACES = 16
+
+
+def _preset_transitions(net: PetriNet, places: FrozenSet[str]) -> Set[str]:
+    """Transitions with an output arc into any place of the set."""
+    result: Set[str] = set()
+    for transition in net.transitions:
+        post = net.postset(transition.name)
+        if any(place in post for place in places):
+            result.add(transition.name)
+    return result
+
+
+def _postset_transitions(net: PetriNet, places: FrozenSet[str]) -> Set[str]:
+    """Transitions with an input arc from any place of the set."""
+    result: Set[str] = set()
+    for transition in net.transitions:
+        pre = net.preset(transition.name)
+        if any(place in pre for place in places):
+            result.add(transition.name)
+    return result
+
+
+def is_siphon(net: PetriNet, places: FrozenSet[str] | Set[str]) -> bool:
+    """True when every transition feeding the set also consumes from it."""
+    place_set = frozenset(places)
+    if not place_set:
+        return False
+    return _preset_transitions(net, place_set) <= _postset_transitions(
+        net, place_set
+    )
+
+
+def is_trap(net: PetriNet, places: FrozenSet[str] | Set[str]) -> bool:
+    """True when every transition consuming from the set also feeds it."""
+    place_set = frozenset(places)
+    if not place_set:
+        return False
+    return _postset_transitions(net, place_set) <= _preset_transitions(
+        net, place_set
+    )
+
+
+def find_minimal_siphons(
+    net: PetriNet, max_places: int = _DEFAULT_MAX_PLACES
+) -> List[FrozenSet[str]]:
+    """All minimal (inclusion-wise) siphons, by subset enumeration.
+
+    Raises ``ValueError`` for nets with more than ``max_places`` places —
+    the enumeration is O(2^n) and meant for component-scale models.
+    """
+    place_names = [p.name for p in net.places]
+    if len(place_names) > max_places:
+        raise ValueError(
+            f"net has {len(place_names)} places; raise max_places "
+            f"(currently {max_places}) to enumerate siphons anyway"
+        )
+    minimal: List[FrozenSet[str]] = []
+    for size in range(1, len(place_names) + 1):
+        for candidate_tuple in combinations(place_names, size):
+            candidate = frozenset(candidate_tuple)
+            if any(known <= candidate for known in minimal):
+                continue  # a subset is already a siphon: not minimal
+            if is_siphon(net, candidate):
+                minimal.append(candidate)
+    return minimal
+
+
+def emptiable_siphons(
+    net: PetriNet,
+    initial: Marking,
+    max_places: int = _DEFAULT_MAX_PLACES,
+    state_limit: int = 200_000,
+) -> List[Tuple[FrozenSet[str], Marking]]:
+    """Minimal siphons that actually empty in some reachable marking,
+    each with a witness marking.
+
+    An emptiable siphon is the structural form of a partial/total
+    deadlock: every transition needing the siphon's tokens is dead from
+    the witness on.
+    """
+    from .analysis import build_reachability_graph
+
+    graph = build_reachability_graph(net, initial, state_limit=state_limit)
+    results: List[Tuple[FrozenSet[str], Marking]] = []
+    for siphon in find_minimal_siphons(net, max_places=max_places):
+        for marking in graph.markings:
+            if all(marking.tokens(place) == 0 for place in siphon):
+                results.append((siphon, marking))
+                break
+    return results

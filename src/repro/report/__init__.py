@@ -1,0 +1,22 @@
+"""Emitters regenerating the paper's tables and figures.
+
+Public API::
+
+    from repro.report import render_table1, render_figure1, render_figure3
+"""
+
+from .figure1 import Figure1Report, build_figure1_report, render_figure1
+from .figure3 import figure3_rows, render_figure3
+from .table1 import render_table1, table1_rows
+from .text import render_table
+
+__all__ = [
+    "Figure1Report",
+    "build_figure1_report",
+    "figure3_rows",
+    "render_figure1",
+    "render_figure3",
+    "render_table",
+    "render_table1",
+    "table1_rows",
+]

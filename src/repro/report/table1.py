@@ -1,0 +1,55 @@
+"""Emitter for Table 1: the concurrency failure classification.
+
+:func:`render_table1` regenerates the paper's Table 1 from the HAZOP
+engine (deviations derived from the Figure-1 net, joined with the curated
+taxonomy), row for row, in the paper's column layout: Transition |
+Failure | Cause | Conditions | Consequences | Testing Notes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.classify.hazop import derive_table1
+
+from .text import render_table
+
+__all__ = ["table1_rows", "render_table1"]
+
+_HEADERS = (
+    "Transition",
+    "Failure",
+    "Cause",
+    "Conditions",
+    "Consequences",
+    "Testing Notes",
+)
+
+
+def table1_rows() -> List[Tuple[str, str, str, str, str, str]]:
+    """The table body, one tuple per printed row (11 rows: FF-T4 has two
+    cause rows), in the paper's order."""
+    rows: List[Tuple[str, str, str, str, str, str]] = []
+    for analysis_row in derive_table1():
+        for i, entry in enumerate(analysis_row.entries):
+            rows.append(
+                (
+                    analysis_row.item.transition if i == 0 else "",
+                    f"{entry.mode.value} {entry.transition}" if i == 0 else "",
+                    entry.cause,
+                    entry.conditions,
+                    entry.consequences,
+                    entry.testing_notes,
+                )
+            )
+    return rows
+
+
+def render_table1(width: int = 24) -> str:
+    """Render Table 1 as ruled ASCII text."""
+    return render_table(
+        _HEADERS,
+        table1_rows(),
+        widths=(10, 20, width, width, width, width),
+        title="Table 1. Concurrency failure classification",
+    )

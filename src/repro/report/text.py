@@ -1,0 +1,71 @@
+"""Plain-text table rendering for the paper-artifact emitters."""
+
+from __future__ import annotations
+
+import textwrap
+from typing import List, Optional, Sequence
+
+__all__ = ["render_table"]
+
+
+def _wrap_cell(text: str, width: int) -> List[str]:
+    lines: List[str] = []
+    for paragraph in str(text).splitlines() or [""]:
+        wrapped = textwrap.wrap(paragraph, width=width) or [""]
+        lines.extend(wrapped)
+    return lines
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    widths: Optional[Sequence[int]] = None,
+    title: str = "",
+) -> str:
+    """Render a wrapped, ruled ASCII table.
+
+    ``widths`` fixes per-column wrap widths; by default each column gets
+    the width of its longest unwrapped cell, capped at 28 characters.
+    """
+    n_cols = len(headers)
+    for row in rows:
+        if len(row) != n_cols:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {n_cols}: {row!r}"
+            )
+    if widths is None:
+        widths = []
+        for col in range(n_cols):
+            longest = max(
+                [len(str(headers[col]))]
+                + [len(str(row[col])) for row in rows]
+                or [1]
+            )
+            widths.append(min(longest, 28))
+    else:
+        widths = list(widths)
+
+    def render_row(cells: Sequence[str]) -> List[str]:
+        wrapped = [_wrap_cell(cell, widths[i]) for i, cell in enumerate(cells)]
+        height = max(len(w) for w in wrapped)
+        out = []
+        for line_index in range(height):
+            parts = []
+            for col in range(n_cols):
+                cell_lines = wrapped[col]
+                text = cell_lines[line_index] if line_index < len(cell_lines) else ""
+                parts.append(text.ljust(widths[col]))
+            out.append("| " + " | ".join(parts) + " |")
+        return out
+
+    rule = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(rule)
+    lines.extend(render_row(headers))
+    lines.append(rule)
+    for row in rows:
+        lines.extend(render_row(row))
+        lines.append(rule)
+    return "\n".join(lines)

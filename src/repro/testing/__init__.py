@@ -1,0 +1,79 @@
+"""Deterministic testing harness (the ConAn method, refs [19, 20]).
+
+Public API::
+
+    from repro.testing import (
+        TestSequence, TestCall,                     # clocked sequences
+        SequenceRunner, run_sequence,               # the driver
+        generate_covering_sequence, CallTemplate,   # CoFG-driven generation
+        annotate_expectations,                      # golden-run oracles
+        explore_systematic, explore_random,         # schedule exploration
+        mutate_component, ALL_OPERATORS,            # mutation engine
+    )
+"""
+
+from .driver import SequenceOutcome, SequenceRunner, run_sequence
+from .explorer import (
+    ExplorationResult,
+    ExplorationRun,
+    explore_for_coverage,
+    explore_random,
+    explore_systematic,
+)
+from .generator import (
+    CallTemplate,
+    GenerationResult,
+    annotate_expectations,
+    generate_covering_sequence,
+)
+from .mutation import (
+    ALL_OPERATORS,
+    DropSynchronized,
+    InsertSpuriousWait,
+    MutationOperator,
+    NotifyAllToNotify,
+    RemoveNotify,
+    RemoveWaitLoop,
+    WaitToYield,
+    WhileToIf,
+    applicable_operators,
+    mutate_component,
+)
+from .regression import RegressionSuite, SuiteReport
+from .script import ParsedScript, ScriptError, parse_script, render_script, run_script
+from .sequence import TestCall, TestSequence
+
+__all__ = [
+    "ALL_OPERATORS",
+    "CallTemplate",
+    "DropSynchronized",
+    "ExplorationResult",
+    "ExplorationRun",
+    "GenerationResult",
+    "InsertSpuriousWait",
+    "MutationOperator",
+    "ParsedScript",
+    "NotifyAllToNotify",
+    "RegressionSuite",
+    "RemoveNotify",
+    "RemoveWaitLoop",
+    "ScriptError",
+    "SequenceOutcome",
+    "SequenceRunner",
+    "SuiteReport",
+    "TestCall",
+    "TestSequence",
+    "WaitToYield",
+    "WhileToIf",
+    "annotate_expectations",
+    "applicable_operators",
+    "explore_for_coverage",
+    "explore_random",
+    "explore_systematic",
+    "generate_covering_sequence",
+    "mutate_component",
+    "parse_script",
+    "render_script",
+    "run_sequence",
+    "run_script",
+]

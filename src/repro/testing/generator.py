@@ -1,0 +1,221 @@
+"""CoFG-driven test-sequence generation (paper Section 6, automated).
+
+The paper's method asks the tester to construct call sequences that cover
+every CoFG arc.  This module automates the construction with a greedy,
+VM-in-the-loop search:
+
+1. start from the empty sequence;
+2. at each step, try appending each call template from the alphabet at
+   the next clock slot (each call on its own thread);
+3. run the candidate sequence on a fresh component, measure CoFG arc
+   coverage, and keep the candidate that covers the most new arcs;
+4. stop at full coverage, at the length budget, or when no candidate
+   makes progress for ``patience`` consecutive slots.
+
+Because the evaluation uses the real VM, the generator needs no model of
+the component's guards — the component itself decides which regions
+execute, exactly as a human tester reasons with the real monitor.
+
+:func:`annotate_expectations` then turns a covering sequence run on a
+*correct* component into a regression oracle: observed completion clocks
+and return values become the sequence's expectations (Brinch Hansen's
+"predicted output"), ready to be replayed against mutants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.vm.api import MonitorComponent
+
+from .driver import SequenceOutcome, SequenceRunner
+from .sequence import TestCall, TestSequence
+
+__all__ = ["CallTemplate", "GenerationResult", "generate_covering_sequence", "annotate_expectations"]
+
+
+@dataclass(frozen=True)
+class CallTemplate:
+    """One alphabet entry: a method plus an argument factory.
+
+    ``args_factory`` receives the slot index so successive calls can use
+    distinct payloads (e.g. ``lambda i: (f"msg{i}",)``).
+    """
+
+    method: str
+    args_factory: Callable[[int], Tuple[Any, ...]] = lambda i: ()
+    label: str = ""
+
+    def display(self) -> str:
+        return self.label or self.method
+
+
+@dataclass
+class GenerationResult:
+    """Outcome of a generation campaign."""
+
+    sequence: TestSequence
+    outcome: SequenceOutcome
+    covered: int
+    total: int
+    evaluations: int
+    complete: bool
+
+    def describe(self) -> str:
+        return (
+            f"generated {len(self.sequence.calls)} calls covering "
+            f"{self.covered}/{self.total} arcs "
+            f"({'complete' if self.complete else 'incomplete'}, "
+            f"{self.evaluations} candidate evaluations)\n"
+            + self.sequence.describe()
+        )
+
+
+def _covered_keys(outcome: SequenceOutcome) -> Set[Tuple[str, str, str]]:
+    keys: Set[Tuple[str, str, str]] = set()
+    for method, coverage in outcome.coverage.methods.items():
+        for (src, dst), hits in coverage.hits.items():
+            if hits > 0:
+                keys.add((method, src, dst))
+    return keys
+
+
+def generate_covering_sequence(
+    component_factory: Callable[[], MonitorComponent],
+    alphabet: Sequence[CallTemplate],
+    max_length: int = 16,
+    patience: int = 2,
+    runner: Optional[SequenceRunner] = None,
+) -> GenerationResult:
+    """Greedy construction of an arc-covering test sequence.
+
+    Returns the best sequence found; ``complete`` is True when every CoFG
+    arc of the component is covered.
+    """
+    if not alphabet:
+        raise ValueError("alphabet must not be empty")
+    runner = runner or SequenceRunner(component_factory)
+
+    calls: List[TestCall] = []
+    covered: Set[Tuple[str, str, str]] = set()
+    best_outcome: Optional[SequenceOutcome] = None
+    evaluations = 0
+    stall = 0
+
+    def build(calls_list: List[TestCall]) -> TestSequence:
+        sequence = TestSequence("generated")
+        sequence.calls = list(calls_list)
+        return sequence
+
+    for slot in range(1, max_length + 1):
+        best_gain = -1
+        best_candidate: Optional[TestCall] = None
+        best_candidate_outcome: Optional[SequenceOutcome] = None
+        best_covered: Set[Tuple[str, str, str]] = set()
+        for template in alphabet:
+            candidate = TestCall(
+                at=slot,
+                thread=f"t{slot}",
+                method=template.method,
+                args=tuple(template.args_factory(slot)),
+                check_completion=False,
+            )
+            outcome = runner.run(build(calls + [candidate]))
+            evaluations += 1
+            now_covered = _covered_keys(outcome)
+            gain = len(now_covered - covered)
+            if gain > best_gain:
+                best_gain = gain
+                best_candidate = candidate
+                best_candidate_outcome = outcome
+                best_covered = now_covered
+        assert best_candidate is not None and best_candidate_outcome is not None
+        if best_gain <= 0:
+            stall += 1
+            if stall >= patience:
+                break
+            # keep the call anyway: it may unblock progress next slot
+        else:
+            stall = 0
+        calls.append(best_candidate)
+        covered = best_covered
+        best_outcome = best_candidate_outcome
+        if best_outcome.coverage.is_complete():
+            break
+
+    if best_outcome is None:
+        best_outcome = runner.run(build(calls))
+    final_sequence = build(calls)
+    return GenerationResult(
+        sequence=final_sequence,
+        outcome=best_outcome,
+        covered=best_outcome.coverage.covered_arcs,
+        total=best_outcome.coverage.total_arcs,
+        evaluations=evaluations,
+        complete=best_outcome.coverage.is_complete(),
+    )
+
+
+def annotate_expectations(
+    outcome: SequenceOutcome,
+    expect_returns: bool = True,
+) -> TestSequence:
+    """Turn an observed (assumed-correct) run into a regression oracle.
+
+    Every call's expected completion clock is set to the clock at which it
+    actually completed; calls that never completed get ``expect_never``.
+    Return values become ``expect_returns`` when requested.  Replaying the
+    annotated sequence against a mutated component turns any behavioural
+    difference into a completion-time or return-value violation.
+    """
+    trace = outcome.result.trace
+    records = [
+        r
+        for r in trace.call_records()
+        if r.component == outcome.coverage.component
+    ]
+    # Clock value at each kernel time, for completion stamping.
+    clock_map = trace.clock_of_time()
+
+    def clock_at(kernel_time: Optional[int]) -> Optional[int]:
+        if kernel_time is None:
+            return None
+        best = 0
+        for time, clock in clock_map.items():
+            if time <= kernel_time:
+                best = max(best, clock)
+        return best
+
+    occurrence: Dict[Tuple[str, str], int] = {}
+    annotated: List[TestCall] = []
+    for call in sorted(
+        outcome.sequence.calls, key=lambda c: (c.at, c.thread)
+    ):
+        key = (call.thread, call.method)
+        index = occurrence.get(key, 0)
+        occurrence[key] = index + 1
+        matching = [
+            r
+            for r in records
+            if r.thread == call.thread and r.method == call.method
+        ]
+        record = matching[index] if index < len(matching) else None
+        if record is None or not record.completed:
+            annotated.append(
+                replace(call, expect_never=True, check_completion=True)
+            )
+            continue
+        completion_clock = clock_at(record.end_time)
+        new_call = replace(
+            call,
+            expect_at=completion_clock,
+            expect_never=False,
+            check_completion=True,
+        )
+        if expect_returns:
+            new_call = replace(new_call, expect_returns=record.result)
+        annotated.append(new_call)
+    regression = TestSequence(outcome.sequence.name + "-annotated")
+    regression.calls = annotated
+    return regression

@@ -1,0 +1,309 @@
+"""AST-level mutation operators seeding each failure class.
+
+The mutation-detection study (Ext-A) needs components with *known* seeded
+defects.  Besides the curated faulty components
+(:mod:`repro.components.faulty`), this module mutates *correct* components
+mechanically: each operator transforms the AST of one method and rebuilds
+the class, so any monitor in the library can be broken in a controlled,
+classified way.
+
+Operators and the class they seed:
+
+=======================  ======  ==========================================
+operator                 class   effect
+=======================  ======  ==========================================
+DropSynchronized         FF-T1   method loses its synchronized wrapper
+WhileToIf                EF-T5   wait guard not re-checked after wake-up
+WaitToYield              FF-T4   guard loop spins holding the lock forever
+RemoveWaitLoop           FF-T3   the guarded wait is skipped entirely
+RemoveNotify             FF-T5   notify/notifyAll statements deleted
+NotifyAllToNotify        FF-T5   notifyAll weakened to single notify
+InsertSpuriousWait       EF-T3   an extra wait inserted before returning
+=======================  ======  ==========================================
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+import linecache
+import sys
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Type
+
+from repro.analysis.astscan import method_source_ast
+from repro.classify.taxonomy import FailureClass
+from repro.vm.api import MonitorComponent, synchronized, unsynchronized
+
+__all__ = [
+    "MutationOperator",
+    "ALL_OPERATORS",
+    "mutate_component",
+    "applicable_operators",
+    "DropSynchronized",
+    "WhileToIf",
+    "WaitToYield",
+    "RemoveWaitLoop",
+    "RemoveNotify",
+    "NotifyAllToNotify",
+    "InsertSpuriousWait",
+]
+
+
+def _is_syscall_yield(stmt: ast.stmt, names: set) -> bool:
+    """True when ``stmt`` is ``yield <Name>(...)`` for a name in ``names``."""
+    if not isinstance(stmt, ast.Expr) or not isinstance(stmt.value, ast.Yield):
+        return False
+    call = stmt.value.value
+    if not isinstance(call, ast.Call):
+        return False
+    func = call.func
+    name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+    return name in names
+
+
+def _wait_loops(func: ast.FunctionDef) -> List[ast.While]:
+    """All while-loops whose body contains a wait yield."""
+    loops = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.While) and any(
+            _is_syscall_yield(s, {"Wait"}) for s in node.body
+        ):
+            loops.append(node)
+    return loops
+
+
+@dataclass(frozen=True)
+class MutationOperator:
+    """One mutation operator.
+
+    Attributes:
+        name: short identifier used in mutant class names.
+        seeded_class: the Table-1 failure class the mutation seeds.
+        unsynchronize: rebuild the method with ``@unsynchronized``.
+        transform: AST transform (identity for wrapper-only operators).
+        applies: predicate deciding whether the operator is meaningful for
+            a given method AST.
+    """
+
+    name: str
+    seeded_class: FailureClass
+    unsynchronize: bool = False
+    transform: Callable[[ast.FunctionDef], ast.FunctionDef] = lambda f: f
+    applies: Callable[[ast.FunctionDef], bool] = lambda f: True
+
+
+def _while_to_if(func: ast.FunctionDef) -> ast.FunctionDef:
+    class Rewriter(ast.NodeTransformer):
+        def visit_While(self, node: ast.While) -> ast.stmt:
+            self.generic_visit(node)
+            if any(_is_syscall_yield(s, {"Wait"}) for s in node.body):
+                return ast.copy_location(
+                    ast.If(test=node.test, body=node.body, orelse=node.orelse),
+                    node,
+                )
+            return node
+
+    return ast.fix_missing_locations(Rewriter().visit(func))
+
+
+def _wait_to_yield(func: ast.FunctionDef) -> ast.FunctionDef:
+    class Rewriter(ast.NodeTransformer):
+        def visit_Expr(self, node: ast.Expr) -> ast.stmt:
+            if _is_syscall_yield(node, {"Wait"}):
+                replacement = ast.Expr(
+                    value=ast.Yield(
+                        value=ast.Call(
+                            func=ast.Name(id="Yield", ctx=ast.Load()),
+                            args=[],
+                            keywords=[],
+                        )
+                    )
+                )
+                return ast.copy_location(replacement, node)
+            return node
+
+    return ast.fix_missing_locations(Rewriter().visit(func))
+
+
+def _remove_wait_loop(func: ast.FunctionDef) -> ast.FunctionDef:
+    class Rewriter(ast.NodeTransformer):
+        def visit_While(self, node: ast.While) -> ast.stmt:
+            self.generic_visit(node)
+            if any(_is_syscall_yield(s, {"Wait"}) for s in node.body):
+                # replace rather than delete: the enclosing body may have
+                # no other statements, and an empty block is invalid
+                return ast.copy_location(ast.Pass(), node)
+            return node
+
+    return ast.fix_missing_locations(Rewriter().visit(func))
+
+
+def _remove_notify(func: ast.FunctionDef) -> ast.FunctionDef:
+    class Rewriter(ast.NodeTransformer):
+        def visit_Expr(self, node: ast.Expr) -> ast.stmt:
+            if _is_syscall_yield(node, {"Notify", "NotifyAll"}):
+                return ast.copy_location(ast.Pass(), node)
+            return node
+
+    return ast.fix_missing_locations(Rewriter().visit(func))
+
+
+def _notifyall_to_notify(func: ast.FunctionDef) -> ast.FunctionDef:
+    class Rewriter(ast.NodeTransformer):
+        def visit_Call(self, node: ast.Call) -> ast.Call:
+            self.generic_visit(node)
+            if isinstance(node.func, ast.Name) and node.func.id == "NotifyAll":
+                node.func = ast.copy_location(
+                    ast.Name(id="Notify", ctx=ast.Load()), node.func
+                )
+            return node
+
+    return ast.fix_missing_locations(Rewriter().visit(func))
+
+
+def _insert_spurious_wait(func: ast.FunctionDef) -> ast.FunctionDef:
+    wait_stmt = ast.Expr(
+        value=ast.Yield(
+            value=ast.Call(
+                func=ast.Name(id="Wait", ctx=ast.Load()), args=[], keywords=[]
+            )
+        )
+    )
+    # Insert before the last statement of the body (typically the notify
+    # or the return), so the wait happens after the useful work.
+    body = list(func.body)
+    body.insert(max(len(body) - 1, 0), wait_stmt)
+    func.body = body
+    return ast.fix_missing_locations(func)
+
+
+def _has_wait(func: ast.FunctionDef) -> bool:
+    return bool(_wait_loops(func)) or any(
+        _is_syscall_yield(s, {"Wait"}) for s in ast.walk(func) if isinstance(s, ast.stmt)
+    )
+
+
+def _has_notify(func: ast.FunctionDef) -> bool:
+    return any(
+        _is_syscall_yield(s, {"Notify", "NotifyAll"})
+        for s in ast.walk(func)
+        if isinstance(s, ast.stmt)
+    )
+
+
+def _has_notifyall(func: ast.FunctionDef) -> bool:
+    return any(
+        isinstance(n, ast.Call)
+        and isinstance(n.func, ast.Name)
+        and n.func.id == "NotifyAll"
+        for n in ast.walk(func)
+    )
+
+
+DropSynchronized = MutationOperator(
+    name="drop_sync",
+    seeded_class=FailureClass.FF_T1,
+    unsynchronize=True,
+    # waiting or notifying without the lock throws
+    # IllegalMonitorStateException (in Java and in this VM) — an instant
+    # crash, not the silent interference FF-T1 classifies — so the
+    # operator only applies to plain state-accessing methods.
+    applies=lambda f: not _has_wait(f) and not _has_notify(f),
+)
+WhileToIf = MutationOperator(
+    name="while_to_if",
+    seeded_class=FailureClass.EF_T5,
+    transform=_while_to_if,
+    applies=lambda f: bool(_wait_loops(f)),
+)
+WaitToYield = MutationOperator(
+    name="wait_to_yield",
+    seeded_class=FailureClass.FF_T4,
+    transform=_wait_to_yield,
+    applies=lambda f: bool(_wait_loops(f)),
+)
+RemoveWaitLoop = MutationOperator(
+    name="remove_wait_loop",
+    seeded_class=FailureClass.FF_T3,
+    transform=_remove_wait_loop,
+    applies=lambda f: bool(_wait_loops(f)),
+)
+RemoveNotify = MutationOperator(
+    name="remove_notify",
+    seeded_class=FailureClass.FF_T5,
+    transform=_remove_notify,
+    applies=_has_notify,
+)
+NotifyAllToNotify = MutationOperator(
+    name="notifyall_to_notify",
+    seeded_class=FailureClass.FF_T5,
+    transform=_notifyall_to_notify,
+    applies=_has_notifyall,
+)
+InsertSpuriousWait = MutationOperator(
+    name="insert_spurious_wait",
+    seeded_class=FailureClass.EF_T3,
+    transform=_insert_spurious_wait,
+)
+
+ALL_OPERATORS: List[MutationOperator] = [
+    DropSynchronized,
+    WhileToIf,
+    WaitToYield,
+    RemoveWaitLoop,
+    RemoveNotify,
+    NotifyAllToNotify,
+    InsertSpuriousWait,
+]
+
+_SYSCALL_NAMES = ("Wait", "Notify", "NotifyAll", "Yield", "Acquire", "Release")
+
+
+def applicable_operators(
+    cls: Type[MonitorComponent], method_name: str
+) -> List[MutationOperator]:
+    """Operators meaningful for ``cls.method_name``."""
+    func, _ = method_source_ast(getattr(cls, method_name))
+    return [op for op in ALL_OPERATORS if op.applies(func)]
+
+
+def mutate_component(
+    cls: Type[MonitorComponent],
+    method_name: str,
+    operator: MutationOperator,
+) -> Type[MonitorComponent]:
+    """Build a mutant subclass of ``cls`` with ``method_name`` transformed.
+
+    The mutated source is registered with :mod:`linecache` so that CoFG
+    construction and coverage (which read the source) keep working on the
+    mutant.
+    """
+    method = getattr(cls, method_name)
+    func, _ = method_source_ast(method)
+    func = copy.deepcopy(func)
+    func = operator.transform(func)
+    func.decorator_list = []
+    module = ast.Module(body=[func], type_ignores=[])
+    ast.fix_missing_locations(module)
+    source = ast.unparse(module) + "\n"
+    filename = f"<mutant:{cls.__name__}.{method_name}:{operator.name}>"
+    linecache.cache[filename] = (
+        len(source),
+        None,
+        source.splitlines(keepends=True),
+        filename,
+    )
+    namespace: Dict[str, object] = {}
+    defining_module = sys.modules.get(cls.__module__)
+    if defining_module is not None:
+        namespace.update(vars(defining_module))
+    from repro.vm import syscalls as _syscalls
+
+    for name in _SYSCALL_NAMES:
+        namespace[name] = getattr(_syscalls, name)
+    exec(compile(source, filename, "exec"), namespace)  # noqa: S102 - controlled source
+    raw = namespace[method_name]
+    wrapper = unsynchronized if operator.unsynchronize else synchronized
+    mutant_name = f"{cls.__name__}__{operator.name}"
+    return type(mutant_name, (cls,), {method_name: wrapper(raw)})

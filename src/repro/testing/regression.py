@@ -1,0 +1,219 @@
+"""Regression-suite management: build, save, load, re-run golden suites.
+
+The full loop of the paper's method, packaged: a *suite* is a set of
+clocked test sequences for one component (typically one covering sequence
+plus targeted scenarios), each annotated with golden completion times and
+return values from a trusted run.  Suites serialize to JSON (and to the
+ConAn-style script text), so they live in the repository next to the
+component and re-run on every change::
+
+    suite = RegressionSuite.build(
+        ProducerConsumer,
+        sequences=[covering_sequence()],
+    )
+    suite.save("pc_suite.json")
+    ...
+    report = RegressionSuite.load("pc_suite.json").run(ProducerConsumer)
+    assert report.passed
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.detect.completion import UNSET
+from repro.vm.api import MonitorComponent
+
+from .driver import SequenceOutcome, SequenceRunner
+from .generator import annotate_expectations
+from .sequence import TestCall, TestSequence
+
+__all__ = ["SuiteReport", "RegressionSuite"]
+
+_FORMAT_VERSION = 1
+
+
+def _call_to_dict(call: TestCall) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "at": call.at,
+        "thread": call.thread,
+        "method": call.method,
+    }
+    if call.args:
+        payload["args"] = list(call.args)
+    if call.kwargs:
+        payload["kwargs"] = dict(call.kwargs)
+    if call.expect_at is not None:
+        payload["expect_at"] = call.expect_at
+    if call.expect_between is not None:
+        payload["expect_between"] = list(call.expect_between)
+    if call.expect_never:
+        payload["expect_never"] = True
+    if call.expect_returns is not UNSET:
+        payload["expect_returns"] = call.expect_returns
+    if not call.check_completion:
+        payload["check_completion"] = False
+    return payload
+
+
+def _call_from_dict(payload: Dict[str, Any]) -> TestCall:
+    return TestCall(
+        at=int(payload["at"]),
+        thread=str(payload["thread"]),
+        method=str(payload["method"]),
+        args=tuple(payload.get("args", ())),
+        kwargs=tuple(sorted(dict(payload.get("kwargs", {})).items())),
+        expect_at=payload.get("expect_at"),
+        expect_between=(
+            tuple(payload["expect_between"])
+            if "expect_between" in payload
+            else None
+        ),
+        expect_never=bool(payload.get("expect_never", False)),
+        expect_returns=payload.get("expect_returns", UNSET),
+        check_completion=bool(payload.get("check_completion", True)),
+    )
+
+
+@dataclass
+class SuiteReport:
+    """The result of running a regression suite."""
+
+    component: str
+    outcomes: List[SequenceOutcome] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(outcome.passed for outcome in self.outcomes)
+
+    @property
+    def n_sequences(self) -> int:
+        return len(self.outcomes)
+
+    def failures(self) -> List[SequenceOutcome]:
+        return [o for o in self.outcomes if not o.passed]
+
+    def total_coverage(self) -> float:
+        """Union arc coverage across the suite's sequences (fraction)."""
+        covered: set = set()
+        total: set = set()
+        for outcome in self.outcomes:
+            for method, coverage in outcome.coverage.methods.items():
+                for key, hits in coverage.hits.items():
+                    total.add((method, key))
+                    if hits > 0:
+                        covered.add((method, key))
+        return len(covered) / len(total) if total else 1.0
+
+    def describe(self) -> str:
+        lines = [
+            f"regression suite for {self.component}: "
+            f"{'PASS' if self.passed else 'FAIL'} "
+            f"({self.n_sequences} sequences, "
+            f"{self.total_coverage():.0%} union arc coverage)"
+        ]
+        for outcome in self.outcomes:
+            lines.append("  " + outcome.describe().splitlines()[0])
+            for violation in outcome.violations:
+                lines.append(f"      {violation}")
+        return "\n".join(lines)
+
+
+@dataclass
+class RegressionSuite:
+    """A serializable set of golden test sequences for one component."""
+
+    component_name: str
+    sequences: List[TestSequence] = field(default_factory=list)
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        component_factory: Callable[[], MonitorComponent],
+        sequences: Sequence[TestSequence],
+        runner: Optional[SequenceRunner] = None,
+        expect_returns: bool = True,
+    ) -> "RegressionSuite":
+        """Run each (unannotated) sequence on the trusted component and
+        freeze the observed behaviour as the suite's golden expectations.
+
+        Raises ``ValueError`` when a golden replay does not pass its own
+        annotations (a nondeterministic sequence is not a regression
+        test).
+        """
+        runner = runner or SequenceRunner(component_factory)
+        first = component_factory()
+        name = type(first).__name__
+        golden_sequences: List[TestSequence] = []
+        for sequence in sequences:
+            outcome = runner.run(sequence)
+            golden = annotate_expectations(outcome, expect_returns=expect_returns)
+            verify = runner.run(golden)
+            if not verify.passed:
+                raise ValueError(
+                    f"sequence {sequence.name!r} is not stable under its own "
+                    f"golden annotations: {[str(v) for v in verify.violations]}"
+                )
+            golden_sequences.append(golden)
+        return cls(component_name=name, sequences=golden_sequences)
+
+    # -- execution --------------------------------------------------------------
+
+    def run(
+        self,
+        component_factory: Callable[[], MonitorComponent],
+        runner: Optional[SequenceRunner] = None,
+    ) -> SuiteReport:
+        """Run every sequence against ``component_factory``."""
+        runner = runner or SequenceRunner(component_factory)
+        report = SuiteReport(component=self.component_name)
+        for sequence in self.sequences:
+            report.outcomes.append(runner.run(sequence))
+        return report
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "format": "repro-suite",
+            "version": _FORMAT_VERSION,
+            "component": self.component_name,
+            "sequences": [
+                {
+                    "name": sequence.name,
+                    "calls": [_call_to_dict(c) for c in sequence.calls],
+                }
+                for sequence in self.sequences
+            ],
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RegressionSuite":
+        payload = json.loads(text)
+        if payload.get("format") != "repro-suite":
+            raise ValueError("not a repro regression suite")
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported suite version {payload.get('version')!r}"
+            )
+        suite = cls(component_name=payload["component"])
+        for sequence_payload in payload["sequences"]:
+            sequence = TestSequence(sequence_payload["name"])
+            sequence.calls = [
+                _call_from_dict(c) for c in sequence_payload["calls"]
+            ]
+            suite.sequences.append(sequence)
+        return suite
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RegressionSuite":
+        return cls.from_json(Path(path).read_text())

@@ -1,0 +1,262 @@
+"""A ConAn-style textual test-script format.
+
+The paper's tooling lineage (Long/Hoffman/Strooper's ConAn, refs [19,20])
+drives monitor tests from scripts: threads making clocked calls with
+expected results.  This module provides that front end for the
+reproduction's driver::
+
+    # producer-consumer regression
+    component repro.components:ProducerConsumer
+
+    thread consumer:
+        @1 receive() -> 'a' @2      # starts at tick 1, returns 'a' at tick 2
+        @3 receive() -> 'b' @3
+        @5 receive() @never         # must still be waiting at the end
+
+    thread producer:
+        @2 send("ab") @2
+        @4 size?                    # bare call, no completion check
+
+Grammar (per call line):
+
+    "@" START METHOD "(" ARGS ")" ["->" LITERAL] [COMPLETION]
+    COMPLETION := "@" INT | "@[" INT "," INT "]" | "@never"
+
+* START is the abstract-clock tick at which the call begins;
+* ARGS are Python literals (``ast.literal_eval``);
+* ``-> LITERAL`` states the expected return value;
+* a trailing ``@t`` / ``@[lo,hi]`` states the completion tick (defaults
+  to the start tick — "completes without blocking");
+* ``@never`` states the call must not complete;
+* a ``?`` suffix on the method (``size?``) disables completion checking.
+
+``component`` names the class under test as ``module:ClassName``
+(with optional ``(args)`` for its constructor).
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.detect.completion import UNSET
+from repro.vm.api import MonitorComponent
+
+from .driver import SequenceOutcome, SequenceRunner
+from .sequence import TestSequence
+
+__all__ = [
+    "ScriptError",
+    "ParsedScript",
+    "parse_script",
+    "run_script",
+    "render_script",
+]
+
+
+class ScriptError(ValueError):
+    """A syntax or semantic error in a test script, with line number."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+@dataclass
+class ParsedScript:
+    """A parsed script: the component factory plus the test sequence."""
+
+    component_factory: Callable[[], MonitorComponent]
+    component_name: str
+    sequence: TestSequence
+
+    def run(self, **runner_kwargs: Any) -> SequenceOutcome:
+        """Execute the script with :class:`SequenceRunner`."""
+        runner = SequenceRunner(self.component_factory, **runner_kwargs)
+        return runner.run(self.sequence)
+
+
+_COMPONENT_RE = re.compile(
+    r"^component\s+(?P<module>[\w.]+):(?P<cls>\w+)(?:\((?P<args>.*)\))?\s*$"
+)
+_THREAD_RE = re.compile(r"^thread\s+(?P<name>[\w-]+)\s*:\s*$")
+_CALL_RE = re.compile(
+    r"^@(?P<at>\d+)\s+(?P<method>\w+)(?P<nocheck>\?)?"
+    r"(?:\((?P<args>.*)\))?"
+    r"(?:\s*->\s*(?P<returns>.+?))?"
+    r"(?:\s+@(?P<completion>never|\d+|\[\s*\d+\s*,\s*\d+\s*\]))?\s*$"
+)
+
+
+def _strip_comment(line: str) -> str:
+    """Remove a trailing ``#`` comment (respecting string literals)."""
+    in_string: Optional[str] = None
+    for i, ch in enumerate(line):
+        if in_string:
+            if ch == in_string:
+                in_string = None
+        elif ch in ("'", '"'):
+            in_string = ch
+        elif ch == "#":
+            return line[:i]
+    return line
+
+
+def _parse_literals(text: str, line_number: int) -> Tuple[Any, ...]:
+    text = text.strip()
+    if not text:
+        return ()
+    try:
+        value = ast.literal_eval(f"({text},)")
+    except (SyntaxError, ValueError) as exc:
+        raise ScriptError(line_number, f"bad argument list {text!r}: {exc}")
+    return tuple(value)
+
+
+def parse_script(text: str, name: str = "script") -> ParsedScript:
+    """Parse a test script into a component factory and sequence."""
+    factory: Optional[Callable[[], MonitorComponent]] = None
+    component_name = ""
+    sequence = TestSequence(name)
+    current_thread: Optional[str] = None
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw_line).strip()
+        if not line:
+            continue
+
+        component_match = _COMPONENT_RE.match(line)
+        if component_match:
+            if factory is not None:
+                raise ScriptError(line_number, "duplicate component line")
+            module_name = component_match.group("module")
+            class_name = component_match.group("cls")
+            ctor_args = _parse_literals(
+                component_match.group("args") or "", line_number
+            )
+            try:
+                module = importlib.import_module(module_name)
+                cls = getattr(module, class_name)
+            except (ImportError, AttributeError) as exc:
+                raise ScriptError(line_number, f"cannot resolve component: {exc}")
+            factory = lambda: cls(*ctor_args)  # noqa: E731
+            component_name = class_name
+            continue
+
+        thread_match = _THREAD_RE.match(line)
+        if thread_match:
+            current_thread = thread_match.group("name")
+            continue
+
+        call_match = _CALL_RE.match(line)
+        if call_match:
+            if current_thread is None:
+                raise ScriptError(line_number, "call outside a thread block")
+            if factory is None:
+                raise ScriptError(line_number, "call before the component line")
+            at = int(call_match.group("at"))
+            method = call_match.group("method")
+            args = _parse_literals(call_match.group("args") or "", line_number)
+            check = call_match.group("nocheck") is None
+
+            returns: Any = UNSET
+            returns_text = call_match.group("returns")
+            if returns_text is not None:
+                try:
+                    returns = ast.literal_eval(returns_text.strip())
+                except (SyntaxError, ValueError) as exc:
+                    raise ScriptError(
+                        line_number, f"bad expected value {returns_text!r}: {exc}"
+                    )
+
+            expect_at: Optional[int] = None
+            expect_between: Optional[Tuple[int, int]] = None
+            expect_never = False
+            completion = call_match.group("completion")
+            if completion == "never":
+                expect_never = True
+            elif completion is not None and completion.startswith("["):
+                lo, hi = (int(x) for x in completion[1:-1].split(","))
+                if lo > hi:
+                    raise ScriptError(line_number, f"empty window [{lo},{hi}]")
+                expect_between = (lo, hi)
+            elif completion is not None:
+                expect_at = int(completion)
+
+            if not check and (
+                expect_at is not None or expect_between or expect_never
+                or returns is not UNSET
+            ):
+                raise ScriptError(
+                    line_number,
+                    "'?' (unchecked) cannot be combined with expectations",
+                )
+
+            sequence.add(
+                at,
+                current_thread,
+                method,
+                *args,
+                expect_at=expect_at,
+                expect_between=expect_between,
+                expect_never=expect_never,
+                expect_returns=returns,
+                check_completion=check,
+            )
+            continue
+
+        raise ScriptError(line_number, f"cannot parse: {raw_line.strip()!r}")
+
+    if factory is None:
+        raise ScriptError(0, "script has no component line")
+    if not sequence.calls:
+        raise ScriptError(0, "script has no calls")
+    return ParsedScript(factory, component_name, sequence)
+
+
+def run_script(text: str, **runner_kwargs: Any) -> SequenceOutcome:
+    """Parse and execute a script in one step."""
+    return parse_script(text).run(**runner_kwargs)
+
+
+def render_script(
+    sequence: TestSequence,
+    component: str,
+    constructor_args: Tuple[Any, ...] = (),
+) -> str:
+    """Render a :class:`TestSequence` as script text (inverse of
+    :func:`parse_script`).
+
+    ``component`` is the ``module:ClassName`` spec to put on the
+    component line.  Golden sequences produced by
+    :func:`repro.testing.generator.annotate_expectations` round-trip
+    exactly (their arguments and expected values are literals).
+    """
+    lines = [f"# generated from sequence {sequence.name!r}"]
+    ctor = (
+        "(" + ", ".join(repr(a) for a in constructor_args) + ")"
+        if constructor_args
+        else ""
+    )
+    lines.append(f"component {component}{ctor}")
+    for thread in sequence.threads():
+        lines.append("")
+        lines.append(f"thread {thread}:")
+        for call in sequence.calls_for(thread):
+            args = ", ".join(repr(a) for a in call.args)
+            suffix = "" if call.check_completion else "?"
+            parts = [f"    @{call.at} {call.method}{suffix}({args})"]
+            if call.expect_returns is not UNSET:
+                parts.append(f"-> {call.expect_returns!r}")
+            if call.expect_never:
+                parts.append("@never")
+            elif call.expect_between is not None:
+                lo, hi = call.expect_between
+                parts.append(f"@[{lo}, {hi}]")
+            elif call.expect_at is not None:
+                parts.append(f"@{call.expect_at}")
+            lines.append(" ".join(parts))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,177 @@
+"""Deterministic test sequences (the ConAn method of refs [19, 20]).
+
+A :class:`TestSequence` is the executable form of Brinch Hansen's step 2
+(*"the tester constructs a sequence of monitor calls that will exercise
+each operation under each of its preconditions"*): a list of
+:class:`TestCall` items, each saying *which thread* makes *which call* at
+*which abstract-clock time*, together with the expected completion time
+and return value.
+
+Semantics (matching the paper's Section 5 description of the clock):
+
+* a call with ``at=t`` starts when the clock reaches ``t``;
+* the clock only advances when no thread can run (so everything scheduled
+  at time ``t`` runs to completion-or-blocking before time ``t+1``);
+* a call that must be released by a later call (e.g. ``receive`` on an
+  empty buffer released by a ``send`` at time ``u``) is expected to
+  complete at clock ``u``;
+* ``expect_never=True`` states the call must still be incomplete when the
+  sequence ends (the FF-class outcomes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.detect.completion import Expectation, UNSET
+
+__all__ = ["TestCall", "TestSequence"]
+
+_UNSET = UNSET
+
+
+@dataclass(frozen=True)
+class TestCall:
+    """One clocked call in a test sequence.
+
+    Attributes:
+        at: abstract-clock time at which the call starts.
+        thread: logical thread name making the call.
+        method: component method name.
+        args / kwargs: call arguments.
+        expect_at: expected completion clock time (defaults to ``at`` —
+            i.e. "completes without being blocked" — when neither
+            ``expect_at``, ``expect_between`` nor ``expect_never`` is
+            given and ``check_completion`` is True).
+        expect_between: inclusive completion window, overrides expect_at.
+        expect_never: the call must not complete within the sequence.
+        expect_returns: expected return value (checked when set).
+        check_completion: disable all completion checking for this call.
+    """
+
+    __test__ = False  # "Test" prefix is domain vocabulary, not a pytest class
+
+    at: int
+    thread: str
+    method: str
+    args: Tuple[Any, ...] = ()
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+    expect_at: Optional[int] = None
+    expect_between: Optional[Tuple[int, int]] = None
+    expect_never: bool = False
+    expect_returns: Any = _UNSET
+    check_completion: bool = True
+
+    def kwargs_dict(self) -> Dict[str, Any]:
+        return dict(self.kwargs)
+
+    def describe(self) -> str:
+        args = ", ".join(repr(a) for a in self.args)
+        expect = ""
+        if self.expect_never:
+            expect = " !never"
+        elif self.expect_between is not None:
+            expect = f" @[{self.expect_between[0]},{self.expect_between[1]}]"
+        elif self.expect_at is not None:
+            expect = f" @{self.expect_at}"
+        return f"t={self.at} {self.thread}: {self.method}({args}){expect}"
+
+
+@dataclass
+class TestSequence:
+    """An ordered collection of clocked calls against one component."""
+
+    __test__ = False  # "Test" prefix is domain vocabulary, not a pytest class
+
+    name: str
+    calls: List[TestCall] = field(default_factory=list)
+
+    def add(
+        self,
+        at: int,
+        thread: str,
+        method: str,
+        *args: Any,
+        expect_at: Optional[int] = None,
+        expect_between: Optional[Tuple[int, int]] = None,
+        expect_never: bool = False,
+        expect_returns: Any = _UNSET,
+        check_completion: bool = True,
+        **kwargs: Any,
+    ) -> "TestSequence":
+        """Append a call (chainable)."""
+        self.calls.append(
+            TestCall(
+                at=at,
+                thread=thread,
+                method=method,
+                args=tuple(args),
+                kwargs=tuple(sorted(kwargs.items())),
+                expect_at=expect_at,
+                expect_between=expect_between,
+                expect_never=expect_never,
+                expect_returns=expect_returns,
+                check_completion=check_completion,
+            )
+        )
+        return self
+
+    def threads(self) -> List[str]:
+        """Distinct thread names in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for call in self.calls:
+            seen.setdefault(call.thread)
+        return list(seen)
+
+    def horizon(self) -> int:
+        """The largest clock time mentioned anywhere in the sequence."""
+        times = [c.at for c in self.calls]
+        times += [c.expect_at for c in self.calls if c.expect_at is not None]
+        times += [c.expect_between[1] for c in self.calls if c.expect_between]
+        return max(times, default=0)
+
+    def calls_for(self, thread: str) -> List[TestCall]:
+        """The calls of one thread, in clock order (stable for ties)."""
+        return sorted(
+            (c for c in self.calls if c.thread == thread), key=lambda c: c.at
+        )
+
+    def expectations(self, component_name: str) -> List[Expectation]:
+        """Completion-time expectations for the checker.
+
+        Occurrence indices are computed per (thread, method) in clock
+        order, matching how the driver emits the calls.
+        """
+        expectations: List[Expectation] = []
+        occurrence: Dict[Tuple[str, str], int] = {}
+        for thread in self.threads():
+            for call in self.calls_for(thread):
+                key = (thread, call.method)
+                index = occurrence.get(key, 0)
+                occurrence[key] = index + 1
+                if not call.check_completion:
+                    continue
+                window: Optional[Tuple[int, int]] = call.expect_between
+                at: Optional[int] = call.expect_at
+                if window is None and at is None and not call.expect_never:
+                    at = call.at
+                expectations.append(
+                    Expectation(
+                        component=component_name,
+                        method=call.method,
+                        thread=thread,
+                        occurrence=index,
+                        at=at,
+                        between=window,
+                        never=call.expect_never,
+                        returns=call.expect_returns,
+                    )
+                )
+        return expectations
+
+    def describe(self) -> str:
+        lines = [f"test sequence {self.name!r}:"]
+        for call in sorted(self.calls, key=lambda c: (c.at, c.thread)):
+            lines.append(f"  {call.describe()}")
+        return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""ConAn's abstract testing clock, as a thin syscall façade.
+
+The paper (Section 5, "Testing Notes") describes the clock used by the
+ConAn tool for deterministic execution:
+
+* ``await(t)`` — delay the calling thread until the clock reaches time ``t``;
+* ``tick`` — advance the time by one unit, waking any processes awaiting it;
+* ``time`` — the number of units passed since the clock started.
+
+The clock state lives in the kernel; this class just builds the syscalls a
+test-driver thread yields, so drivers read like the paper's prose::
+
+    clock = TestClock()
+
+    def producer():
+        yield clock.await_time(1)
+        yield from pc.send("ab")
+        yield clock.tick()
+"""
+
+from __future__ import annotations
+
+from .syscalls import AwaitTime, GetTime, Syscall, Tick
+
+__all__ = ["TestClock"]
+
+
+class TestClock:
+    """Builder of abstract-clock syscalls (state lives in the kernel)."""
+
+    def await_time(self, target: int) -> Syscall:
+        """Syscall: block until the clock reaches ``target``."""
+        if target < 0:
+            raise ValueError("clock times are non-negative")
+        return AwaitTime(target)
+
+    def tick(self) -> Syscall:
+        """Syscall: advance the clock one unit, waking due awaiters."""
+        return Tick()
+
+    def time(self) -> Syscall:
+        """Syscall: resolves (via ``yield``) to the current clock time."""
+        return GetTime()

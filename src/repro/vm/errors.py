@@ -1,0 +1,65 @@
+"""Exceptions raised by the monitor virtual machine."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = [
+    "VMError",
+    "IllegalMonitorStateError",
+    "DeadlockError",
+    "StuckThreadsError",
+    "StepLimitExceededError",
+    "UnknownSyscallError",
+    "ThreadCrashedError",
+]
+
+
+class VMError(Exception):
+    """Base class for all VM errors."""
+
+
+class IllegalMonitorStateError(VMError):
+    """A thread invoked ``wait``/``notify``/``notifyAll`` on a monitor it
+    does not own, or released a monitor it does not hold.
+
+    This mirrors Java's ``java.lang.IllegalMonitorStateException`` and is
+    the VM-level symptom of several EF-class failures.
+    """
+
+
+class DeadlockError(VMError):
+    """The VM reached quiescence with a cycle of threads blocked on
+    monitors held by each other (FF-T2 via circular lock acquisition)."""
+
+    def __init__(self, message: str, cycle: Optional[List[str]] = None) -> None:
+        super().__init__(message)
+        self.cycle = cycle or []
+
+
+class StuckThreadsError(VMError):
+    """The VM reached quiescence with threads still blocked or waiting but
+    no lock cycle — typically waiting threads that will never be notified
+    (FF-T5) or threads starved of a lock (FF-T2)."""
+
+    def __init__(self, message: str, stuck: Optional[List[str]] = None) -> None:
+        super().__init__(message)
+        self.stuck = stuck or []
+
+
+class StepLimitExceededError(VMError):
+    """Execution exceeded the configured step budget — the VM analogue of a
+    thread that never completes (FF-T4 endless loop)."""
+
+
+class UnknownSyscallError(VMError):
+    """A thread yielded an object the kernel does not recognise."""
+
+
+class ThreadCrashedError(VMError):
+    """A thread body raised an unhandled exception; the original exception
+    is available as ``__cause__``."""
+
+    def __init__(self, thread_name: str, message: str) -> None:
+        super().__init__(f"thread {thread_name!r} crashed: {message}")
+        self.thread_name = thread_name

@@ -1,0 +1,106 @@
+"""Event vocabulary of the monitor VM.
+
+Every observable action of a simulated thread produces one :class:`Event`
+in the kernel trace.  The five monitor-protocol events correspond exactly
+to the transitions of the paper's Figure-1 Petri net (see
+:data:`TRANSITION_OF_EVENT`), so a per-thread event trace projects directly
+onto a firing sequence of the model — the bridge between dynamic execution
+and the failure classification.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["EventKind", "Event", "TRANSITION_OF_EVENT"]
+
+
+class EventKind(enum.Enum):
+    """Kinds of trace events emitted by the kernel."""
+
+    THREAD_START = "thread_start"
+    THREAD_END = "thread_end"
+    THREAD_CRASH = "thread_crash"
+
+    # Monitor protocol — these five map onto Petri transitions T1..T5.
+    MONITOR_REQUEST = "monitor_request"    # T1: thread asks for the lock
+    MONITOR_ACQUIRE = "monitor_acquire"    # T2: JVM grants the lock
+    MONITOR_WAIT = "monitor_wait"          # T3: wait(): suspend + release
+    MONITOR_RELEASE = "monitor_release"    # T4: leave synchronized block
+    MONITOR_NOTIFIED = "monitor_notified"  # T5: woken, re-contends for lock
+
+    # Notification as performed by the *notifier* (the dashed arc of Fig 1).
+    NOTIFY = "notify"
+    NOTIFY_ALL = "notify_all"
+    SPURIOUS_WAKEUP = "spurious_wakeup"
+
+    # Component method call boundaries (completion-time checking).
+    CALL_BEGIN = "call_begin"
+    CALL_END = "call_end"
+
+    # Shared-state accesses (lockset race detection).
+    READ = "read"
+    WRITE = "write"
+
+    # Abstract testing clock (ConAn).
+    CLOCK_AWAIT = "clock_await"
+    CLOCK_RESUME = "clock_resume"
+    CLOCK_TICK = "clock_tick"
+
+    # Pure scheduling point.
+    YIELD = "yield"
+
+
+#: Petri-net transition exercised by each monitor-protocol event.
+TRANSITION_OF_EVENT: Dict[EventKind, str] = {
+    EventKind.MONITOR_REQUEST: "T1",
+    EventKind.MONITOR_ACQUIRE: "T2",
+    EventKind.MONITOR_WAIT: "T3",
+    EventKind.MONITOR_RELEASE: "T4",
+    EventKind.MONITOR_NOTIFIED: "T5",
+}
+
+
+@dataclass(frozen=True)
+class Event:
+    """One observable action in a VM execution.
+
+    Attributes:
+        seq: global sequence number (unique, dense from 0).
+        time: kernel virtual time (one unit per scheduling step).
+        thread: name of the acting thread (for MONITOR_NOTIFIED, the woken
+            thread; the notifier appears in ``detail['by']``).
+        kind: the event kind.
+        monitor: name of the monitor involved, if any.
+        component: registered name of the component, for call/access events.
+        method: component method name, for call events and accesses that
+            occur inside one.
+        detail: kind-specific payload (field name for READ/WRITE, clock
+            times for clock events, woken threads for NOTIFY_ALL, ...).
+    """
+
+    seq: int
+    time: int
+    thread: str
+    kind: EventKind
+    monitor: Optional[str] = None
+    component: Optional[str] = None
+    method: Optional[str] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def transition(self) -> Optional[str]:
+        """The Figure-1 transition this event exercises, or ``None``."""
+        return TRANSITION_OF_EVENT.get(self.kind)
+
+    def __str__(self) -> str:
+        parts = [f"#{self.seq}", f"t={self.time}", self.thread, self.kind.value]
+        if self.monitor:
+            parts.append(f"mon={self.monitor}")
+        if self.method:
+            parts.append(f"{self.component}.{self.method}")
+        if self.detail:
+            parts.append(repr(self.detail))
+        return " ".join(parts)

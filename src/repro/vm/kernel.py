@@ -1,0 +1,781 @@
+"""The monitor virtual machine kernel.
+
+The kernel owns the monitors, the simulated threads, the abstract testing
+clock, and the event trace.  Its run loop repeatedly asks the scheduler
+for a runnable thread, resumes that thread's generator, and executes the
+syscall the generator yields.  Every syscall is a scheduling point, so
+the scheduler fully controls the interleaving — this is the determinism
+the paper's testing method (and its ConAn lineage) requires, which real
+JVM/CPython threads cannot provide.
+
+Virtual time advances by one unit per syscall executed.  The abstract
+clock (ConAn's ``await``/``tick``/``time``) is separate and only advances
+on explicit :class:`~repro.vm.syscalls.Tick` syscalls (or automatically at
+quiescence when ``auto_tick=True``).
+
+Termination taxonomy of :meth:`Kernel.run` (see :class:`RunStatus`):
+
+* ``COMPLETED`` — every thread terminated.
+* ``DEADLOCK`` — quiescent with a cycle in the wait-for graph (threads
+  blocked on locks held by each other): the classic FF-T2/FF-T4 outcome.
+* ``STUCK`` — quiescent with live threads but no lock cycle: waiting
+  threads nobody will notify (FF-T5), or clock waiters with no ticker.
+* ``STEP_LIMIT`` — the step budget ran out (endless loop; FF-T4).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+from .errors import (
+    DeadlockError,
+    IllegalMonitorStateError,
+    StepLimitExceededError,
+    ThreadCrashedError,
+    UnknownSyscallError,
+)
+from .events import Event, EventKind
+from .monitor import MonitorObject, SelectionPolicy
+from .scheduler import FifoScheduler, Scheduler
+from .syscalls import (
+    Acquire,
+    AwaitTime,
+    CallBegin,
+    CallEnd,
+    GetTime,
+    Notify,
+    NotifyAll,
+    Read,
+    Release,
+    Syscall,
+    Tick,
+    Wait,
+    Write,
+    Yield,
+)
+from .thread import SimThread, ThreadState
+from .trace import Trace
+
+__all__ = ["Kernel", "RunResult", "RunStatus", "current_kernel", "current_thread"]
+
+
+# The executing kernel/thread, visible to instrumented component attribute
+# access.  The VM is cooperatively single-threaded, so a module-level slot
+# (not a threading.local) is correct and cheap.
+_CURRENT: List[Tuple["Kernel", SimThread]] = []
+
+
+def current_kernel() -> Optional["Kernel"]:
+    """The kernel currently executing a thread, if any."""
+    return _CURRENT[-1][0] if _CURRENT else None
+
+
+def current_thread() -> Optional[SimThread]:
+    """The simulated thread currently executing, if any."""
+    return _CURRENT[-1][1] if _CURRENT else None
+
+
+class RunStatus(enum.Enum):
+    COMPLETED = "completed"
+    DEADLOCK = "deadlock"
+    STUCK = "stuck"
+    STEP_LIMIT = "step_limit"
+
+
+@dataclass
+class RunResult:
+    """Outcome of a kernel run.
+
+    Attributes:
+        status: how the run ended.
+        trace: the full event trace.
+        steps: syscalls executed.
+        thread_results: generator return value per completed thread.
+        thread_states: final state name per thread.
+        deadlock_cycle: the wait-for cycle when status is DEADLOCK.
+        stuck_threads: live thread names when status is STUCK/DEADLOCK.
+        crashed: names of threads that raised, with their exceptions.
+    """
+
+    status: RunStatus
+    trace: Trace
+    steps: int
+    thread_results: Dict[str, Any] = field(default_factory=dict)
+    thread_states: Dict[str, str] = field(default_factory=dict)
+    deadlock_cycle: List[str] = field(default_factory=list)
+    stuck_threads: List[str] = field(default_factory=list)
+    crashed: Dict[str, BaseException] = field(default_factory=dict)
+    schedule_log: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status is RunStatus.COMPLETED and not self.crashed
+
+    def raise_on_failure(self) -> "RunResult":
+        """Raise the matching VM error unless the run completed cleanly."""
+        if self.crashed:
+            name, exc = next(iter(self.crashed.items()))
+            raise ThreadCrashedError(name, str(exc)) from exc
+        if self.status is RunStatus.DEADLOCK:
+            raise DeadlockError(
+                f"deadlock among threads {self.deadlock_cycle}", self.deadlock_cycle
+            )
+        if self.status is RunStatus.STUCK:
+            from .errors import StuckThreadsError
+
+            raise StuckThreadsError(
+                f"threads stuck at quiescence: {self.stuck_threads}",
+                self.stuck_threads,
+            )
+        if self.status is RunStatus.STEP_LIMIT:
+            raise StepLimitExceededError(f"step limit reached after {self.steps} steps")
+        return self
+
+
+class Kernel:
+    """The monitor VM.
+
+    Args:
+        scheduler: source of all thread-interleaving decisions.
+        lock_policy: how a released lock is granted to entry-set threads
+            (FIFO models a fair JVM; LIFO/ADVERSARIAL model unfair ones —
+            the FF-T2 fairness discussion).
+        notify_policy: how ``notify`` selects a waiter (Section 3.2's
+            "arbitrarily select"; FF-T5 unfairness).
+        seed: RNG seed for RANDOM policies and fault injection.
+        max_steps: syscall budget before the run aborts with STEP_LIMIT.
+        auto_tick: at quiescence with clock waiters, advance the abstract
+            clock to the earliest awaited time instead of declaring STUCK.
+        spurious_wakeup_rate: probability (per wait-state scheduling
+            opportunity) that a waiting thread wakes without notification —
+            models the JVM's permitted spurious wakeups; exposes the
+            if-instead-of-while mutants.
+        lost_notify_rate: probability that a notify/notifyAll wakes nobody
+            (fault injection standing in for a buggy JVM or a lost-wakeup
+            environment); used to measure detector robustness — a correct
+            component under injected signal loss exhibits FF-T5 symptoms
+            that the completion-time oracle must still catch.
+        record_accesses: emit READ/WRITE events for instrumented component
+            fields (required by the race detectors; ~25% of kernel time on
+            access-heavy workloads — disable for pure throughput runs or
+            when only the monitor protocol matters).
+    """
+
+    def __init__(
+        self,
+        scheduler: Optional[Scheduler] = None,
+        lock_policy: SelectionPolicy = SelectionPolicy.FIFO,
+        notify_policy: SelectionPolicy = SelectionPolicy.FIFO,
+        seed: Optional[int] = None,
+        max_steps: int = 100_000,
+        auto_tick: bool = False,
+        spurious_wakeup_rate: float = 0.0,
+        lost_notify_rate: float = 0.0,
+        record_accesses: bool = True,
+    ) -> None:
+        self.scheduler = scheduler or FifoScheduler()
+        self.lock_policy = lock_policy
+        self.notify_policy = notify_policy
+        self.rng = random.Random(seed)
+        self.max_steps = max_steps
+        self.auto_tick = auto_tick
+        self.spurious_wakeup_rate = spurious_wakeup_rate
+        self.lost_notify_rate = lost_notify_rate
+        self.record_accesses = record_accesses
+
+        self.trace = Trace()
+        self.time = 0
+        self.clock_time = 0
+        self.steps = 0
+        #: thread picked at each step, in order (enables replay of a
+        #: saved run via NameReplayScheduler; embedded in saved traces).
+        self.schedule_log: List[str] = []
+        self._seq = 0
+        self.threads: Dict[str, SimThread] = {}
+        self.monitors: Dict[str, MonitorObject] = {}
+        self.components: Dict[str, Any] = {}
+        self._clock_waiters: List[SimThread] = []
+        self._ran = False
+
+    # -- registration ----------------------------------------------------------
+
+    def register(self, component: Any, name: Optional[str] = None) -> Any:
+        """Register a component (anything with a ``_vm_attach`` hook or a
+        plain object) and create its monitor.  Returns the component for
+        chaining."""
+        base = name or type(component).__name__
+        unique = base
+        counter = 1
+        while unique in self.components:
+            counter += 1
+            unique = f"{base}#{counter}"
+        self.components[unique] = component
+        monitor = MonitorObject(unique)
+        self.monitors[unique] = monitor
+        attach = getattr(component, "_vm_attach", None)
+        if attach is not None:
+            attach(self, unique)
+        return component
+
+    def new_monitor(self, name: str) -> MonitorObject:
+        """Create a bare named monitor (for lock-only examples without a
+        component, e.g. the nested-lock demo of Section 3.1)."""
+        if name in self.monitors:
+            raise ValueError(f"monitor {name!r} already exists")
+        monitor = MonitorObject(name)
+        self.monitors[name] = monitor
+        return monitor
+
+    def spawn(
+        self,
+        body: Callable[..., Generator[Any, Any, Any]],
+        *args: Any,
+        name: Optional[str] = None,
+        **kwargs: Any,
+    ) -> SimThread:
+        """Create a simulated thread from a generator function."""
+        base = name or getattr(body, "__name__", "thread")
+        unique = base
+        counter = 1
+        while unique in self.threads:
+            counter += 1
+            unique = f"{base}-{counter}"
+        generator = body(*args, **kwargs)
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"thread body {base!r} must be a generator function "
+                f"(got {type(generator).__name__}); did you forget to yield?"
+            )
+        thread = SimThread(name=unique, body=generator)
+        self.threads[unique] = thread
+        return thread
+
+    # -- monitor-name resolution -------------------------------------------------
+
+    def _monitor_name(self, ref: Any, thread: SimThread) -> str:
+        """Resolve a syscall's monitor reference to a monitor name."""
+        if ref is None:
+            innermost = thread.innermost_monitor()
+            if innermost is None:
+                raise IllegalMonitorStateError(
+                    f"thread {thread.name!r} used a bare wait/notify while "
+                    f"holding no monitor"
+                )
+            return innermost
+        if isinstance(ref, str):
+            if ref not in self.monitors:
+                raise UnknownSyscallError(f"unknown monitor {ref!r}")
+            return ref
+        if isinstance(ref, MonitorObject):
+            return ref.name
+        vm_name = getattr(ref, "_vm_name", None)
+        if vm_name is not None:
+            return vm_name
+        raise UnknownSyscallError(f"cannot resolve monitor reference {ref!r}")
+
+    def _component_name(self, ref: Any) -> str:
+        if isinstance(ref, str):
+            return ref
+        vm_name = getattr(ref, "_vm_name", None)
+        if vm_name is not None:
+            return vm_name
+        return type(ref).__name__
+
+    # -- event emission -----------------------------------------------------------
+
+    def emit(
+        self,
+        thread: str,
+        kind: EventKind,
+        monitor: Optional[str] = None,
+        component: Optional[str] = None,
+        method: Optional[str] = None,
+        **detail: Any,
+    ) -> Event:
+        event = Event(
+            seq=self._seq,
+            time=self.time,
+            thread=thread,
+            kind=kind,
+            monitor=monitor,
+            component=component,
+            method=method,
+            detail=detail,
+        )
+        self._seq += 1
+        self.trace.append(event)
+        return event
+
+    def record_access(self, component: Any, fieldname: str, is_write: bool) -> None:
+        """Record a shared-field access by the currently executing thread.
+
+        Called from instrumented component ``__setattr__``/``__getattribute__``
+        hooks; a no-op outside VM execution (e.g. during ``__init__``) and
+        when access recording is disabled.
+        """
+        if not self.record_accesses:
+            return
+        if not _CURRENT or _CURRENT[-1][0] is not self:
+            return
+        thread = _CURRENT[-1][1]
+        comp_name = self._component_name(component)
+        _, frame_method = thread.current_frame()
+        self.emit(
+            thread.name,
+            EventKind.WRITE if is_write else EventKind.READ,
+            component=comp_name,
+            method=frame_method,
+            field=fieldname,
+        )
+
+    # -- lock machinery -------------------------------------------------------------
+
+    def _grant_lock(self, monitor: MonitorObject) -> None:
+        """If the lock is free and the entry set is nonempty, grant it to a
+        thread chosen by the lock policy."""
+        if monitor.owner is not None or not monitor.entry_set:
+            return
+        chosen_name = monitor.select_blocked(self.lock_policy, self.rng)
+        thread = self.threads[chosen_name]
+        if thread.reacquiring:
+            depth = thread.saved_entry_count
+            monitor.acquire_by(chosen_name, depth)
+            for _ in range(depth):
+                thread.push_hold(monitor.name)
+            thread.saved_entry_count = 0
+            thread.reacquiring = False
+        else:
+            depth = 1
+            monitor.acquire_by(chosen_name, 1)
+            thread.push_hold(monitor.name)
+        thread.blocked_on = None
+        thread.state = ThreadState.RUNNABLE
+        self.emit(
+            chosen_name, EventKind.MONITOR_ACQUIRE, monitor=monitor.name, count=depth
+        )
+
+    def _release_fully(self, thread: SimThread, monitor: MonitorObject) -> int:
+        """Release every hold ``thread`` has on ``monitor`` (wait semantics).
+        Returns the released depth."""
+        depth = thread.hold_depth(monitor.name)
+        for _ in range(depth):
+            thread.pop_hold(monitor.name)
+        monitor.owner = None
+        monitor.entry_count = 0
+        return depth
+
+    # -- syscall handlers --------------------------------------------------------------
+
+    def _sys_acquire(self, thread: SimThread, call: Acquire) -> None:
+        name = self._monitor_name(call.monitor, thread)
+        monitor = self.monitors[name]
+        self.emit(thread.name, EventKind.MONITOR_REQUEST, monitor=name)
+        if monitor.is_owned_by(thread.name):
+            # Reentrant acquire: no contention, immediately deeper hold.
+            monitor.entry_count += 1
+            thread.push_hold(name)
+            self.emit(thread.name, EventKind.MONITOR_ACQUIRE, monitor=name, reentrant=True)
+            thread.send_value = None
+            return
+        if monitor.is_free() and not monitor.entry_set:
+            monitor.acquire_by(thread.name)
+            thread.push_hold(name)
+            self.emit(thread.name, EventKind.MONITOR_ACQUIRE, monitor=name)
+            thread.send_value = None
+            return
+        # Contended (or the policy must arbitrate among queued threads).
+        monitor.add_blocked(thread.name)
+        thread.blocked_on = name
+        thread.state = ThreadState.BLOCKED
+        self._grant_lock(monitor)
+
+    def _sys_release(self, thread: SimThread, call: Release) -> None:
+        name = self._monitor_name(call.monitor, thread)
+        monitor = self.monitors[name]
+        if not monitor.is_owned_by(thread.name):
+            raise IllegalMonitorStateError(
+                f"thread {thread.name!r} released monitor {name!r} it does not own"
+            )
+        monitor.entry_count -= 1
+        thread.pop_hold(name)
+        if monitor.entry_count == 0:
+            monitor.owner = None
+            self.emit(thread.name, EventKind.MONITOR_RELEASE, monitor=name)
+            self._grant_lock(monitor)
+        else:
+            self.emit(
+                thread.name, EventKind.MONITOR_RELEASE, monitor=name, reentrant=True
+            )
+        thread.send_value = None
+
+    @staticmethod
+    def _yield_location(thread: SimThread) -> Optional[int]:
+        """Source line of the innermost yield the thread is suspended at.
+
+        Walks the ``yield from`` delegation chain so the line points into
+        the component method, not the ``@synchronized`` wrapper.  This is
+        what lets the coverage tracker match a runtime wait/notify event to
+        the static CoFG node built from the same source."""
+        gen = thread.body
+        while True:
+            inner = getattr(gen, "gi_yieldfrom", None)
+            if inner is None or not hasattr(inner, "gi_frame"):
+                break
+            gen = inner
+        frame = getattr(gen, "gi_frame", None)
+        return frame.f_lineno if frame is not None else None
+
+    def _sys_wait(self, thread: SimThread, call: Wait) -> None:
+        name = self._monitor_name(call.monitor, thread)
+        monitor = self.monitors[name]
+        if not monitor.is_owned_by(thread.name):
+            raise IllegalMonitorStateError(
+                f"thread {thread.name!r} called wait() on monitor {name!r} "
+                f"without owning it"
+            )
+        depth = self._release_fully(thread, monitor)
+        thread.saved_entry_count = depth
+        monitor.add_waiter(thread.name)
+        thread.waiting_on = name
+        thread.state = ThreadState.WAITING
+        comp, meth = thread.current_frame()
+        self.emit(
+            thread.name,
+            EventKind.MONITOR_WAIT,
+            monitor=name,
+            component=comp,
+            method=meth,
+            depth=depth,
+            line=self._yield_location(thread),
+        )
+        self._grant_lock(monitor)
+
+    def _wake_waiter(self, monitor: MonitorObject, waiter_name: str, by: str, spurious: bool = False) -> None:
+        """Move a waiter to the entry set (T5: D -> B)."""
+        waiter = self.threads[waiter_name]
+        waiter.waiting_on = None
+        waiter.reacquiring = True
+        waiter.blocked_on = monitor.name
+        waiter.state = ThreadState.BLOCKED
+        monitor.add_blocked(waiter_name)
+        self.emit(
+            waiter_name,
+            EventKind.MONITOR_NOTIFIED,
+            monitor=monitor.name,
+            by=by,
+            spurious=spurious,
+        )
+
+    def _sys_notify(self, thread: SimThread, call: Notify, all_waiters: bool) -> None:
+        name = self._monitor_name(call.monitor, thread)
+        monitor = self.monitors[name]
+        if not monitor.is_owned_by(thread.name):
+            raise IllegalMonitorStateError(
+                f"thread {thread.name!r} called notify on monitor {name!r} "
+                f"without owning it"
+            )
+        injected_loss = (
+            self.lost_notify_rate > 0.0
+            and monitor.wait_set
+            and self.rng.random() < self.lost_notify_rate
+        )
+        woken: List[str] = []
+        if not injected_loss:
+            if all_waiters:
+                # notifyAll wakes every waiter; order in the entry set
+                # follows the notify policy applied repeatedly.
+                while monitor.wait_set:
+                    waiter = monitor.select_waiter(self.notify_policy, self.rng)
+                    woken.append(waiter)
+            elif monitor.wait_set:
+                woken.append(
+                    monitor.select_waiter(self.notify_policy, self.rng)
+                )
+        comp, meth = thread.current_frame()
+        self.emit(
+            thread.name,
+            EventKind.NOTIFY_ALL if all_waiters else EventKind.NOTIFY,
+            monitor=name,
+            component=comp,
+            method=meth,
+            woken=list(woken),
+            line=self._yield_location(thread),
+            **({"injected_loss": True} if injected_loss else {}),
+        )
+        for waiter in woken:
+            self._wake_waiter(monitor, waiter, by=thread.name)
+        thread.send_value = None
+
+    def _sys_tick(self, thread: SimThread) -> None:
+        self._do_tick(by=thread.name)
+        thread.send_value = None
+
+    def _do_tick(self, by: str) -> None:
+        self.clock_time += 1
+        resumed = [
+            t for t in self._clock_waiters if (t.await_target or 0) <= self.clock_time
+        ]
+        self._clock_waiters = [t for t in self._clock_waiters if t not in resumed]
+        self.emit(
+            by,
+            EventKind.CLOCK_TICK,
+            now=self.clock_time,
+            resumed=[t.name for t in resumed],
+        )
+        for waiter in resumed:
+            waiter.await_target = None
+            waiter.state = ThreadState.RUNNABLE
+            waiter.send_value = None
+            self.emit(waiter.name, EventKind.CLOCK_RESUME, now=self.clock_time)
+
+    def _sys_await(self, thread: SimThread, call: AwaitTime) -> None:
+        if self.clock_time >= call.target:
+            thread.send_value = None
+            return
+        thread.await_target = call.target
+        thread.state = ThreadState.CLOCK_WAIT
+        self._clock_waiters.append(thread)
+        self.emit(thread.name, EventKind.CLOCK_AWAIT, target=call.target)
+
+    def _sys_call_begin(self, thread: SimThread, call: CallBegin) -> None:
+        comp = self._component_name(call.component)
+        thread.call_stack.append((comp, call.method))
+        self.emit(
+            thread.name, EventKind.CALL_BEGIN, component=comp, method=call.method
+        )
+        thread.send_value = None
+
+    def _sys_call_end(self, thread: SimThread, call: CallEnd) -> None:
+        comp = self._component_name(call.component)
+        if thread.call_stack and thread.call_stack[-1] == (comp, call.method):
+            thread.call_stack.pop()
+        self.emit(
+            thread.name,
+            EventKind.CALL_END,
+            component=comp,
+            method=call.method,
+            result=call.result,
+        )
+        thread.send_value = None
+
+    # -- spurious wakeups ------------------------------------------------------------
+
+    def _maybe_spurious_wakeup(self) -> None:
+        """With the configured probability, wake one random waiting thread
+        without any notify — the JVM's documented liberty."""
+        if self.spurious_wakeup_rate <= 0.0:
+            return
+        if self.rng.random() >= self.spurious_wakeup_rate:
+            return
+        candidates = [
+            (m, w)
+            for m in self.monitors.values()
+            for w in m.wait_set
+        ]
+        if not candidates:
+            return
+        monitor, waiter = candidates[self.rng.randrange(len(candidates))]
+        monitor.remove_waiter(waiter)
+        self.emit(waiter, EventKind.SPURIOUS_WAKEUP, monitor=monitor.name)
+        self._wake_waiter(monitor, waiter, by="<jvm>", spurious=True)
+        # Unlike notify (where the notifier still holds the lock), a
+        # spurious wakeup can hit a free monitor: grant immediately.
+        self._grant_lock(monitor)
+
+    # -- diagnosis ----------------------------------------------------------------------
+
+    def _wait_for_cycle(self) -> List[str]:
+        """Find a cycle in the blocked-on graph: thread -> owner of the
+        monitor it is blocked on.  Returns the cycle's thread names, or []."""
+        edges: Dict[str, str] = {}
+        for thread in self.threads.values():
+            if thread.state is ThreadState.BLOCKED and thread.blocked_on:
+                owner = self.monitors[thread.blocked_on].owner
+                if owner is not None:
+                    edges[thread.name] = owner
+        for start in edges:
+            seen: List[str] = []
+            node = start
+            while node in edges and node not in seen:
+                seen.append(node)
+                node = edges[node]
+            if node in seen:
+                return seen[seen.index(node):]
+        return []
+
+    # -- the run loop ----------------------------------------------------------------------
+
+    def _runnable(self) -> List[SimThread]:
+        return [
+            t
+            for t in self.threads.values()
+            if t.state in (ThreadState.NEW, ThreadState.RUNNABLE)
+        ]
+
+    def _resume(self, thread: SimThread) -> Optional[Syscall]:
+        """Resume a thread's generator; return its next syscall or None when
+        it terminated/crashed."""
+        if thread.state is ThreadState.NEW:
+            thread.state = ThreadState.RUNNABLE
+            thread.started_at = self.time
+            self.emit(thread.name, EventKind.THREAD_START)
+        _CURRENT.append((self, thread))
+        try:
+            if thread.throw_exc is not None:
+                exc = thread.throw_exc
+                thread.throw_exc = None
+                syscall = thread.body.throw(exc)
+            else:
+                value = thread.send_value
+                thread.send_value = None
+                syscall = thread.body.send(value)
+            return syscall
+        except StopIteration as stop:
+            thread.state = ThreadState.TERMINATED
+            thread.result = stop.value
+            thread.ended_at = self.time
+            self.emit(thread.name, EventKind.THREAD_END, result=stop.value)
+            self._release_abandoned_locks(thread)
+            return None
+        except Exception as exc:  # noqa: BLE001 - thread bodies may raise anything
+            thread.state = ThreadState.CRASHED
+            thread.exception = exc
+            thread.ended_at = self.time
+            self.emit(thread.name, EventKind.THREAD_CRASH, error=repr(exc))
+            self._release_abandoned_locks(thread)
+            return None
+        finally:
+            _CURRENT.pop()
+
+    def _release_abandoned_locks(self, thread: SimThread) -> None:
+        """Release any monitors a dead thread still holds (as Java does when
+        a synchronized block unwinds on exception)."""
+        while thread.held:
+            name, _ = thread.held[-1]
+            monitor = self.monitors[name]
+            thread.pop_hold(name)
+            monitor.entry_count -= 1
+            if monitor.entry_count <= 0:
+                monitor.owner = None
+                monitor.entry_count = 0
+                self.emit(thread.name, EventKind.MONITOR_RELEASE, monitor=name, abandoned=True)
+                self._grant_lock(monitor)
+
+    def _dispatch(self, thread: SimThread, syscall: Syscall) -> None:
+        if isinstance(syscall, Acquire):
+            self._sys_acquire(thread, syscall)
+        elif isinstance(syscall, Release):
+            self._sys_release(thread, syscall)
+        elif isinstance(syscall, Wait):
+            self._sys_wait(thread, syscall)
+        elif isinstance(syscall, Notify):
+            self._sys_notify(thread, syscall, all_waiters=False)
+        elif isinstance(syscall, NotifyAll):
+            self._sys_notify(thread, syscall, all_waiters=True)
+        elif isinstance(syscall, Read):
+            self.emit(
+                thread.name,
+                EventKind.READ,
+                component=self._component_name(syscall.component),
+                method=thread.current_frame()[1],
+                field=syscall.field,
+            )
+            thread.send_value = None
+        elif isinstance(syscall, Write):
+            self.emit(
+                thread.name,
+                EventKind.WRITE,
+                component=self._component_name(syscall.component),
+                method=thread.current_frame()[1],
+                field=syscall.field,
+            )
+            thread.send_value = None
+        elif isinstance(syscall, Tick):
+            self._sys_tick(thread)
+        elif isinstance(syscall, AwaitTime):
+            self._sys_await(thread, syscall)
+        elif isinstance(syscall, GetTime):
+            thread.send_value = self.clock_time
+        elif isinstance(syscall, Yield):
+            self.emit(thread.name, EventKind.YIELD)
+            thread.send_value = None
+        elif isinstance(syscall, CallBegin):
+            self._sys_call_begin(thread, syscall)
+        elif isinstance(syscall, CallEnd):
+            self._sys_call_end(thread, syscall)
+        else:
+            raise UnknownSyscallError(f"thread {thread.name!r} yielded {syscall!r}")
+
+    def step(self) -> bool:
+        """Execute one scheduling step.  Returns False at quiescence."""
+        self._maybe_spurious_wakeup()
+        runnable = self._runnable()
+        if not runnable:
+            if self.auto_tick and self._clock_waiters:
+                target = min(t.await_target or 0 for t in self._clock_waiters)
+                while self.clock_time < target:
+                    self._do_tick(by="<auto>")
+                return True
+            return False
+        names = [t.name for t in runnable]
+        index = self.scheduler.pick("run", names)
+        if not 0 <= index < len(names):
+            raise UnknownSyscallError(
+                f"scheduler returned invalid index {index} for {len(names)} threads"
+            )
+        thread = runnable[index]
+        self.schedule_log.append(thread.name)
+        syscall = self._resume(thread)
+        self.time += 1
+        self.steps += 1
+        if syscall is not None:
+            try:
+                self._dispatch(thread, syscall)
+            except (IllegalMonitorStateError, UnknownSyscallError) as exc:
+                # Deliver at the faulting yield point, Java-style: the
+                # thread sees the exception raised from its wait()/notify().
+                thread.throw_exc = exc
+        return True
+
+    def run(self) -> RunResult:
+        """Run to quiescence or the step budget; never raises for
+        concurrency failures — inspect/raise via the :class:`RunResult`."""
+        self.scheduler.reset()
+        self._ran = True
+        status = RunStatus.COMPLETED
+        while True:
+            if self.steps >= self.max_steps:
+                status = RunStatus.STEP_LIMIT
+                break
+            if not self.step():
+                break
+        live = [t for t in self.threads.values() if t.is_live()]
+        if status is not RunStatus.STEP_LIMIT:
+            if live:
+                cycle = self._wait_for_cycle()
+                status = RunStatus.DEADLOCK if cycle else RunStatus.STUCK
+            else:
+                status = RunStatus.COMPLETED
+        result = RunResult(
+            status=status,
+            trace=self.trace,
+            steps=self.steps,
+            thread_results={
+                t.name: t.result
+                for t in self.threads.values()
+                if t.state is ThreadState.TERMINATED
+            },
+            thread_states={t.name: t.state.value for t in self.threads.values()},
+            deadlock_cycle=self._wait_for_cycle() if live else [],
+            stuck_threads=[t.name for t in live],
+            crashed={
+                t.name: t.exception
+                for t in self.threads.values()
+                if t.state is ThreadState.CRASHED and t.exception is not None
+            },
+            schedule_log=list(self.schedule_log),
+        )
+        return result

@@ -1,0 +1,130 @@
+"""Monitor objects: lock owner, entry set, wait set, and selection policies.
+
+A Java object used for synchronization has three pieces of state the paper's
+model cares about: who owns the lock (place ``C`` vs ``E``), which threads
+are blocked trying to enter (place ``B``), and which threads are waiting
+(place ``D``).  :class:`MonitorObject` holds exactly that.
+
+Two nondeterministic choices in the JVM are made explicit, pluggable
+policies here because the paper's failure classification hinges on them:
+
+* **lock-grant policy** — which entry-set thread receives a released lock.
+  The JVM "is not required to be fair" (Section 5.2.1, FF-T2); an unfair
+  policy can starve a thread forever.
+* **notify-selection policy** — which waiter ``notify()`` wakes.  The JVM
+  "arbitrarily select[s] a waiting thread" (Section 3.2); an unfair policy
+  can leave one waiter unnotified forever (FF-T5).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["SelectionPolicy", "MonitorObject", "select_index"]
+
+
+class SelectionPolicy(enum.Enum):
+    """How a thread is chosen from an entry set or wait set.
+
+    FIFO: oldest first (a fair JVM).  LIFO: newest first (maximally unfair
+    — the canonical starvation adversary).  RANDOM: uniform, seeded at the
+    kernel.  ADVERSARIAL_LAST: always bypass the longest-waiting thread if
+    any alternative exists (starves one victim while staying plausible).
+    """
+
+    FIFO = "fifo"
+    LIFO = "lifo"
+    RANDOM = "random"
+    ADVERSARIAL_LAST = "adversarial_last"
+
+
+def select_index(
+    policy: SelectionPolicy, n: int, rng: Optional[random.Random]
+) -> int:
+    """Pick an index into a queue of ``n`` candidates under ``policy``."""
+    if n <= 0:
+        raise ValueError("selection from empty candidate set")
+    if policy is SelectionPolicy.FIFO:
+        return 0
+    if policy is SelectionPolicy.LIFO:
+        return n - 1
+    if policy is SelectionPolicy.RANDOM:
+        if rng is None:
+            raise ValueError("RANDOM policy requires an RNG")
+        return rng.randrange(n)
+    if policy is SelectionPolicy.ADVERSARIAL_LAST:
+        return 1 if n > 1 else 0
+    raise ValueError(f"unknown policy {policy!r}")
+
+
+@dataclass
+class MonitorObject:
+    """The synchronization state of one object.
+
+    Attributes:
+        name: unique monitor name within the kernel.
+        owner: name of the owning thread, or ``None`` when the lock is free
+            (the token in place ``E``).
+        entry_count: reentrant hold depth of the owner (Java monitors are
+            reentrant; ``wait`` releases all holds and restores them on
+            reacquisition).
+        entry_set: threads blocked trying to acquire, in arrival order.
+        wait_set: threads suspended by ``wait``, in arrival order.
+    """
+
+    name: str
+    owner: Optional[str] = None
+    entry_count: int = 0
+    entry_set: List[str] = field(default_factory=list)
+    wait_set: List[str] = field(default_factory=list)
+
+    def is_free(self) -> bool:
+        return self.owner is None
+
+    def is_owned_by(self, thread: str) -> bool:
+        return self.owner == thread
+
+    def acquire_by(self, thread: str, count: int = 1) -> None:
+        """Grant the free lock to ``thread`` with hold depth ``count``."""
+        assert self.owner is None, f"monitor {self.name} already owned"
+        self.owner = thread
+        self.entry_count = count
+
+    def add_blocked(self, thread: str) -> None:
+        self.entry_set.append(thread)
+
+    def remove_blocked(self, thread: str) -> None:
+        self.entry_set.remove(thread)
+
+    def add_waiter(self, thread: str) -> None:
+        self.wait_set.append(thread)
+
+    def remove_waiter(self, thread: str) -> None:
+        self.wait_set.remove(thread)
+
+    def select_blocked(
+        self, policy: SelectionPolicy, rng: Optional[random.Random]
+    ) -> str:
+        """Choose (and remove) the next entry-set thread to grant the lock."""
+        index = select_index(policy, len(self.entry_set), rng)
+        return self.entry_set.pop(index)
+
+    def select_waiter(
+        self, policy: SelectionPolicy, rng: Optional[random.Random]
+    ) -> str:
+        """Choose (and remove) the waiter a ``notify`` will wake."""
+        index = select_index(policy, len(self.wait_set), rng)
+        return self.wait_set.pop(index)
+
+    def snapshot(self) -> dict:
+        """A plain-data view for diagnostics and exploration hashing."""
+        return {
+            "name": self.name,
+            "owner": self.owner,
+            "entry_count": self.entry_count,
+            "entry_set": tuple(self.entry_set),
+            "wait_set": tuple(self.wait_set),
+        }

@@ -1,0 +1,142 @@
+"""Syscall objects yielded by simulated threads.
+
+A simulated thread is a Python generator; every interaction with the
+concurrency machinery is expressed by ``yield``-ing one of these small
+dataclasses to the kernel.  Each yield is a *scheduling point*: the kernel
+may switch to another thread before the syscall's effect becomes visible,
+which is exactly where Java's preemption points matter for the failures
+the paper classifies.
+
+The monitor argument of :class:`Wait`, :class:`Notify`, and
+:class:`NotifyAll` is optional: when ``None``, the kernel resolves it to the
+innermost monitor the thread currently holds — the analogue of Java's bare
+``wait()`` meaning ``this.wait()`` inside a synchronized method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = [
+    "Syscall",
+    "Acquire",
+    "Release",
+    "Wait",
+    "Notify",
+    "NotifyAll",
+    "Read",
+    "Write",
+    "Tick",
+    "AwaitTime",
+    "GetTime",
+    "Yield",
+    "CallBegin",
+    "CallEnd",
+]
+
+
+class Syscall:
+    """Marker base class for everything a thread may yield to the kernel."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Acquire(Syscall):
+    """Enter a synchronized block on ``monitor`` (fires T1, then T2 when
+    the lock is granted).  Reentrant, as in Java."""
+
+    monitor: Any  # MonitorComponent, MonitorHandle or monitor name
+
+
+@dataclass(frozen=True)
+class Release(Syscall):
+    """Leave a synchronized block on ``monitor`` (fires T4 when the
+    outermost hold is released)."""
+
+    monitor: Any
+
+
+@dataclass(frozen=True)
+class Wait(Syscall):
+    """``monitor.wait()``: suspend on the wait set and release the lock
+    (fires T3).  Requires ownership, else IllegalMonitorStateError."""
+
+    monitor: Optional[Any] = None
+
+
+@dataclass(frozen=True)
+class Notify(Syscall):
+    """``monitor.notify()``: wake one arbitrarily selected waiter (causes
+    its T5).  Requires ownership."""
+
+    monitor: Optional[Any] = None
+
+
+@dataclass(frozen=True)
+class NotifyAll(Syscall):
+    """``monitor.notifyAll()``: wake every waiter.  Requires ownership."""
+
+    monitor: Optional[Any] = None
+
+
+@dataclass(frozen=True)
+class Read(Syscall):
+    """Record a read of ``component.field`` (race detection).  Emitted
+    automatically by instrumented components; rarely yielded by hand."""
+
+    component: Any
+    field: str
+
+
+@dataclass(frozen=True)
+class Write(Syscall):
+    """Record a write of ``component.field`` (race detection)."""
+
+    component: Any
+    field: str
+
+
+@dataclass(frozen=True)
+class Tick(Syscall):
+    """Advance the abstract testing clock by one unit, waking every thread
+    awaiting a time that has now been reached (ConAn's ``tick``)."""
+
+
+@dataclass(frozen=True)
+class AwaitTime(Syscall):
+    """Block until the abstract clock reaches ``target`` (ConAn's
+    ``await(t)``)."""
+
+    target: int
+
+
+@dataclass(frozen=True)
+class GetTime(Syscall):
+    """Resolve to the current abstract clock time (ConAn's ``time``)."""
+
+
+@dataclass(frozen=True)
+class Yield(Syscall):
+    """A pure scheduling point with no other effect (lets the scheduler
+    interleave within otherwise-atomic code, e.g. inside an unsynchronized
+    critical section of a faulty component)."""
+
+
+@dataclass(frozen=True)
+class CallBegin(Syscall):
+    """Marks entry into a component method (emitted by ``@synchronized``
+    and ``@unsynchronized`` wrappers; used for completion-time checks)."""
+
+    component: Any
+    method: str
+
+
+@dataclass(frozen=True)
+class CallEnd(Syscall):
+    """Marks exit from a component method."""
+
+    component: Any
+    method: str
+    result: Any = None

@@ -1,0 +1,116 @@
+"""Simulated threads.
+
+A :class:`SimThread` wraps a Python generator that represents the thread's
+body.  The kernel drives the generator by sending it the result of its last
+syscall; the generator's next ``yield`` delivers the next syscall.  Nested
+calls (component methods) are ordinary ``yield from`` delegation, so the
+whole thread is a single generator from the kernel's point of view.
+
+Thread states mirror the places of the paper's Figure-1 model:
+
+========== =====================================================
+State       Figure-1 place
+========== =====================================================
+RUNNABLE    A or C (executing; which one depends on held locks)
+BLOCKED     B (requesting a lock held by another thread)
+WAITING     D (suspended on a wait set)
+CLOCK_WAIT  — (awaiting the abstract testing clock; a ConAn-only
+              state that does not exist in the paper's net)
+========== =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Generator, List, Optional, Tuple
+
+__all__ = ["ThreadState", "SimThread"]
+
+
+class ThreadState(enum.Enum):
+    NEW = "new"
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"        # in some monitor's entry set
+    WAITING = "waiting"        # in some monitor's wait set
+    CLOCK_WAIT = "clock_wait"  # awaiting an abstract-clock time
+    TERMINATED = "terminated"
+    CRASHED = "crashed"
+
+
+@dataclass
+class SimThread:
+    """One simulated thread.
+
+    Attributes:
+        name: unique thread name within the kernel.
+        body: the generator being driven.
+        state: current lifecycle state.
+        send_value: value to send into the generator on next resumption.
+        throw_exc: exception to throw into the generator instead (used to
+            deliver IllegalMonitorStateError at the faulting yield point).
+        held: stack of (monitor_name, entry_count) for reentrancy; the top
+            is the innermost synchronized block.
+        blocked_on: monitor name while BLOCKED.
+        waiting_on: monitor name while WAITING.
+        saved_entry_count: hold depth to restore after wait reacquisition.
+        reacquiring: True when in an entry set because of notify (so the
+            grant is a post-T5 reacquisition, not a fresh T2-after-T1).
+        await_target: clock time awaited while CLOCK_WAIT.
+        result: generator return value once TERMINATED.
+        exception: unhandled exception once CRASHED.
+        call_stack: (component, method) frames for event attribution.
+        started_at / ended_at: kernel times of start and termination.
+    """
+
+    name: str
+    body: Generator[Any, Any, Any]
+    state: ThreadState = ThreadState.NEW
+    send_value: Any = None
+    throw_exc: Optional[BaseException] = None
+    held: List[Tuple[str, int]] = field(default_factory=list)
+    blocked_on: Optional[str] = None
+    waiting_on: Optional[str] = None
+    saved_entry_count: int = 0
+    reacquiring: bool = False
+    await_target: Optional[int] = None
+    result: Any = None
+    exception: Optional[BaseException] = None
+    call_stack: List[Tuple[str, str]] = field(default_factory=list)
+    started_at: Optional[int] = None
+    ended_at: Optional[int] = None
+
+    def innermost_monitor(self) -> Optional[str]:
+        """Name of the monitor of the innermost synchronized block, or
+        ``None`` when the thread holds no lock."""
+        return self.held[-1][0] if self.held else None
+
+    def holds(self, monitor: str) -> bool:
+        return any(m == monitor for m, _ in self.held)
+
+    def hold_depth(self, monitor: str) -> int:
+        return sum(c for m, c in self.held if m == monitor)
+
+    def push_hold(self, monitor: str) -> None:
+        """Record one more hold of ``monitor`` (reentrant acquires stack)."""
+        self.held.append((monitor, 1))
+
+    def pop_hold(self, monitor: str) -> None:
+        """Remove the innermost hold of ``monitor``."""
+        for i in range(len(self.held) - 1, -1, -1):
+            if self.held[i][0] == monitor:
+                del self.held[i]
+                return
+        raise ValueError(f"{self.name} does not hold {monitor}")
+
+    def is_live(self) -> bool:
+        return self.state not in (ThreadState.TERMINATED, ThreadState.CRASHED)
+
+    def current_frame(self) -> Tuple[Optional[str], Optional[str]]:
+        """(component, method) of the innermost active call, or (None, None)."""
+        if self.call_stack:
+            return self.call_stack[-1]
+        return (None, None)
+
+    def __repr__(self) -> str:
+        return f"SimThread({self.name!r}, {self.state.value})"

@@ -1,0 +1,219 @@
+"""Tests for CoFG construction and transition attribution (Section 6.1)."""
+
+import pytest
+
+from repro.analysis import (
+    NodeKind,
+    PAPER_FIGURE3_SEQUENCES,
+    attribute_arc,
+    build_all_cofgs,
+    build_cofg,
+    cofg_to_dot,
+    component_methods,
+)
+from repro.analysis.model import CoFGNode
+from repro.components import BoundedBuffer, ProducerConsumer, Semaphore
+from repro.components.faulty import UnsyncCounter
+
+
+def node(kind, line=None, cond=None):
+    return CoFGNode(kind, line, cond)
+
+
+class TestAttribution:
+    def test_start_to_wait(self):
+        assert attribute_arc(node(NodeKind.START), node(NodeKind.WAIT, 5)) == (
+            "T1",
+            "T2",
+            "T3",
+        )
+
+    def test_wait_to_wait(self):
+        assert attribute_arc(node(NodeKind.WAIT, 5), node(NodeKind.WAIT, 5)) == (
+            "T3",
+            "T5",
+            "T2",
+            "T3",
+        )
+
+    def test_start_to_notifyall(self):
+        assert attribute_arc(
+            node(NodeKind.START), node(NodeKind.NOTIFY_ALL, 9)
+        ) == ("T1", "T2", "T5")
+
+    def test_notifyall_to_end(self):
+        assert attribute_arc(node(NodeKind.NOTIFY_ALL, 9), node(NodeKind.END)) == (
+            "T5",
+            "T4",
+        )
+
+    def test_start_to_end(self):
+        assert attribute_arc(node(NodeKind.START), node(NodeKind.END)) == (
+            "T1",
+            "T2",
+            "T4",
+        )
+
+    def test_unsynchronized_drops_lock_firings(self):
+        assert (
+            attribute_arc(node(NodeKind.START), node(NodeKind.END), False) == ()
+        )
+        assert attribute_arc(
+            node(NodeKind.START), node(NodeKind.WAIT, 3), False
+        ) == ("T3",)
+
+    def test_paper_figure3_constants(self):
+        assert PAPER_FIGURE3_SEQUENCES[(NodeKind.START, NodeKind.WAIT)] == (
+            "T1",
+            "T2",
+            "T3",
+        )
+        assert PAPER_FIGURE3_SEQUENCES[
+            (NodeKind.WAIT, NodeKind.NOTIFY_ALL)
+        ] == ("T3", "T4", "T5")
+
+
+class TestProducerConsumerCoFG:
+    """The paper's Section 6.1 worked example, arc by arc."""
+
+    @pytest.fixture(scope="class")
+    def receive(self):
+        return build_cofg(ProducerConsumer, "receive")
+
+    @pytest.fixture(scope="class")
+    def send(self):
+        return build_cofg(ProducerConsumer, "send")
+
+    def test_five_arcs_each(self, receive, send):
+        assert len(receive) == 5
+        assert len(send) == 5
+
+    def test_receive_arc_kinds(self, receive):
+        kinds = sorted(
+            (a.src.kind.value, a.dst.kind.value) for a in receive.arcs
+        )
+        assert kinds == sorted(
+            [
+                ("start", "wait"),
+                ("wait", "wait"),
+                ("start", "notifyAll"),
+                ("wait", "notifyAll"),
+                ("notifyAll", "end"),
+            ]
+        )
+
+    def test_paper_matching_arcs(self, receive):
+        """Arcs 1, 2, 4, 5 match the paper's printed firings exactly."""
+        by_kind = {
+            (a.src.kind, a.dst.kind): tuple(a.transitions) for a in receive.arcs
+        }
+        assert by_kind[(NodeKind.START, NodeKind.WAIT)] == ("T1", "T2", "T3")
+        assert by_kind[(NodeKind.WAIT, NodeKind.WAIT)] == (
+            "T3",
+            "T5",
+            "T2",
+            "T3",
+        )
+        assert by_kind[(NodeKind.START, NodeKind.NOTIFY_ALL)] == (
+            "T1",
+            "T2",
+            "T5",
+        )
+        assert by_kind[(NodeKind.NOTIFY_ALL, NodeKind.END)] == ("T5", "T4")
+
+    def test_documented_discrepancy_arc(self, receive):
+        """Arc 3 (wait->notifyAll): the paper prints T3,T4,T5; the
+        model-consistent sequence is T3,T5,T2,T5 (see builder docstring)."""
+        by_kind = {
+            (a.src.kind, a.dst.kind): tuple(a.transitions) for a in receive.arcs
+        }
+        assert by_kind[(NodeKind.WAIT, NodeKind.NOTIFY_ALL)] == (
+            "T3",
+            "T5",
+            "T2",
+            "T5",
+        )
+
+    def test_send_receive_isomorphic(self, receive, send):
+        """Paper: 'The CoFG for send is identical to that for receive'."""
+        assert receive.is_isomorphic_to(send)
+
+    def test_guards_follow_paper_conditions(self, receive):
+        guards = {
+            (a.src.kind, a.dst.kind): a.guard for a in receive.arcs
+        }
+        assert "True on entry" in guards[(NodeKind.START, NodeKind.WAIT)]
+        assert "True on iteration" in guards[(NodeKind.WAIT, NodeKind.WAIT)]
+        assert "is False" in guards[(NodeKind.START, NodeKind.NOTIFY_ALL)]
+        assert "is False" in guards[(NodeKind.WAIT, NodeKind.NOTIFY_ALL)]
+
+    def test_lookup_helpers(self, receive):
+        assert receive.start.kind is NodeKind.START
+        assert receive.end.kind is NodeKind.END
+        wait = receive.wait_nodes()[0]
+        assert receive.node_at_line(NodeKind.WAIT, wait.line) == wait
+        assert receive.arc("start", wait.name) is not None
+        assert receive.arcs_from("start")
+        assert receive.arcs_into("end")
+        assert receive.node(wait.name) == wait
+
+    def test_describe_mentions_arcs(self, receive):
+        text = receive.describe()
+        assert "start -> wait" in text
+        assert "T1, T2, T3" in text
+
+
+class TestOtherComponents:
+    def test_bounded_buffer_cofgs(self):
+        cofgs = build_all_cofgs(BoundedBuffer)
+        assert set(cofgs) == {"put", "get", "size"}
+        assert len(cofgs["put"]) == 5
+        # size has no concurrency statements: a single start->end arc
+        assert len(cofgs["size"]) == 1
+        assert cofgs["size"].arcs[0].transitions == ("T1", "T2", "T4")
+
+    def test_semaphore_methods_listed(self):
+        assert set(component_methods(Semaphore)) == {
+            "acquire",
+            "release",
+            "try_acquire",
+            "available",
+        }
+
+    def test_unsynchronized_method_cofg(self):
+        cofg = build_cofg(UnsyncCounter, "increment")
+        assert not cofg.synchronized
+        # yield Yield() is a node; arcs carry no lock transitions
+        for arc in cofg.arcs:
+            assert "T1" not in arc.transitions
+            assert "T4" not in arc.transitions
+
+    def test_instance_accepted(self):
+        cofg = build_cofg(ProducerConsumer(), "receive")
+        assert cofg.component == "ProducerConsumer"
+
+    def test_missing_method_raises(self):
+        with pytest.raises(AttributeError):
+            build_cofg(ProducerConsumer, "nope")
+
+    def test_undeclared_method_rejected(self):
+        class Bad(ProducerConsumer):
+            def plain(self):
+                return 1
+
+        with pytest.raises(ValueError):
+            build_cofg(Bad, "plain")
+
+
+class TestDotExport:
+    def test_dot_structure(self):
+        cofg = build_cofg(ProducerConsumer, "receive")
+        dot = cofg_to_dot(cofg)
+        assert dot.startswith("digraph")
+        assert '"start"' in dot and '"end"' in dot
+        assert "T1, T2, T3" in dot
+
+    def test_dot_without_guards(self):
+        cofg = build_cofg(ProducerConsumer, "receive")
+        dot = cofg_to_dot(cofg, show_guards=False)
+        assert "is True" not in dot

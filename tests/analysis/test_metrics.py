@@ -1,0 +1,70 @@
+"""Tests for CoFG complexity metrics."""
+
+import pytest
+
+from repro.analysis import component_metrics
+from repro.components import (
+    BoundedBuffer,
+    ProducerConsumer,
+    Semaphore,
+    TaskQueue,
+)
+
+
+class TestMethodMetrics:
+    def test_producer_consumer(self):
+        metrics = component_metrics(ProducerConsumer)
+        receive = metrics.method("receive")
+        assert receive.arcs == 5
+        assert receive.wait_statements == 1
+        assert receive.notify_statements == 1
+        assert receive.loop_arcs == 1  # wait -> wait
+        assert receive.synchronized
+
+    def test_plain_method(self):
+        metrics = component_metrics(BoundedBuffer)
+        size = metrics.method("size")
+        assert size.arcs == 1
+        assert size.wait_statements == 0
+        assert size.loop_arcs == 0
+
+    def test_missing_method_raises(self):
+        with pytest.raises(KeyError):
+            component_metrics(Semaphore).method("nope")
+
+    def test_coverage_obligation(self):
+        metrics = component_metrics(ProducerConsumer)
+        assert metrics.method("send").coverage_obligation == 5
+
+
+class TestComponentMetrics:
+    def test_totals(self):
+        metrics = component_metrics(ProducerConsumer)
+        assert metrics.total_arcs == 10
+        assert metrics.total_wait_statements == 2
+        assert metrics.total_notify_statements == 2
+
+    def test_task_queue_two_guard_exits(self):
+        """take() has a two-condition guard: its CoFG is bigger than a
+        single-guard method's."""
+        metrics = component_metrics(TaskQueue)
+        take = metrics.method("take")
+        assert take.arcs > 5
+
+    def test_whole_system_obligation_grows_multiplicatively(self):
+        """The Section-7 claim: component view is additive, whole-system
+        view is multiplicative in thread count."""
+        metrics = component_metrics(ProducerConsumer)
+        component_view = metrics.total_arcs
+        assert metrics.whole_system_obligation(1) == component_view
+        assert metrics.whole_system_obligation(3) == component_view**3
+        assert metrics.whole_system_obligation(3) >= 100 * component_view
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            component_metrics(Semaphore).whole_system_obligation(0)
+
+    def test_describe(self):
+        text = component_metrics(ProducerConsumer).describe()
+        assert "10 arcs" in text
+        assert "receive" in text and "send" in text

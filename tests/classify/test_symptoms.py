@@ -1,0 +1,219 @@
+"""Tests for symptom extraction and classification."""
+
+from repro.classify import (
+    CANDIDATES,
+    FailureClass,
+    Symptom,
+    classify_symptoms,
+    symptoms_from_run,
+)
+from repro.vm import (
+    Acquire,
+    FifoScheduler,
+    Kernel,
+    MonitorComponent,
+    Notify,
+    NotifyAll,
+    Release,
+    RoundRobinScheduler,
+    RunStatus,
+    Wait,
+    Yield,
+    synchronized,
+)
+
+
+class TestCandidateMap:
+    def test_every_symptom_has_candidates(self):
+        for symptom in Symptom:
+            assert CANDIDATES[symptom], symptom
+
+    def test_race_maps_to_ff_t1(self):
+        assert CANDIDATES[Symptom.DATA_RACE] == (FailureClass.FF_T1,)
+
+    def test_waiting_maps_to_t5_then_t3(self):
+        assert CANDIDATES[Symptom.PERMANENTLY_WAITING][0] is FailureClass.FF_T5
+        assert FailureClass.EF_T3 in CANDIDATES[Symptom.PERMANENTLY_WAITING]
+
+    def test_early_completion_candidates(self):
+        candidates = CANDIDATES[Symptom.COMPLETED_EARLY]
+        assert FailureClass.FF_T3 in candidates
+        assert FailureClass.EF_T5 in candidates
+
+
+class TestClassifySymptoms:
+    def test_report_structure(self):
+        report = classify_symptoms(
+            [
+                (Symptom.DATA_RACE, {"thread": "t1", "detail": "field x"}),
+                (Symptom.PERMANENTLY_WAITING, {"thread": "t2"}),
+            ]
+        )
+        assert not report.clean
+        assert len(report.failures) == 2
+        assert report.failures[0].primary is FailureClass.FF_T1
+        assert report.classes_seen() == [FailureClass.FF_T1, FailureClass.FF_T5]
+
+    def test_by_class(self):
+        report = classify_symptoms([(Symptom.PERMANENTLY_WAITING, {})])
+        assert report.by_class(FailureClass.EF_T3)
+        assert not report.by_class(FailureClass.FF_T1)
+
+    def test_empty_is_clean(self):
+        report = classify_symptoms([])
+        assert report.clean
+        assert "no concurrency failures" in report.describe()
+
+    def test_failure_str(self):
+        report = classify_symptoms(
+            [(Symptom.DATA_RACE, {"thread": "t", "detail": "d"})]
+        )
+        text = str(report.failures[0])
+        assert "FF-T1" in text and "t" in text
+
+
+def _stuck_waiter_run():
+    kernel = Kernel(scheduler=FifoScheduler())
+    kernel.new_monitor("m")
+
+    def waiter():
+        yield Acquire("m")
+        yield Wait("m")
+        yield Release("m")
+
+    kernel.spawn(waiter, name="w")
+    return kernel.run()
+
+
+class TestSymptomsFromRun:
+    def test_clean_run_no_symptoms(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+
+        def body():
+            yield Yield()
+
+        kernel.spawn(body)
+        assert symptoms_from_run(kernel.run()) == []
+
+    def test_waiting_thread_reported(self):
+        observations = symptoms_from_run(_stuck_waiter_run())
+        symptoms = [s for s, _ in observations]
+        assert Symptom.PERMANENTLY_WAITING in symptoms
+
+    def test_deadlock_reported(self):
+        kernel = Kernel(scheduler=RoundRobinScheduler())
+        kernel.new_monitor("m1")
+        kernel.new_monitor("m2")
+
+        def worker(a, b):
+            yield Acquire(a)
+            yield Yield()
+            yield Acquire(b)
+            yield Release(b)
+            yield Release(a)
+
+        kernel.spawn(worker, "m1", "m2", name="ab")
+        kernel.spawn(worker, "m2", "m1", name="ba")
+        result = kernel.run()
+        assert result.status is RunStatus.DEADLOCK
+        symptoms = [s for s, _ in symptoms_from_run(result)]
+        assert Symptom.DEADLOCK_CYCLE in symptoms
+
+    def test_step_limit_reported(self):
+        kernel = Kernel(scheduler=FifoScheduler(), max_steps=10)
+
+        def spinner():
+            while True:
+                yield Yield()
+
+        kernel.spawn(spinner)
+        symptoms = [s for s, _ in symptoms_from_run(kernel.run())]
+        assert Symptom.NEVER_COMPLETES in symptoms
+
+    def test_blocked_thread_reported(self):
+        # "a-holder" sorts first under round-robin, so it takes the lock
+        # and never releases it; "b-blocked" stays in the entry set.
+        kernel = Kernel(scheduler=RoundRobinScheduler(), max_steps=500)
+        kernel.new_monitor("m")
+
+        def forever():
+            yield Acquire("m")
+            while True:
+                yield Yield()
+
+        def contender():
+            yield Acquire("m")
+            yield Release("m")
+
+        kernel.spawn(forever, name="a-holder")
+        kernel.spawn(contender, name="b-blocked")
+        result = kernel.run()
+        assert result.status is RunStatus.STEP_LIMIT
+        # at the step limit the contender is still in the entry set
+        assert result.thread_states["b-blocked"] == "blocked"
+
+    def test_lost_notification_only_with_stuck_waiter(self):
+        """A notify that wakes nobody in a clean run is NOT a symptom."""
+        kernel = Kernel(scheduler=FifoScheduler())
+        kernel.new_monitor("m")
+
+        def notifier():
+            yield Acquire("m")
+            yield Notify("m")
+            yield Release("m")
+
+        kernel.spawn(notifier)
+        result = kernel.run()
+        assert result.status is RunStatus.COMPLETED
+        assert symptoms_from_run(result) == []
+
+    def test_lost_notification_with_late_waiter(self):
+        """notify before wait: the waiter misses the signal and hangs —
+        the classic lost-wakeup; the early notify becomes evidence."""
+        kernel = Kernel(scheduler=FifoScheduler())
+        kernel.new_monitor("m")
+
+        def notifier():
+            yield Acquire("m")
+            yield Notify("m")
+            yield Release("m")
+
+        def waiter():
+            yield Acquire("m")
+            yield Wait("m")
+            yield Release("m")
+
+        kernel.spawn(notifier, name="n")  # FIFO: runs first
+        kernel.spawn(waiter, name="w")
+        result = kernel.run()
+        assert result.status is RunStatus.STUCK
+        observations = symptoms_from_run(result)
+        symptoms = [s for s, _ in observations]
+        assert Symptom.PERMANENTLY_WAITING in symptoms
+        assert Symptom.LOST_NOTIFICATION in symptoms
+
+    def test_incomplete_call_context_attached(self):
+        class Comp(MonitorComponent):
+            def __init__(self):
+                super().__init__()
+                self.ready = False
+
+            @synchronized
+            def block(self):
+                while not self.ready:
+                    yield Wait()
+
+        kernel = Kernel(scheduler=FifoScheduler())
+        comp = kernel.register(Comp())
+
+        def body():
+            yield from comp.block()
+
+        kernel.spawn(body, name="t")
+        result = kernel.run()
+        observations = symptoms_from_run(result)
+        waiting = next(
+            ctx for s, ctx in observations if s is Symptom.PERMANENTLY_WAITING
+        )
+        assert waiting["component"] == "Comp"
+        assert waiting["method"] == "block"

@@ -1,0 +1,153 @@
+"""Tests for the Table-1 taxonomy and the HAZOP derivation engine."""
+
+import pytest
+
+from repro.classify import (
+    ClassificationEntry,
+    DetectionTechnique,
+    FailureClass,
+    FailureMode,
+    TABLE1_ENTRIES,
+    derive_table1,
+    entries_for,
+    entry_count,
+    hazop_skeleton,
+)
+from repro.petri import NetBuilder
+
+
+class TestFailureClass:
+    def test_ten_classes(self):
+        assert len(FailureClass) == 10
+
+    def test_codes(self):
+        assert FailureClass.FF_T1.code == "FF-T1"
+        assert FailureClass.EF_T5.code == "EF-T5"
+
+    def test_from_code_roundtrip(self):
+        for member in FailureClass:
+            assert FailureClass.from_code(member.code) is member
+
+    def test_from_code_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            FailureClass.from_code("FF-T9")
+
+    def test_transition_and_mode(self):
+        assert FailureClass.FF_T3.transition == "T3"
+        assert FailureClass.FF_T3.mode is FailureMode.FAILURE_TO_FIRE
+        assert FailureClass.EF_T3.mode is FailureMode.ERRONEOUS_FIRING
+
+
+class TestTable1Entries:
+    def test_eleven_printed_rows(self):
+        """Table 1 prints 11 rows: one per class except FF-T4 (two causes)."""
+        assert len(TABLE1_ENTRIES) == 11
+
+    def test_rows_per_transition(self):
+        assert entry_count() == {"T1": 2, "T2": 2, "T3": 2, "T4": 3, "T5": 2}
+
+    def test_ff_t4_has_two_causes(self):
+        entries = entries_for(FailureClass.FF_T4)
+        assert len(entries) == 2
+        causes = [e.cause for e in entries]
+        assert any("never releases" in c for c in causes)
+        assert any("fires T3" in c for c in causes)
+
+    def test_ef_t2_not_applicable(self):
+        entry = entries_for(FailureClass.EF_T2)[0]
+        assert not entry.applicable
+        assert DetectionTechnique.NOT_APPLICABLE in entry.techniques
+
+    def test_ff_t1_is_interference(self):
+        entry = entries_for(FailureClass.FF_T1)[0]
+        assert "race" in entry.consequences.lower()
+        assert DetectionTechnique.STATIC_ANALYSIS in entry.techniques
+
+    def test_completion_time_rows(self):
+        """Table 1 names completion-time checking for T3, T4 and T5 rows
+        (and as secondary technique for EF-T4)."""
+        completion_classes = {
+            e.failure_class
+            for e in TABLE1_ENTRIES
+            if DetectionTechnique.COMPLETION_TIME in e.techniques
+        }
+        assert completion_classes == {
+            FailureClass.FF_T3,
+            FailureClass.EF_T3,
+            FailureClass.FF_T4,
+            FailureClass.EF_T4,
+            FailureClass.FF_T5,
+            FailureClass.EF_T5,
+        }
+
+    def test_every_applicable_entry_is_complete(self):
+        for entry in TABLE1_ENTRIES:
+            if entry.applicable:
+                assert entry.cause
+                assert entry.consequences
+                assert entry.testing_notes
+
+
+class TestHazopSkeleton:
+    def test_ten_items_for_figure1(self):
+        items = hazop_skeleton()
+        assert len(items) == 10
+        cells = {(i.transition, i.mode) for i in items}
+        assert len(cells) == 10
+
+    def test_structural_effects_mention_places(self):
+        items = hazop_skeleton()
+        ff_t2 = next(
+            i
+            for i in items
+            if i.transition == "T2" and i.mode is FailureMode.FAILURE_TO_FIRE
+        )
+        assert "B" in ff_t2.structural_effect
+        assert "E" in ff_t2.structural_effect
+
+    def test_custom_net(self):
+        net, _ = (
+            NetBuilder("mini")
+            .place("p", tokens=1)
+            .transition("t")
+            .flow("p", "t")
+            .build()
+        )
+        items = hazop_skeleton(net)
+        assert len(items) == 2  # one transition x two deviations
+
+
+class TestDeriveTable1:
+    def test_complete_join(self):
+        rows = derive_table1()
+        assert len(rows) == 10
+        assert sum(len(r.entries) for r in rows) == 11
+
+    def test_rows_carry_failure_class(self):
+        rows = derive_table1()
+        classes = {r.failure_class for r in rows}
+        assert classes == set(FailureClass)
+
+    def test_incomplete_join_rejected(self):
+        partial = [e for e in TABLE1_ENTRIES if e.transition != "T3"]
+        with pytest.raises(ValueError, match="incompleteness"):
+            derive_table1(entries=partial)
+
+    def test_inconsistent_entry_rejected(self):
+        bogus = ClassificationEntry(
+            failure_class=FailureClass.FF_T1,
+            cause="x",
+            conditions="y",
+            consequences="z",
+            testing_notes="n",
+            techniques=(),
+        )
+        net, _ = (
+            NetBuilder("tiny")
+            .place("p", tokens=1)
+            .transition("t9")
+            .flow("p", "t9")
+            .build()
+        )
+        with pytest.raises(ValueError, match="not present"):
+            derive_table1(net=net, entries=[bogus])

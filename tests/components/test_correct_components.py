@@ -1,0 +1,396 @@
+"""Behavioural tests for the correct example components."""
+
+import pytest
+
+from repro.components import (
+    Account,
+    BoundedBuffer,
+    CountDownLatch,
+    CyclicBarrier,
+    OrderedPair,
+    ProducerConsumer,
+    ReadersWriters,
+    Semaphore,
+)
+from repro.detect import analyze_run
+from repro.vm import (
+    FifoScheduler,
+    Kernel,
+    RandomScheduler,
+    RoundRobinScheduler,
+    RunStatus,
+)
+
+
+def run_threads(*bodies, scheduler=None, components=(), max_steps=100_000):
+    kernel = Kernel(scheduler=scheduler or FifoScheduler(), max_steps=max_steps)
+    registered = [kernel.register(c) for c in components]
+    for name, body in bodies:
+        kernel.spawn(body, name=name)
+    return kernel.run(), registered
+
+
+class TestProducerConsumer:
+    def test_fifo_order_of_characters(self):
+        kernel = Kernel(scheduler=RandomScheduler(seed=5))
+        pc = kernel.register(ProducerConsumer())
+
+        def producer():
+            yield from pc.send("hello")
+
+        def consumer():
+            chars = []
+            for _ in range(5):
+                chars.append((yield from pc.receive()))
+            return "".join(chars)
+
+        kernel.spawn(producer, name="p")
+        kernel.spawn(consumer, name="c")
+        result = kernel.run()
+        assert result.ok
+        assert result.thread_results["c"] == "hello"
+
+    def test_many_seeds_always_correct(self):
+        for seed in range(12):
+            kernel = Kernel(scheduler=RandomScheduler(seed=seed))
+            pc = kernel.register(ProducerConsumer())
+
+            def producer():
+                yield from pc.send("ab")
+                yield from pc.send("cd")
+
+            def consumer():
+                out = []
+                for _ in range(4):
+                    out.append((yield from pc.receive()))
+                return "".join(out)
+
+            kernel.spawn(producer, name="p")
+            kernel.spawn(consumer, name="c")
+            result = kernel.run()
+            assert result.ok, f"seed {seed}"
+            assert result.thread_results["c"] == "abcd", f"seed {seed}"
+
+    def test_second_send_waits_for_drain(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+        pc = kernel.register(ProducerConsumer())
+        order = []
+
+        def producer():
+            yield from pc.send("xy")
+            order.append("sent-1")
+            yield from pc.send("z")
+            order.append("sent-2")
+
+        def consumer():
+            for _ in range(3):
+                yield from pc.receive()
+                order.append("got")
+
+        kernel.spawn(producer, name="p")
+        kernel.spawn(consumer, name="c")
+        result = kernel.run()
+        assert result.ok
+        assert order.count("got") == 3 and order.count("sent-2") == 1
+        # Monitor-level invariant: the second send may only complete after
+        # the receive that drained the buffer (the second one) *began*.
+        records = result.trace.call_records()
+        sends = [r for r in records if r.method == "send"]
+        receives = [r for r in records if r.method == "receive"]
+        assert sends[1].end_time > receives[1].begin_time
+
+    def test_clean_under_analysis(self):
+        kernel = Kernel(scheduler=RandomScheduler(seed=3))
+        pc = kernel.register(ProducerConsumer())
+
+        def producer():
+            yield from pc.send("ok")
+
+        def consumer():
+            yield from pc.receive()
+            yield from pc.receive()
+
+        kernel.spawn(producer, name="p")
+        kernel.spawn(consumer, name="c")
+        assert analyze_run(kernel.run()).clean
+
+
+class TestBoundedBuffer:
+    def test_fifo_semantics(self):
+        kernel = Kernel(scheduler=RandomScheduler(seed=1))
+        buf = kernel.register(BoundedBuffer(2))
+
+        def producer():
+            for i in range(5):
+                yield from buf.put(i)
+
+        def consumer():
+            got = []
+            for _ in range(5):
+                got.append((yield from buf.get()))
+            return got
+
+        kernel.spawn(producer, name="p")
+        kernel.spawn(consumer, name="c")
+        result = kernel.run()
+        assert result.ok
+        assert result.thread_results["c"] == [0, 1, 2, 3, 4]
+
+    def test_capacity_respected(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+        buf = kernel.register(BoundedBuffer(1))
+        max_seen = []
+
+        def producer():
+            for i in range(3):
+                yield from buf.put(i)
+                max_seen.append(len(buf.items))
+
+        def consumer():
+            for _ in range(3):
+                yield from buf.get()
+
+        kernel.spawn(producer, name="p")
+        kernel.spawn(consumer, name="c")
+        assert kernel.run().ok
+        assert max(max_seen) <= 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedBuffer(0)
+
+    def test_size_method(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+        buf = kernel.register(BoundedBuffer(3))
+
+        def body():
+            yield from buf.put("a")
+            size = yield from buf.size()
+            return size
+
+        kernel.spawn(body, name="t")
+        assert kernel.run().thread_results["t"] == 1
+
+    def test_multi_producer_multi_consumer(self):
+        kernel = Kernel(scheduler=RandomScheduler(seed=9), max_steps=200_000)
+        buf = kernel.register(BoundedBuffer(3))
+        consumed = []
+
+        def producer(base):
+            for i in range(4):
+                yield from buf.put((base, i))
+
+        def consumer(n):
+            for _ in range(n):
+                consumed.append((yield from buf.get()))
+
+        kernel.spawn(producer, "p1", name="p1")
+        kernel.spawn(producer, "p2", name="p2")
+        kernel.spawn(consumer, 4, name="c1")
+        kernel.spawn(consumer, 4, name="c2")
+        result = kernel.run()
+        assert result.ok
+        assert len(consumed) == 8
+        # per-producer order is preserved
+        p1_items = [i for (p, i) in consumed if p == "p1"]
+        assert p1_items == sorted(p1_items)
+
+
+class TestReadersWriters:
+    def _program(self, seed):
+        kernel = Kernel(scheduler=RandomScheduler(seed=seed), max_steps=200_000)
+        rw = kernel.register(ReadersWriters())
+        violations = []
+        state = {"readers": 0, "writers": 0}
+
+        def reader():
+            for _ in range(3):
+                yield from rw.start_read()
+                state["readers"] += 1
+                if state["writers"] > 0:
+                    violations.append("reader during write")
+                state["readers"] -= 1
+                yield from rw.end_read()
+
+        def writer():
+            for _ in range(2):
+                yield from rw.start_write()
+                state["writers"] += 1
+                if state["writers"] > 1 or state["readers"] > 0:
+                    violations.append("writer overlap")
+                state["writers"] -= 1
+                yield from rw.end_write()
+
+        kernel.spawn(reader, name="r1")
+        kernel.spawn(reader, name="r2")
+        kernel.spawn(writer, name="w1")
+        kernel.spawn(writer, name="w2")
+        return kernel.run(), violations
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_exclusion_invariants(self, seed):
+        result, violations = self._program(seed)
+        assert result.ok, result.thread_states
+        assert violations == []
+
+
+class TestSemaphore:
+    def test_permits_bound_concurrency(self):
+        kernel = Kernel(scheduler=RandomScheduler(seed=4), max_steps=100_000)
+        sem = kernel.register(Semaphore(2))
+        active = {"count": 0, "max": 0}
+
+        def worker():
+            yield from sem.acquire()
+            active["count"] += 1
+            active["max"] = max(active["max"], active["count"])
+            from repro.vm import Yield
+
+            yield Yield()
+            active["count"] -= 1
+            yield from sem.release()
+
+        for i in range(5):
+            kernel.spawn(worker, name=f"w{i}")
+        assert kernel.run().ok
+        assert active["max"] <= 2
+
+    def test_try_acquire(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+        sem = kernel.register(Semaphore(1))
+
+        def body():
+            first = yield from sem.try_acquire()
+            second = yield from sem.try_acquire()
+            avail = yield from sem.available()
+            return (first, second, avail)
+
+        kernel.spawn(body, name="t")
+        assert kernel.run().thread_results["t"] == (True, False, 0)
+
+    def test_invalid_permits(self):
+        with pytest.raises(ValueError):
+            Semaphore(-1)
+
+
+class TestBarrierAndLatch:
+    def test_barrier_releases_together(self):
+        kernel = Kernel(scheduler=RandomScheduler(seed=2))
+        barrier = kernel.register(CyclicBarrier(3))
+        indices = []
+
+        def party():
+            index = yield from barrier.arrive()
+            indices.append(index)
+            return index
+
+        for i in range(3):
+            kernel.spawn(party, name=f"t{i}")
+        result = kernel.run()
+        assert result.ok
+        assert sorted(indices) == [0, 1, 2]
+
+    def test_barrier_is_cyclic(self):
+        kernel = Kernel(scheduler=RandomScheduler(seed=7), max_steps=100_000)
+        barrier = kernel.register(CyclicBarrier(2))
+
+        def party():
+            for _ in range(3):  # three cycles
+                yield from barrier.arrive()
+
+        kernel.spawn(party, name="a")
+        kernel.spawn(party, name="b")
+        assert kernel.run().ok
+
+    def test_barrier_missing_party_stuck(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+        barrier = kernel.register(CyclicBarrier(3))
+
+        def party():
+            yield from barrier.arrive()
+
+        kernel.spawn(party, name="a")
+        kernel.spawn(party, name="b")
+        assert kernel.run().status is RunStatus.STUCK
+
+    def test_barrier_invalid_parties(self):
+        with pytest.raises(ValueError):
+            CyclicBarrier(0)
+
+    def test_latch(self):
+        kernel = Kernel(scheduler=RandomScheduler(seed=8))
+        latch = kernel.register(CountDownLatch(2))
+        log = []
+
+        def waiter():
+            yield from latch.await_zero()
+            log.append("released")
+
+        def counter():
+            yield from latch.count_down()
+            yield from latch.count_down()
+
+        kernel.spawn(waiter, name="w")
+        kernel.spawn(counter, name="c")
+        assert kernel.run().ok
+        assert log == ["released"]
+
+    def test_latch_already_open(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+        latch = kernel.register(CountDownLatch(0))
+
+        def waiter():
+            yield from latch.await_zero()
+            return "through"
+
+        kernel.spawn(waiter, name="w")
+        assert kernel.run().thread_results["w"] == "through"
+
+    def test_latch_excess_countdown_harmless(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+        latch = kernel.register(CountDownLatch(1))
+
+        def body():
+            yield from latch.count_down()
+            yield from latch.count_down()
+            count = yield from latch.get_count()
+            return count
+
+        kernel.spawn(body, name="t")
+        assert kernel.run().thread_results["t"] == 0
+
+    def test_latch_invalid_count(self):
+        with pytest.raises(ValueError):
+            CountDownLatch(-1)
+
+
+class TestAccountsAndTransfers:
+    def test_transfers_conserve_money(self):
+        kernel = Kernel(scheduler=RandomScheduler(seed=6), max_steps=200_000)
+        a = kernel.register(Account(100), name="A")
+        b = kernel.register(Account(100), name="B")
+        pair = kernel.register(OrderedPair())
+
+        def mover(source, target, amount, times):
+            for _ in range(times):
+                yield from pair.transfer(source, target, amount)
+
+        kernel.spawn(mover, a, b, 5, 4, name="t1")
+        kernel.spawn(mover, b, a, 3, 4, name="t2")
+        result = kernel.run()
+        assert result.ok
+        assert a.balance + b.balance == 200
+        assert a.balance == 100 - 20 + 12
+
+    def test_account_methods(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+        acct = kernel.register(Account(50))
+
+        def body():
+            yield from acct.deposit(10)
+            yield from acct.withdraw(5)
+            balance = yield from acct.get_balance()
+            return balance
+
+        kernel.spawn(body, name="t")
+        assert kernel.run().thread_results["t"] == 55

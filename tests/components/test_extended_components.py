@@ -1,0 +1,293 @@
+"""Behavioural tests for FairLock, FutureValue, Exchanger, TaskQueue."""
+
+import pytest
+
+from repro.components import Exchanger, FairLock, FutureValue, TaskQueue
+from repro.vm import (
+    FifoScheduler,
+    Kernel,
+    RandomScheduler,
+    RoundRobinScheduler,
+    RunStatus,
+    SelectionPolicy,
+    Yield,
+)
+
+
+class TestFairLock:
+    def test_mutual_exclusion(self):
+        kernel = Kernel(scheduler=RandomScheduler(seed=3), max_steps=100_000)
+        lock = kernel.register(FairLock())
+        active = {"count": 0, "max": 0}
+
+        def worker():
+            for _ in range(3):
+                yield from lock.lock()
+                active["count"] += 1
+                active["max"] = max(active["max"], active["count"])
+                yield Yield()
+                active["count"] -= 1
+                yield from lock.unlock()
+
+        for i in range(3):
+            kernel.spawn(worker, name=f"w{i}")
+        assert kernel.run().ok
+        assert active["max"] == 1
+
+    def test_fifo_grant_order_despite_lifo_monitor(self):
+        """The ticket protocol grants in arrival order even when the
+        underlying monitor policy is maximally unfair (the FF-T2 remedy)."""
+        kernel = Kernel(
+            scheduler=RoundRobinScheduler(),
+            notify_policy=SelectionPolicy.LIFO,
+            lock_policy=SelectionPolicy.LIFO,
+            max_steps=100_000,
+        )
+        lock = kernel.register(FairLock())
+        grant_order = []
+
+        def worker(name):
+            ticket = yield from lock.lock()
+            grant_order.append((name, ticket))
+            yield Yield()
+            yield from lock.unlock()
+
+        kernel.spawn(worker, "a", name="a")
+        kernel.spawn(worker, "b", name="b")
+        kernel.spawn(worker, "c", name="c")
+        assert kernel.run().ok
+        tickets = [ticket for _, ticket in grant_order]
+        assert tickets == sorted(tickets), "tickets served strictly in order"
+
+    def test_unlock_without_lock_crashes(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+        lock = kernel.register(FairLock())
+
+        def body():
+            yield from lock.unlock()
+
+        kernel.spawn(body, name="t")
+        result = kernel.run()
+        assert isinstance(result.crashed.get("t"), RuntimeError)
+
+    def test_queue_length(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+        lock = kernel.register(FairLock())
+
+        def body():
+            yield from lock.lock()
+            n = yield from lock.queue_length()
+            yield from lock.unlock()
+            return n
+
+        kernel.spawn(body, name="t")
+        assert kernel.run().thread_results["t"] == 1
+
+
+class TestFutureValue:
+    def test_get_blocks_until_set(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+        future = kernel.register(FutureValue())
+        order = []
+
+        def getter():
+            value = yield from future.get()
+            order.append("got")
+            return value
+
+        def setter():
+            order.append("setting")
+            yield from future.set_value(42)
+
+        kernel.spawn(getter, name="g")
+        kernel.spawn(setter, name="s")
+        result = kernel.run()
+        assert result.thread_results["g"] == 42
+        assert order == ["setting", "got"]
+
+    def test_get_after_set_immediate(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+        future = kernel.register(FutureValue())
+
+        def body():
+            yield from future.set_value("x")
+            resolved = yield from future.is_resolved()
+            value = yield from future.get()
+            return (resolved, value)
+
+        kernel.spawn(body, name="t")
+        assert kernel.run().thread_results["t"] == (True, "x")
+
+    def test_double_set_crashes(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+        future = kernel.register(FutureValue())
+
+        def body():
+            yield from future.set_value(1)
+            yield from future.set_value(2)
+
+        kernel.spawn(body, name="t")
+        result = kernel.run()
+        assert isinstance(result.crashed.get("t"), ValueError)
+        # the failed set released the monitor (exception unwound cleanly)
+        assert kernel.monitors[future.vm_name].is_free()
+
+    def test_multiple_getters_all_released(self):
+        kernel = Kernel(scheduler=RandomScheduler(seed=1))
+        future = kernel.register(FutureValue())
+
+        def getter():
+            value = yield from future.get()
+            return value
+
+        def setter():
+            yield from future.set_value("v")
+
+        for i in range(4):
+            kernel.spawn(getter, name=f"g{i}")
+        kernel.spawn(setter, name="s")
+        result = kernel.run()
+        assert result.ok
+        assert all(result.thread_results[f"g{i}"] == "v" for i in range(4))
+
+
+class TestExchanger:
+    def test_two_party_swap(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+        exchanger = kernel.register(Exchanger())
+
+        def party(item):
+            received = yield from exchanger.exchange(item)
+            return received
+
+        kernel.spawn(party, "from-a", name="a")
+        kernel.spawn(party, "from-b", name="b")
+        result = kernel.run()
+        assert result.ok
+        assert result.thread_results["a"] == "from-b"
+        assert result.thread_results["b"] == "from-a"
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_two_pairs_any_schedule(self, seed):
+        kernel = Kernel(scheduler=RandomScheduler(seed=seed), max_steps=50_000)
+        exchanger = kernel.register(Exchanger())
+
+        def party(item):
+            received = yield from exchanger.exchange(item)
+            return received
+
+        for name in ("a", "b", "c", "d"):
+            kernel.spawn(party, f"item-{name}", name=name)
+        result = kernel.run()
+        assert result.ok, result.thread_states
+        # every item is received exactly once, nobody gets their own
+        received = sorted(result.thread_results.values())
+        assert received == sorted(f"item-{n}" for n in "abcd")
+        for name in "abcd":
+            assert result.thread_results[name] != f"item-{name}"
+
+    def test_lonely_party_waits_forever(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+        exchanger = kernel.register(Exchanger())
+
+        def party():
+            yield from exchanger.exchange("alone")
+
+        kernel.spawn(party, name="lonely")
+        assert kernel.run().status is RunStatus.STUCK
+
+
+class TestTaskQueue:
+    def test_put_take_fifo(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+        queue = kernel.register(TaskQueue())
+
+        def producer():
+            for i in range(3):
+                yield from queue.put(i)
+            yield from queue.shutdown()
+
+        def worker():
+            done = []
+            while True:
+                task = yield from queue.take()
+                if task is None:
+                    return done
+                done.append(task)
+
+        kernel.spawn(worker, name="w")
+        kernel.spawn(producer, name="p")
+        result = kernel.run()
+        assert result.thread_results["w"] == [0, 1, 2]
+
+    def test_shutdown_releases_all_workers(self):
+        kernel = Kernel(scheduler=RandomScheduler(seed=2))
+        queue = kernel.register(TaskQueue())
+
+        def worker():
+            task = yield from queue.take()
+            return task
+
+        def closer():
+            yield from queue.shutdown()
+
+        for i in range(3):
+            kernel.spawn(worker, name=f"w{i}")
+        kernel.spawn(closer, name="c")
+        result = kernel.run()
+        assert result.ok
+        assert all(result.thread_results[f"w{i}"] is None for i in range(3))
+
+    def test_put_after_shutdown_crashes(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+        queue = kernel.register(TaskQueue())
+
+        def body():
+            yield from queue.shutdown()
+            yield from queue.put("late")
+
+        kernel.spawn(body, name="t")
+        result = kernel.run()
+        assert isinstance(result.crashed.get("t"), RuntimeError)
+
+    def test_drain_before_none(self):
+        """Tasks enqueued before shutdown are still delivered."""
+        kernel = Kernel(scheduler=FifoScheduler())
+        queue = kernel.register(TaskQueue())
+
+        def producer():
+            yield from queue.put("x")
+            yield from queue.shutdown()
+
+        def worker():
+            first = yield from queue.take()
+            second = yield from queue.take()
+            return (first, second)
+
+        kernel.spawn(producer, name="p")
+        kernel.spawn(worker, name="w")
+        assert kernel.run().thread_results["w"] == ("x", None)
+
+    def test_multi_worker_distribution(self):
+        kernel = Kernel(scheduler=RandomScheduler(seed=8), max_steps=100_000)
+        queue = kernel.register(TaskQueue())
+        done = []
+
+        def producer():
+            for i in range(6):
+                yield from queue.put(i)
+            yield from queue.shutdown()
+
+        def worker():
+            while True:
+                task = yield from queue.take()
+                if task is None:
+                    return
+                done.append(task)
+
+        kernel.spawn(producer, name="p")
+        kernel.spawn(worker, name="w1")
+        kernel.spawn(worker, name="w2")
+        result = kernel.run()
+        assert result.ok
+        assert sorted(done) == list(range(6))

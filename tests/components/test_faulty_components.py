@@ -1,0 +1,337 @@
+"""Each faulty component exhibits its seeded failure class and is caught
+by the detection technique Table 1 predicts."""
+
+import pytest
+
+from repro.analysis import check_component
+from repro.classify import FailureClass, Symptom
+from repro.components import Account
+from repro.components.faulty import (
+    FAULT_REGISTRY,
+    DeadlockPair,
+    EarlyReleaseBuffer,
+    HoldForever,
+    IfGuardProducerConsumer,
+    NoNotifyProducerConsumer,
+    NoWaitProducerConsumer,
+    OverSynchronized,
+    SingleNotifyProducerConsumer,
+    SpuriousWaitProducerConsumer,
+    UnsyncCounter,
+)
+from repro.detect import analyze_run, detect_races
+from repro.testing import TestSequence, run_sequence
+from repro.vm import (
+    FifoScheduler,
+    Kernel,
+    RoundRobinScheduler,
+    RunStatus,
+    SelectionPolicy,
+)
+
+
+class TestRegistry:
+    def test_every_class_except_ef_t2_seeded(self):
+        seeded = {info.seeded_class for info in FAULT_REGISTRY.values()}
+        expected = set(FailureClass) - {FailureClass.EF_T2}
+        assert seeded == expected
+
+    def test_registry_names_match_classes(self):
+        for name, info in FAULT_REGISTRY.items():
+            assert info.component.__name__ == name
+            assert info.description
+
+
+class TestFFT1UnsyncCounter:
+    def test_race_detected(self):
+        kernel = Kernel(scheduler=RoundRobinScheduler())
+        counter = kernel.register(UnsyncCounter())
+
+        def body():
+            yield from counter.increment()
+
+        kernel.spawn(body, name="t1")
+        kernel.spawn(body, name="t2")
+        result = kernel.run()
+        races = detect_races(result.trace)
+        assert [r.field for r in races] == ["value"]
+
+    def test_update_actually_lost(self):
+        kernel = Kernel(scheduler=RoundRobinScheduler())
+        counter = kernel.register(UnsyncCounter())
+
+        def body():
+            yield from counter.increment()
+
+        kernel.spawn(body, name="t1")
+        kernel.spawn(body, name="t2")
+        kernel.run()
+        assert counter.value == 1  # not 2
+
+    def test_static_check_flags_it(self):
+        findings = check_component(UnsyncCounter)
+        assert findings[0].failure_class is FailureClass.FF_T1
+
+
+class TestEFT1OverSynchronized:
+    def test_static_check_flags_it(self):
+        findings = check_component(OverSynchronized)
+        assert [f.failure_class for f in findings] == [FailureClass.EF_T1]
+
+    def test_behaviour_is_otherwise_correct(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+        comp = kernel.register(OverSynchronized())
+
+        def body():
+            scaled = yield from comp.scale([1, 2], 3)
+            return scaled
+
+        kernel.spawn(body, name="t")
+        assert kernel.run().thread_results["t"] == [3, 6]
+
+
+class TestFFT2DeadlockPair:
+    def test_deadlocks_under_interleaving(self):
+        kernel = Kernel(scheduler=RoundRobinScheduler())
+        a = kernel.register(Account(10), name="A")
+        b = kernel.register(Account(10), name="B")
+        pair = kernel.register(DeadlockPair())
+
+        def t1():
+            yield from pair.transfer(a, b, 1)
+
+        def t2():
+            yield from pair.transfer(b, a, 1)
+
+        kernel.spawn(t1, name="t1")
+        kernel.spawn(t2, name="t2")
+        result = kernel.run()
+        assert result.status is RunStatus.DEADLOCK
+        report = analyze_run(result)
+        classes = report.classes_detected()
+        assert FailureClass.FF_T2 in classes or FailureClass.FF_T4 in classes
+
+
+class TestFFT3NoWait:
+    def test_completes_early_with_garbage(self):
+        seq = (
+            TestSequence("receive-first")
+            .add(1, "c", "receive", expect_at=2)
+            .add(2, "p", "send", "a", expect_at=2)
+        )
+        outcome = run_sequence(NoWaitProducerConsumer, seq)
+        assert not outcome.passed
+        symptoms = [v.symptom for v in outcome.violations]
+        assert Symptom.COMPLETED_EARLY in symptoms
+
+    def test_correct_behaviour_when_data_present(self):
+        seq = (
+            TestSequence("send-first")
+            .add(1, "p", "send", "a", expect_at=1)
+            .add(2, "c", "receive", expect_at=2, expect_returns="a")
+        )
+        assert run_sequence(NoWaitProducerConsumer, seq).passed
+
+
+class TestEFT3SpuriousWait:
+    def test_receive_never_completes(self):
+        seq = (
+            TestSequence("single-pair")
+            .add(1, "p", "send", "a", expect_at=1)
+            .add(2, "c", "receive", expect_at=2)
+        )
+        outcome = run_sequence(SpuriousWaitProducerConsumer, seq)
+        assert not outcome.passed
+        assert outcome.result.status is RunStatus.STUCK
+        symptoms = [v.symptom for v in outcome.violations]
+        assert Symptom.PERMANENTLY_WAITING in symptoms
+
+
+class TestFFT4HoldForever:
+    def test_step_limit_and_blocked_peer(self):
+        kernel = Kernel(scheduler=RoundRobinScheduler(), max_steps=2_000)
+        comp = kernel.register(HoldForever())
+
+        def a_worker():
+            yield from comp.compute()
+
+        def b_reader():
+            progress = yield from comp.read_progress()
+            return progress
+
+        kernel.spawn(a_worker, name="a-worker")
+        kernel.spawn(b_reader, name="b-reader")
+        result = kernel.run()
+        assert result.status is RunStatus.STEP_LIMIT
+        assert result.thread_states["b-reader"] == "blocked"
+        report = analyze_run(result)
+        assert FailureClass.FF_T4 in report.classes_detected()
+
+
+class TestEFT4EarlyRelease:
+    def test_race_in_release_window(self):
+        kernel = Kernel(scheduler=RoundRobinScheduler())
+        comp = kernel.register(EarlyReleaseBuffer())
+
+        def body():
+            yield from comp.put()
+
+        kernel.spawn(body, name="t1")
+        kernel.spawn(body, name="t2")
+        result = kernel.run()
+        races = detect_races(result.trace)
+        assert [r.field for r in races] == ["count"]
+
+    def test_update_lost(self):
+        kernel = Kernel(scheduler=RoundRobinScheduler())
+        comp = kernel.register(EarlyReleaseBuffer())
+
+        def body():
+            yield from comp.put()
+
+        kernel.spawn(body, name="t1")
+        kernel.spawn(body, name="t2")
+        kernel.run()
+        assert comp.count == 1  # one of the two increments vanished
+
+
+class TestFFT5NoNotify:
+    def test_waiting_consumer_never_released(self):
+        seq = (
+            TestSequence("consumer-first")
+            .add(1, "c", "receive", expect_at=2)
+            .add(2, "p", "send", "a", expect_at=2)
+        )
+        outcome = run_sequence(NoNotifyProducerConsumer, seq)
+        assert not outcome.passed
+        assert outcome.result.status is RunStatus.STUCK
+        report = outcome.report
+        assert FailureClass.FF_T5 in report.classes_detected()
+
+    def test_lost_notification_not_needed_when_no_waiter(self):
+        seq = (
+            TestSequence("send-first")
+            .add(1, "p", "send", "a", expect_at=1)
+            .add(2, "c", "receive", expect_at=2, expect_returns="a")
+        )
+        assert run_sequence(NoNotifyProducerConsumer, seq).passed
+
+
+class TestFFT5SingleNotify:
+    """Section 5.5.1: notify instead of notifyAll loses signals under some
+    schedules (a woken waiter of the wrong kind re-waits and the signal is
+    absorbed).  The distinguishing evidence is schedule exploration: the
+    mutant gets stuck on a fraction of schedules, the correct monitor on
+    none."""
+
+    @staticmethod
+    def _factory(cls):
+        def build(scheduler):
+            kernel = Kernel(scheduler=scheduler)
+            pc = kernel.register(cls())
+
+            def consumer():
+                yield from pc.receive()
+
+            def producer(payload):
+                yield from pc.send(payload)
+
+            for i in range(3):
+                kernel.spawn(consumer, name=f"c{i}")
+            kernel.spawn(producer, "ab", name="p1")
+            kernel.spawn(producer, "c", name="p2")
+            return kernel
+
+        return build
+
+    def test_some_schedule_starves_a_waiter(self):
+        from repro.testing import explore_random
+
+        result = explore_random(
+            self._factory(SingleNotifyProducerConsumer), seeds=range(120)
+        )
+        assert result.statuses().get(RunStatus.STUCK, 0) > 0
+
+    def test_notifyall_version_never_starves(self):
+        from repro.components import ProducerConsumer
+        from repro.testing import explore_random
+
+        result = explore_random(self._factory(ProducerConsumer), seeds=range(120))
+        assert result.statuses() == {RunStatus.COMPLETED: 120}
+
+
+class TestEFT5IfGuard:
+    def test_two_consumers_one_item(self):
+        """Both consumers wait; one send wakes both (notifyAll); the
+        second consumer's `if` guard lets it read the drained buffer."""
+        seq = (
+            TestSequence("premature-reentry")
+            .add(1, "c1", "receive", check_completion=False)
+            .add(2, "c2", "receive", expect_never=True)
+            .add(3, "p", "send", "a", expect_at=3)
+        )
+        outcome = run_sequence(IfGuardProducerConsumer, seq)
+        assert not outcome.passed
+        early = [
+            v
+            for v in outcome.violations
+            if v.symptom is Symptom.COMPLETED_EARLY
+        ]
+        assert early, outcome.violations
+
+    def test_garbage_value_returned(self):
+        seq = (
+            TestSequence("garbage")
+            .add(1, "c1", "receive", check_completion=False)
+            .add(2, "c2", "receive", check_completion=False)
+            .add(3, "p", "send", "a", expect_at=3)
+        )
+        outcome = run_sequence(IfGuardProducerConsumer, seq)
+        returned = outcome.call_results["c1"] + outcome.call_results["c2"]
+        assert "?" in returned  # the stale read marker
+
+    def test_correct_while_version_safe(self):
+        from repro.components import ProducerConsumer
+
+        seq = (
+            TestSequence("premature-reentry")
+            .add(1, "c1", "receive", check_completion=False)
+            .add(2, "c2", "receive", expect_never=True)
+            .add(3, "p", "send", "a", expect_at=3)
+        )
+        assert run_sequence(ProducerConsumer, seq).passed
+
+
+class TestFFT2ReaderPreference:
+    """Writer starvation: overlapping readers delay the writer that the
+    correct writer-preference component would serve promptly."""
+
+    @staticmethod
+    def _sequence():
+        return (
+            TestSequence("rw-starve")
+            .add(1, "r1", "start_read", check_completion=False)
+            .add(2, "r2", "start_read", check_completion=False)
+            .add(3, "w", "start_write", expect_at=6)
+            .add(4, "r1", "end_read", check_completion=False)
+            .add(5, "r3", "start_read", check_completion=False)
+            .add(6, "r2", "end_read", check_completion=False)
+            .add(7, "r4", "start_read", check_completion=False)
+            .add(8, "r3", "end_read", check_completion=False)
+            .add(9, "r4", "end_read", check_completion=False)
+        )
+
+    def test_writer_served_late(self):
+        from repro.components.faulty import ReaderPreferenceRW
+
+        outcome = run_sequence(ReaderPreferenceRW, self._sequence())
+        assert not outcome.passed
+        late = [
+            v for v in outcome.violations if v.symptom is Symptom.COMPLETED_LATE
+        ]
+        assert late
+
+    def test_writer_preference_version_passes(self):
+        from repro.components import ReadersWriters
+
+        assert run_sequence(ReadersWriters, self._sequence()).passed

@@ -1,0 +1,80 @@
+"""Tests for the unified analyze_run detection report."""
+
+from repro.classify import FailureClass
+from repro.components import Account, ProducerConsumer
+from repro.components.faulty import DeadlockPair, UnsyncCounter
+from repro.detect import Expectation, analyze_run
+from repro.vm import FifoScheduler, Kernel, RoundRobinScheduler
+
+
+def clean_run():
+    kernel = Kernel(scheduler=FifoScheduler())
+    pc = kernel.register(ProducerConsumer())
+
+    def producer():
+        yield from pc.send("ab")
+
+    def consumer():
+        a = yield from pc.receive()
+        b = yield from pc.receive()
+        return a + b
+
+    kernel.spawn(producer, name="p")
+    kernel.spawn(consumer, name="c")
+    return kernel.run()
+
+
+class TestAnalyzeRunClean:
+    def test_clean_report(self):
+        report = analyze_run(clean_run())
+        assert report.clean
+        assert report.classes_detected() == []
+        assert "clean run" in report.describe()
+
+    def test_expectations_checked(self):
+        result = clean_run()
+        report = analyze_run(
+            result,
+            expectations=[
+                Expectation("ProducerConsumer", "send", thread="p", at=99)
+            ],
+        )
+        assert not report.clean
+        assert report.completion_violations
+
+
+class TestAnalyzeRunFailures:
+    def test_race_classified(self):
+        kernel = Kernel(scheduler=RoundRobinScheduler())
+        counter = kernel.register(UnsyncCounter())
+
+        def body():
+            yield from counter.increment()
+
+        kernel.spawn(body, name="t1")
+        kernel.spawn(body, name="t2")
+        report = analyze_run(kernel.run())
+        assert report.races
+        assert FailureClass.FF_T1 in report.classes_detected()
+        assert "data race" in report.describe()
+
+    def test_deadlock_classified(self):
+        kernel = Kernel(scheduler=RoundRobinScheduler())
+        a = kernel.register(Account(10), name="A")
+        b = kernel.register(Account(10), name="B")
+        pair = kernel.register(DeadlockPair())
+
+        def t1():
+            yield from pair.transfer(a, b, 1)
+
+        def t2():
+            yield from pair.transfer(b, a, 1)
+
+        kernel.spawn(t1, name="t1")
+        kernel.spawn(t2, name="t2")
+        report = analyze_run(kernel.run())
+        assert report.deadlock_cycle
+        assert report.potential_deadlocks
+        classes = report.classes_detected()
+        assert FailureClass.FF_T4 in classes or FailureClass.FF_T2 in classes
+        assert "deadlock" in report.describe()

@@ -1,0 +1,189 @@
+"""Tests for the happens-before (vector-clock) race detector."""
+
+import pytest
+
+from repro.components import ProducerConsumer
+from repro.components.faulty import EarlyReleaseBuffer, UnsyncCounter
+from repro.detect import detect_races, detect_races_hb
+from repro.detect.vectorclock import VectorClock
+from repro.vm import (
+    FifoScheduler,
+    Kernel,
+    MonitorComponent,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Yield,
+    synchronized,
+    unsynchronized,
+)
+
+
+class TestVectorClock:
+    def test_tick_and_get(self):
+        vc = VectorClock()
+        assert vc.get("t") == 0
+        vc.tick("t")
+        assert vc.get("t") == 1
+
+    def test_join_takes_max(self):
+        a = VectorClock({"x": 3, "y": 1})
+        b = VectorClock({"y": 5})
+        a.join(b)
+        assert a.get("x") == 3 and a.get("y") == 5
+
+    def test_happens_before(self):
+        early = VectorClock({"x": 1})
+        late = VectorClock({"x": 2, "y": 1})
+        assert early.happens_before(late)
+        assert not late.happens_before(early)
+
+    def test_concurrent_clocks(self):
+        a = VectorClock({"x": 2})
+        b = VectorClock({"y": 2})
+        assert not a.happens_before(b) or not b.happens_before(a)
+
+    def test_copy_is_independent(self):
+        a = VectorClock({"x": 1})
+        b = a.copy()
+        b.tick("x")
+        assert a.get("x") == 1
+
+
+class TestHbDetection:
+    def test_unsync_counter_races(self):
+        kernel = Kernel(scheduler=RoundRobinScheduler())
+        counter = kernel.register(UnsyncCounter())
+
+        def body():
+            yield from counter.increment()
+
+        kernel.spawn(body, name="t1")
+        kernel.spawn(body, name="t2")
+        races = detect_races_hb(kernel.run().trace)
+        assert races
+        assert all(r.field == "value" for r in races)
+
+    def test_synchronized_component_clean(self):
+        kernel = Kernel(scheduler=RandomScheduler(seed=4))
+        pc = kernel.register(ProducerConsumer())
+
+        def producer():
+            yield from pc.send("ab")
+
+        def consumer():
+            yield from pc.receive()
+            yield from pc.receive()
+
+        kernel.spawn(producer, name="p")
+        kernel.spawn(consumer, name="c")
+        assert detect_races_hb(kernel.run().trace) == []
+
+    def test_early_release_detected(self):
+        kernel = Kernel(scheduler=RoundRobinScheduler())
+        comp = kernel.register(EarlyReleaseBuffer())
+
+        def body():
+            yield from comp.put()
+
+        kernel.spawn(body, name="t1")
+        kernel.spawn(body, name="t2")
+        races = detect_races_hb(kernel.run().trace)
+        assert any(r.field == "count" for r in races)
+
+    def test_report_str(self):
+        kernel = Kernel(scheduler=RoundRobinScheduler())
+        counter = kernel.register(UnsyncCounter())
+
+        def body():
+            yield from counter.increment()
+
+        kernel.spawn(body, name="t1")
+        kernel.spawn(body, name="t2")
+        races = detect_races_hb(kernel.run().trace)
+        assert "unordered" in str(races[0])
+
+    def test_max_reports_cap(self):
+        kernel = Kernel(scheduler=RoundRobinScheduler())
+        counter = kernel.register(UnsyncCounter())
+
+        def body():
+            for _ in range(5):
+                yield from counter.increment()
+
+        kernel.spawn(body, name="t1")
+        kernel.spawn(body, name="t2")
+        races = detect_races_hb(kernel.run().trace, max_reports=2)
+        assert len(races) == 2
+
+
+class HandoffCell(MonitorComponent):
+    """A benign hand-off: `data` is written before publication and read
+    after consumption, with ordering provided by the `ready` flag inside
+    the monitor — but `data` itself is accessed OUTSIDE the lock.
+
+    Lockset flags `data` (no common lock); happens-before exonerates it,
+    because the release->acquire of the monitor orders the accesses."""
+
+    def __init__(self):
+        super().__init__()
+        self.data = None
+        self.ready = False
+
+    @unsynchronized
+    def produce(self, value):
+        self.data = value  # plain write, before publication
+        yield from self._publish()
+
+    @synchronized
+    def _publish(self):
+        self.ready = True
+        from repro.vm import NotifyAll
+
+        yield NotifyAll()
+
+    @unsynchronized
+    def consume(self):
+        yield from self._await_ready()
+        value = self.data  # plain read, after the ordered hand-off
+        self.data = None   # plain write: clear the slot (still ordered)
+        return value
+
+    @synchronized
+    def _await_ready(self):
+        from repro.vm import Wait
+
+        while not self.ready:
+            yield Wait()
+
+
+class TestPrecisionVsLockset:
+    """The motivating comparison: lockset overreports the ordered
+    hand-off; happens-before does not."""
+
+    def _run(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+        cell = kernel.register(HandoffCell())
+
+        def producer():
+            yield from cell.produce(99)
+
+        def consumer():
+            value = yield from cell.consume()
+            return value
+
+        kernel.spawn(consumer, name="c")  # waits first
+        kernel.spawn(producer, name="p")
+        result = kernel.run()
+        assert result.ok
+        assert result.thread_results["c"] == 99
+        return result.trace
+
+    def test_lockset_overreports_handoff(self):
+        trace = self._run()
+        lockset_fields = {r.field for r in detect_races(trace)}
+        assert "data" in lockset_fields  # the false positive
+
+    def test_hb_exonerates_handoff(self):
+        trace = self._run()
+        hb_fields = {r.field for r in detect_races_hb(trace)}
+        assert "data" not in hb_fields

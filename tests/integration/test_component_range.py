@@ -1,0 +1,144 @@
+"""The paper's future-work item 1: the method applied to a *range* of
+concurrent components.  For every correct component in the library:
+CoFGs build, static checks are clean, a golden suite can be frozen, and
+the suite passes on replay."""
+
+import pytest
+
+from repro.analysis import build_all_cofgs, check_component, component_metrics
+from repro.components import (
+    Account,
+    BoundedBuffer,
+    CountDownLatch,
+    CyclicBarrier,
+    Exchanger,
+    FairLock,
+    FutureValue,
+    ProducerConsumer,
+    ReadersWriters,
+    Semaphore,
+    TaskQueue,
+)
+from repro.testing import RegressionSuite, TestSequence
+
+# (factory, workload sequence) — each sequence is a realistic clocked use
+# of the component; annotation freezes the golden behaviour.
+CASES = {
+    "ProducerConsumer": (
+        ProducerConsumer,
+        TestSequence("pc")
+        .add(1, "c", "receive", check_completion=False)
+        .add(2, "p", "send", "ab", check_completion=False)
+        .add(3, "c", "receive", check_completion=False),
+    ),
+    "BoundedBuffer": (
+        lambda: BoundedBuffer(2),
+        TestSequence("bb")
+        .add(1, "p", "put", 1, check_completion=False)
+        .add(2, "p", "put", 2, check_completion=False)
+        .add(3, "p", "put", 3, check_completion=False)  # blocks: full
+        .add(4, "c", "get", check_completion=False)
+        .add(5, "c", "get", check_completion=False)
+        .add(6, "c", "get", check_completion=False),
+    ),
+    "ReadersWriters": (
+        ReadersWriters,
+        TestSequence("rw")
+        .add(1, "r1", "start_read", check_completion=False)
+        .add(2, "w", "start_write", check_completion=False)  # waits
+        .add(3, "r1", "end_read", check_completion=False)    # releases w
+        .add(4, "w", "end_write", check_completion=False)
+        .add(5, "r2", "start_read", check_completion=False)
+        .add(6, "r2", "end_read", check_completion=False),
+    ),
+    "Semaphore": (
+        lambda: Semaphore(1),
+        TestSequence("sem")
+        .add(1, "a", "acquire", check_completion=False)
+        .add(2, "b", "acquire", check_completion=False)  # blocks
+        .add(3, "a", "release", check_completion=False)
+        .add(4, "b", "release", check_completion=False),
+    ),
+    "CyclicBarrier": (
+        lambda: CyclicBarrier(2),
+        TestSequence("barrier")
+        .add(1, "a", "arrive", check_completion=False)
+        .add(2, "b", "arrive", check_completion=False)
+        .add(3, "a", "arrive", check_completion=False)
+        .add(4, "b", "arrive", check_completion=False),
+    ),
+    "CountDownLatch": (
+        lambda: CountDownLatch(2),
+        TestSequence("latch")
+        .add(1, "w", "await_zero", check_completion=False)
+        .add(2, "c", "count_down", check_completion=False)
+        .add(3, "c", "count_down", check_completion=False),
+    ),
+    "FairLock": (
+        FairLock,
+        TestSequence("fair")
+        .add(1, "a", "lock", check_completion=False)
+        .add(2, "b", "lock", check_completion=False)  # queued
+        .add(3, "a", "unlock", check_completion=False)
+        .add(4, "b", "unlock", check_completion=False),
+    ),
+    "FutureValue": (
+        FutureValue,
+        TestSequence("future")
+        .add(1, "g", "get", check_completion=False)  # blocks
+        .add(2, "s", "set_value", 42, check_completion=False),
+    ),
+    "Exchanger": (
+        Exchanger,
+        TestSequence("exchange")
+        .add(1, "a", "exchange", "x", check_completion=False)
+        .add(2, "b", "exchange", "y", check_completion=False),
+    ),
+    "TaskQueue": (
+        TaskQueue,
+        TestSequence("queue")
+        .add(1, "w", "take", check_completion=False)  # blocks on empty
+        .add(2, "p", "put", "job", check_completion=False)
+        .add(3, "p", "shutdown", check_completion=False)
+        .add(4, "w", "take", check_completion=False),  # drains -> None
+    ),
+    "Account": (
+        lambda: Account(10),
+        TestSequence("acct")
+        .add(1, "t", "deposit", 5, check_completion=False)
+        .add(2, "t", "withdraw", 3, check_completion=False)
+        .add(3, "t", "get_balance", check_completion=False),
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+class TestComponentRange:
+    def test_cofgs_build(self, name):
+        factory, _ = CASES[name]
+        cofgs = build_all_cofgs(factory() if callable(factory) else factory)
+        assert cofgs, f"{name} declares no component methods"
+        for cofg in cofgs.values():
+            assert cofg.arcs, f"{name}: empty CoFG"
+            assert cofg.start and cofg.end
+
+    def test_static_checks_clean(self, name):
+        factory, _ = CASES[name]
+        assert check_component(factory()) == []
+
+    def test_metrics_computable(self, name):
+        factory, _ = CASES[name]
+        metrics = component_metrics(factory())
+        assert metrics.total_arcs > 0
+
+    def test_golden_suite_freezes_and_passes(self, name):
+        factory, sequence = CASES[name]
+        suite = RegressionSuite.build(factory, [sequence])
+        report = suite.run(factory)
+        assert report.passed, report.describe()
+
+    def test_suite_json_roundtrip(self, name):
+        factory, sequence = CASES[name]
+        suite = RegressionSuite.build(factory, [sequence])
+        restored = RegressionSuite.from_json(suite.to_json())
+        assert restored.run(factory).passed

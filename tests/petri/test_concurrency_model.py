@@ -1,0 +1,185 @@
+"""Tests for the Figure-1 concurrency model (the paper's Section 4)."""
+
+import pytest
+
+from repro.petri import (
+    ConcurrencyModel,
+    Marking,
+    build_concurrency_net,
+    build_figure1_net,
+    build_reachability_graph,
+    find_firing_sequence,
+    invariant_holds,
+    place_invariants,
+)
+
+
+class TestFigure1Structure:
+    def test_places_and_transitions(self):
+        net, m0 = build_figure1_net()
+        assert {p.name for p in net.places} == {"A", "B", "C", "D", "E"}
+        assert {t.name for t in net.transitions} == {"T1", "T2", "T3", "T4", "T5"}
+
+    def test_initial_marking(self):
+        _, m0 = build_figure1_net()
+        assert m0 == Marking({"A": 1, "E": 1})
+
+    def test_t1_connectivity(self):
+        net, _ = build_figure1_net()
+        assert net.preset("T1") == {"A": 1}
+        assert net.postset("T1") == {"B": 1}
+
+    def test_t2_consumes_lock(self):
+        net, _ = build_figure1_net()
+        assert net.preset("T2") == {"B": 1, "E": 1}
+        assert net.postset("T2") == {"C": 1}
+
+    def test_t3_releases_lock_and_waits(self):
+        net, _ = build_figure1_net()
+        assert net.preset("T3") == {"C": 1}
+        assert net.postset("T3") == {"D": 1, "E": 1}
+
+    def test_t4_releases_lock_and_exits(self):
+        net, _ = build_figure1_net()
+        assert net.preset("T4") == {"C": 1}
+        assert net.postset("T4") == {"A": 1, "E": 1}
+
+    def test_t5_moves_waiter_to_requesting(self):
+        net, _ = build_figure1_net()
+        assert net.preset("T5") == {"D": 1}
+        assert net.postset("T5") == {"B": 1}
+
+
+class TestFigure1Behaviour:
+    def test_paper_narrative_cycle(self):
+        """The paper's walkthrough: request, acquire, wait, notify,
+        reacquire, release — ends back at the initial marking."""
+        net, m0 = build_figure1_net()
+        final = net.fire_sequence(["T1", "T2", "T3", "T5", "T2", "T4"], m0)
+        assert final == m0
+
+    def test_cannot_wake_without_waiting(self):
+        net, m0 = build_figure1_net()
+        assert not net.is_enabled("T5", m0)
+
+    def test_blocked_without_lock(self):
+        """With the lock token removed, T2 is disabled: the thread blocks
+        in B — exactly the FF-T2 situation."""
+        net, _ = build_figure1_net()
+        blocked = Marking({"B": 1})  # no token in E
+        assert not net.is_enabled("T2", blocked)
+        assert net.is_dead(blocked)
+
+    def test_reachable_state_count_single_thread(self):
+        net, m0 = build_figure1_net()
+        graph = build_reachability_graph(net, m0)
+        # {A,E}, {B,E}, {C}, {D,E}
+        assert len(graph) == 4
+        assert not graph.dead
+
+    def test_all_transitions_live(self):
+        net, m0 = build_figure1_net()
+        graph = build_reachability_graph(net, m0)
+        assert graph.dead_transitions() == set()
+
+    def test_safe_and_reversible(self):
+        net, m0 = build_figure1_net()
+        graph = build_reachability_graph(net, m0)
+        assert graph.is_safe()
+        assert graph.strongly_connected()
+
+
+class TestInvariants:
+    def test_lock_invariant_present(self):
+        """C + E = 1: either the lock is free or one thread is inside —
+        mutual exclusion as a place invariant."""
+        net, m0 = build_figure1_net()
+        invariants = place_invariants(net)
+        as_dicts = [inv.as_dict() for inv in invariants]
+        assert {"C": 1, "E": 1} in as_dicts
+
+    def test_invariants_hold_on_state_space(self):
+        net, m0 = build_figure1_net()
+        graph = build_reachability_graph(net, m0)
+        for inv in place_invariants(net):
+            assert invariant_holds(inv, net, graph.markings)
+
+    def test_thread_state_sum_constant(self):
+        net, m0 = build_figure1_net()
+        graph = build_reachability_graph(net, m0)
+        for marking in graph.markings:
+            assert sum(marking.tokens(p) for p in "ABCD") == 1
+
+
+class TestMultiThreadModel:
+    def test_two_thread_structure(self):
+        net, m0 = build_concurrency_net(2)
+        names = {p.name for p in net.places}
+        assert "E" in names and "A0" in names and "A1" in names
+        assert m0.tokens("E") == 1 and m0.tokens("A0") == 1
+
+    def test_mutual_exclusion_all_markings(self):
+        model = ConcurrencyModel.create(n_threads=2)
+        graph = build_reachability_graph(model.net, model.initial)
+        assert all(model.mutual_exclusion_holds(m) for m in graph.markings)
+        assert all(model.thread_state_consistent(m) for m in graph.markings)
+
+    def test_both_threads_cannot_be_in_cs(self):
+        model = ConcurrencyModel.create(n_threads=2)
+        graph = build_reachability_graph(model.net, model.initial)
+        for marking in graph.markings:
+            assert marking.tokens("C0") + marking.tokens("C1") <= 1
+
+    def test_deadlock_free_without_peer_requirement(self):
+        model = ConcurrencyModel.create(n_threads=2)
+        graph = build_reachability_graph(model.net, model.initial)
+        assert not graph.dead
+
+    def test_peer_notify_creates_lost_wakeup_deadlock(self):
+        """With notify requiring a peer in its critical section, both
+        threads waiting simultaneously is a dead marking — the Petri-net
+        rendering of FF-T5 'no other thread calls notify'."""
+        model = ConcurrencyModel.create(n_threads=2, notify_requires_peer=True)
+        graph = build_reachability_graph(model.net, model.initial)
+        dead = graph.dead
+        assert dead, "expected the both-waiting deadlock to be reachable"
+        for marking in dead:
+            assert marking.tokens("D0") == 1 and marking.tokens("D1") == 1
+
+    def test_firing_sequence_to_contention(self):
+        """A state with one thread in the critical section and the other
+        blocked in B is reachable (the lock-contention state)."""
+        net, m0 = build_concurrency_net(2)
+        target = Marking({"C0": 1, "B1": 1})
+        path = find_firing_sequence(net, m0, target)
+        assert path is not None
+        assert net.fire_sequence(path, m0) == target
+
+    def test_transition_base_mapping(self):
+        model = ConcurrencyModel.create(n_threads=2)
+        assert model.transition_base("T10") == "T1"
+        assert model.transition_base("T51") == "T5"
+        with pytest.raises(ValueError):
+            model.transition_base("X1")
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            build_concurrency_net(0)
+
+
+class TestScaling:
+    # n threads: each thread in one of {A,B,C,D}, E forced by occupancy of
+    # the critical sections, minus the impossible both-in-C combinations:
+    # 4^n - (states with >= 2 threads in C).  n=2: 16 - 1 = 15.
+    @pytest.mark.parametrize("n,expected", [(1, 4), (2, 15)])
+    def test_state_space_sizes(self, n, expected):
+        net, m0 = build_concurrency_net(n)
+        graph = build_reachability_graph(net, m0)
+        assert len(graph) == expected
+
+    def test_three_thread_space_grows(self):
+        net2, m2 = build_concurrency_net(2)
+        net3, m3 = build_concurrency_net(3)
+        g2 = build_reachability_graph(net2, m2)
+        g3 = build_reachability_graph(net3, m3)
+        assert len(g3) > len(g2)

@@ -1,0 +1,126 @@
+"""Tests for place-invariant computation, simulation, and DOT export."""
+
+import pytest
+
+from repro.petri import (
+    Marking,
+    NetBuilder,
+    build_figure1_net,
+    build_reachability_graph,
+    conserved_sum,
+    net_to_dot,
+    place_invariants,
+    reachability_to_dot,
+    simulate,
+    transition_frequencies,
+)
+
+
+def token_ring(n=3):
+    builder = NetBuilder("ring")
+    for i in range(n):
+        builder.place(f"p{i}", tokens=1 if i == 0 else 0)
+    for i in range(n):
+        builder.transition(f"t{i}")
+        builder.flow(f"p{i}", f"t{i}", f"p{(i + 1) % n}")
+    return builder.build()
+
+
+class TestInvariants:
+    def test_ring_conserves_token_count(self):
+        net, m0 = token_ring()
+        invariants = place_invariants(net)
+        assert any(
+            set(inv.as_dict().values()) == {1} and len(inv.as_dict()) == 3
+            for inv in invariants
+        )
+
+    def test_conserved_sum_value(self):
+        net, m0 = token_ring()
+        inv = place_invariants(net)[0]
+        assert conserved_sum(inv, m0) == inv.value(m0)
+
+    def test_invariant_str(self):
+        net, _ = token_ring()
+        text = str(place_invariants(net)[0])
+        assert "p0" in text
+
+    def test_no_invariants_for_pure_source(self):
+        builder = NetBuilder("src")
+        builder.place("out").transition("gen").arc("gen", "out")
+        net, _ = builder.build()
+        # kernel of a single nonzero column: only the zero combination of
+        # 'out' -> the only invariant weights 'out' by 0, i.e. none listed.
+        invariants = place_invariants(net)
+        assert all("out" not in inv.as_dict() for inv in invariants)
+
+    def test_invariant_value_under_firing(self):
+        net, m0 = build_figure1_net()
+        graph = build_reachability_graph(net, m0)
+        for inv in place_invariants(net):
+            values = {inv.value(m) for m in graph.markings}
+            assert len(values) == 1
+
+
+class TestSimulation:
+    def test_deterministic_with_seed(self):
+        net, m0 = build_figure1_net()
+        run1 = simulate(net, m0, max_steps=50, seed=11)
+        run2 = simulate(net, m0, max_steps=50, seed=11)
+        assert run1.firings == run2.firings
+
+    def test_different_seeds_usually_differ(self):
+        net, m0 = build_figure1_net()
+        runs = {tuple(simulate(net, m0, max_steps=30, seed=s).firings) for s in range(5)}
+        assert len(runs) > 1
+
+    def test_deadlock_stops_run(self):
+        builder = NetBuilder("one-shot")
+        builder.place("a", tokens=1).place("b").transition("t")
+        builder.flow("a", "t", "b")
+        net, m0 = builder.build()
+        run = simulate(net, m0, max_steps=10, seed=0)
+        assert run.deadlocked
+        assert run.steps == 1
+
+    def test_markings_trajectory_length(self):
+        net, m0 = build_figure1_net()
+        run = simulate(net, m0, max_steps=20, seed=1)
+        assert len(run.markings) == run.steps + 1
+
+    def test_frequencies_sum_to_steps(self):
+        net, m0 = build_figure1_net()
+        run = simulate(net, m0, max_steps=40, seed=2)
+        assert sum(transition_frequencies(run).values()) == run.steps
+
+    def test_policy_override(self):
+        net, m0 = build_figure1_net()
+        first = lambda enabled, rng: enabled[0]  # noqa: E731
+        run = simulate(net, m0, max_steps=6, seed=0, policy=first)
+        assert run.firings[0] == "T1"
+
+
+class TestDotExport:
+    def test_net_dot_contains_nodes(self):
+        net, m0 = build_figure1_net()
+        dot = net_to_dot(net, m0)
+        for name in ("A", "B", "C", "D", "E", "T1", "T5"):
+            assert f'"{name}"' in dot
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+
+    def test_marking_tokens_rendered(self):
+        net, m0 = build_figure1_net()
+        assert "•" in net_to_dot(net, m0)
+
+    def test_reachability_dot(self):
+        net, m0 = build_figure1_net()
+        graph = build_reachability_graph(net, m0)
+        dot = reachability_to_dot(graph)
+        assert "s0" in dot and "T1" in dot
+
+    def test_reachability_dot_truncation(self):
+        net, m0 = build_figure1_net()
+        graph = build_reachability_graph(net, m0)
+        dot = reachability_to_dot(graph, max_states=2)
+        assert "more states" in dot

@@ -1,0 +1,106 @@
+"""Tests for siphon/trap structural analysis."""
+
+import pytest
+
+from repro.petri import (
+    Marking,
+    NetBuilder,
+    build_concurrency_net,
+    build_figure1_net,
+    emptiable_siphons,
+    find_minimal_siphons,
+    is_siphon,
+    is_trap,
+)
+
+
+def one_shot_net():
+    """src --t--> sink: {src} is a siphon (empties), {sink} is a trap."""
+    return (
+        NetBuilder("oneshot")
+        .place("src", tokens=1)
+        .place("sink")
+        .transition("t")
+        .flow("src", "t", "sink")
+        .build()
+    )
+
+
+class TestPredicates:
+    def test_source_place_is_siphon(self):
+        net, _ = one_shot_net()
+        assert is_siphon(net, {"src"})
+        assert not is_siphon(net, {"sink"})  # t feeds sink without consuming
+
+    def test_sink_place_is_trap(self):
+        net, _ = one_shot_net()
+        assert is_trap(net, {"sink"})
+        assert not is_trap(net, {"src"})
+
+    def test_whole_place_set(self):
+        net, _ = one_shot_net()
+        everything = {"src", "sink"}
+        assert is_siphon(net, everything)
+        assert is_trap(net, everything)
+
+    def test_empty_set_is_neither(self):
+        net, _ = one_shot_net()
+        assert not is_siphon(net, set())
+        assert not is_trap(net, set())
+
+    def test_cycle_is_both(self):
+        builder = NetBuilder("cycle")
+        builder.place("a", tokens=1).place("b")
+        builder.transition("t1").transition("t2")
+        builder.flow("a", "t1", "b").flow("b", "t2", "a")
+        net, _ = builder.build()
+        assert is_siphon(net, {"a", "b"})
+        assert is_trap(net, {"a", "b"})
+
+
+class TestMinimalSiphons:
+    def test_one_shot(self):
+        net, _ = one_shot_net()
+        siphons = find_minimal_siphons(net)
+        assert frozenset({"src"}) in siphons
+        # {src, sink} is a siphon but not minimal
+        assert frozenset({"src", "sink"}) not in siphons
+
+    def test_figure1_siphons_are_the_invariant_sets(self):
+        """The minimal siphons of Figure 1 are exactly the two conserved
+        sets: {C, E} (the lock) and {A, B, C, D} (the thread) — structure
+        recovering the place invariants."""
+        net, _ = build_figure1_net()
+        siphons = {tuple(sorted(s)) for s in find_minimal_siphons(net)}
+        assert siphons == {("C", "E"), ("A", "B", "C", "D")}
+
+    def test_max_places_guard(self):
+        net, _ = build_concurrency_net(5)  # 21 places
+        with pytest.raises(ValueError, match="max_places"):
+            find_minimal_siphons(net)
+
+
+class TestEmptiableSiphons:
+    def test_figure1_deadlock_free_structurally(self):
+        net, m0 = build_figure1_net()
+        assert emptiable_siphons(net, m0) == []
+
+    def test_one_shot_source_empties(self):
+        net, m0 = one_shot_net()
+        results = emptiable_siphons(net, m0)
+        assert any(s == frozenset({"src"}) for s, _ in results)
+
+    def test_peer_notify_ff_t5_as_empty_siphon(self):
+        """In the notify-requires-peer model, the set of active places
+        (everything but the wait states and the lock) is a siphon that
+        empties at the both-waiting marking — FF-T5 as structure."""
+        net, m0 = build_concurrency_net(2, notify_requires_peer=True)
+        results = emptiable_siphons(net, m0)
+        assert results, "expected an emptiable siphon"
+        siphon, witness = results[0]
+        assert siphon == frozenset({"A0", "A1", "B0", "B1", "C0", "C1"})
+        assert witness.tokens("D0") == 1 and witness.tokens("D1") == 1
+
+    def test_plain_two_thread_model_has_no_emptiable_siphon(self):
+        net, m0 = build_concurrency_net(2)
+        assert emptiable_siphons(net, m0) == []

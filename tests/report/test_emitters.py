@@ -1,0 +1,108 @@
+"""Tests for the Table-1 / Figure-1 / Figure-3 emitters."""
+
+import pytest
+
+from repro.report import (
+    build_figure1_report,
+    figure3_rows,
+    render_figure1,
+    render_figure3,
+    render_table,
+    render_table1,
+    table1_rows,
+)
+
+
+class TestRenderTable:
+    def test_basic(self):
+        text = render_table(("A", "B"), [("1", "2"), ("3", "4")])
+        assert "| A" in text and "| 1" in text
+        assert text.count("+") > 4
+
+    def test_wrapping(self):
+        text = render_table(("H",), [("word " * 20,)], widths=(10,))
+        lines = [l for l in text.splitlines() if l.startswith("|")]
+        assert len(lines) > 5  # wrapped onto many lines
+
+    def test_title(self):
+        text = render_table(("A",), [], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(("A", "B"), [("only-one",)])
+
+
+class TestTable1:
+    def test_eleven_rows(self):
+        rows = table1_rows()
+        assert len(rows) == 11
+
+    def test_transition_column_order(self):
+        transitions = [r[0] for r in table1_rows() if r[0]]
+        assert transitions == ["T1", "T1", "T2", "T2", "T3", "T3", "T4", "T4", "T5", "T5"]
+
+    def test_ff_t4_second_cause_has_blank_transition(self):
+        rows = table1_rows()
+        t4_rows = [i for i, r in enumerate(rows) if r[0] == "T4"]
+        # the FF-T4 continuation row (second cause) has an empty
+        # transition cell, like the printed table
+        first_ff_t4 = t4_rows[0]
+        assert rows[first_ff_t4 + 1][0] == ""
+
+    def test_render_contains_key_phrases(self):
+        text = render_table1()
+        assert "Table 1" in text
+        assert "race condition" in text
+        assert "Check completion time" in text
+        assert "Not applicable" in text
+
+    def test_failure_column_labels(self):
+        text = render_table1()
+        assert "Failure to fire" in text
+        assert "Erroneous firing" in text
+
+
+class TestFigure1:
+    def test_report_fields(self):
+        report = build_figure1_report()
+        assert report.n_places == 5
+        assert report.n_transitions == 5
+        assert report.n_arcs == 13
+        assert report.reachable_states == 4
+        assert report.dead_states == 0
+        assert report.safe and report.reversible
+        assert report.invariants_verified
+        assert report.mutual_exclusion_everywhere
+        assert report.thread_state_everywhere
+        assert report.dot.startswith("digraph")
+
+    def test_render_mentions_properties(self):
+        text = render_figure1()
+        assert "Figure 1" in text
+        assert "mutual exclusion" in text
+        assert "place invariants" in text
+
+    def test_multi_thread_report(self):
+        report = build_figure1_report(n_threads=2)
+        assert report.reachable_states == 15
+        assert report.mutual_exclusion_everywhere
+
+
+class TestFigure3:
+    def test_rows_for_both_methods(self):
+        rows = figure3_rows()
+        assert set(rows) == {"receive", "send"}
+        assert len(rows["receive"]) == 5
+
+    def test_match_flags(self):
+        rows = figure3_rows()["receive"]
+        matches = [r[3] for r in rows]
+        assert matches.count("yes") == 4
+        assert matches.count("no*") == 1
+
+    def test_render_contains_disclaimer(self):
+        text = render_figure3()
+        assert "Figure 3" in text
+        assert "T3, T4, T5" in text  # the paper's printed sequence
+        assert "misprint" in text or "cannot fire T4" in text

@@ -1,0 +1,222 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+GOOD_SCRIPT = """
+component repro.components:ProducerConsumer
+
+thread consumer:
+    @1 receive() -> 'a' @2
+
+thread producer:
+    @2 send("a") @2
+"""
+
+
+class TestArtifactCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "race condition" in out
+
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "mutual exclusion" in out
+
+    def test_figure1_dot(self, capsys):
+        assert main(["figure1", "--dot", "--threads", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert '"T10"' in out
+
+    def test_figure3(self, capsys):
+        assert main(["figure3"]) == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+
+class TestCofgAndCheck:
+    def test_cofg_all_methods(self, capsys):
+        assert main(["cofg", "repro.components:ProducerConsumer"]) == 0
+        out = capsys.readouterr().out
+        assert "receive" in out and "send" in out
+
+    def test_cofg_single_method_dot(self, capsys):
+        assert (
+            main(
+                [
+                    "cofg",
+                    "repro.components:ProducerConsumer",
+                    "--method",
+                    "receive",
+                    "--dot",
+                ]
+            )
+            == 0
+        )
+        assert "digraph" in capsys.readouterr().out
+
+    def test_cofg_dotted_spec(self, capsys):
+        assert main(["cofg", "repro.components.ProducerConsumer"]) == 0
+
+    def test_check_clean(self, capsys):
+        assert main(["check", "repro.components:ProducerConsumer"]) == 0
+        assert "no static findings" in capsys.readouterr().out
+
+    def test_check_findings_exit_code(self, capsys):
+        assert main(["check", "repro.components.faulty:UnsyncCounter"]) == 2
+        assert "FF-T1" in capsys.readouterr().out
+
+    def test_unknown_module(self):
+        with pytest.raises(SystemExit):
+            main(["check", "nosuch.module:Thing"])
+
+    def test_unknown_class(self):
+        with pytest.raises(SystemExit):
+            main(["check", "repro.components:NoSuchClass"])
+
+    def test_bad_spec(self):
+        with pytest.raises(SystemExit):
+            main(["check", "justoneword"])
+
+
+class TestRunAnalyze:
+    def test_run_script_pass(self, tmp_path, capsys):
+        script = tmp_path / "t.cts"
+        script.write_text(GOOD_SCRIPT)
+        assert main(["run", str(script)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_run_script_fail_exit_code(self, tmp_path, capsys):
+        script = tmp_path / "t.cts"
+        script.write_text(GOOD_SCRIPT.replace("@2\n", "@1\n", 1))
+        assert main(["run", str(script)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_run_verbose_and_save(self, tmp_path, capsys):
+        script = tmp_path / "t.cts"
+        trace_path = tmp_path / "run.jsonl"
+        script.write_text(GOOD_SCRIPT)
+        code = main(
+            ["run", str(script), "--verbose", "--save-trace", str(trace_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out
+        assert trace_path.exists()
+
+    def test_analyze_clean(self, tmp_path, capsys):
+        script = tmp_path / "t.cts"
+        trace_path = tmp_path / "run.jsonl"
+        script.write_text(GOOD_SCRIPT)
+        main(["run", str(script), "--save-trace", str(trace_path)])
+        capsys.readouterr()
+        assert main(["analyze", str(trace_path)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_contention(self, tmp_path, capsys):
+        script = tmp_path / "t.cts"
+        trace_path = tmp_path / "run.jsonl"
+        script.write_text(GOOD_SCRIPT)
+        main(["run", str(script), "--save-trace", str(trace_path)])
+        capsys.readouterr()
+        assert main(["contention", str(trace_path)]) == 0
+        assert "acquisitions" in capsys.readouterr().out
+
+    def test_run_with_seed_and_policies(self, tmp_path, capsys):
+        script = tmp_path / "t.cts"
+        script.write_text(GOOD_SCRIPT)
+        code = main(
+            [
+                "run",
+                str(script),
+                "--seed",
+                "7",
+                "--lock-policy",
+                "lifo",
+                "--notify-policy",
+                "random",
+            ]
+        )
+        assert code == 0
+
+
+class TestMethodAndSuiteCommands:
+    def test_metrics(self, capsys):
+        assert main(["metrics", "repro.components:ProducerConsumer"]) == 0
+        out = capsys.readouterr().out
+        assert "10 arcs" in out
+
+    def test_method_and_suite_roundtrip(self, tmp_path, capsys):
+        suite_path = tmp_path / "suite.json"
+        code = main(
+            [
+                "method",
+                "repro.components:ProducerConsumer",
+                "--call",
+                "receive",
+                "--call",
+                "send:'ab'",
+                "--call",
+                "send:'x'",
+                "--max-length",
+                "8",
+                "--save-suite",
+                str(suite_path),
+            ]
+        )
+        assert code == 0
+        assert suite_path.exists()
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "suite-run",
+                    str(suite_path),
+                    "repro.components:ProducerConsumer",
+                ]
+            )
+            == 0
+        )
+        assert "PASS" in capsys.readouterr().out
+
+    def test_suite_run_kills_mutant(self, tmp_path, capsys):
+        # Build a suite whose covering sequence definitely needs send's
+        # notify (a consumer blocked before the send), save it, and run
+        # it against the no-notify component via the CLI.
+        from repro.components import ProducerConsumer
+        from repro.testing import RegressionSuite, TestSequence
+
+        sequence = (
+            TestSequence("kill")
+            .add(1, "c", "receive", check_completion=False)
+            .add(2, "p", "send", "x", check_completion=False)
+        )
+        suite = RegressionSuite.build(ProducerConsumer, [sequence])
+        suite_path = tmp_path / "suite.json"
+        suite.save(suite_path)
+        code = main(
+            [
+                "suite-run",
+                str(suite_path),
+                "repro.components.faulty:NoNotifyProducerConsumer",
+            ]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestShippedScript:
+    def test_examples_script_passes(self, capsys):
+        import pathlib
+
+        script = (
+            pathlib.Path(__file__).parent.parent
+            / "examples"
+            / "pc_regression.cts"
+        )
+        assert main(["run", str(script)]) == 0
+        assert "PASS" in capsys.readouterr().out

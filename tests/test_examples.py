@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs to completion and prints its
+key artifacts.  Examples are the user-facing face of the library; a
+broken example is a broken release."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ["run status: completed", "Table 1", "CoFG"],
+    "producer_consumer_testing.py": ["KILLED", "100%", "golden"],
+    "race_and_deadlock_hunt.py": [
+        "data race",
+        "potential deadlock",
+        "deadlock cycle",
+    ],
+    "petri_model_tour.py": [
+        "back at the initial marking",
+        "dead markings: 1",
+        "FF-T5",
+    ],
+    "mutation_study.py": ["mutation score", "KILLED"],
+    "regression_workflow.py": ["suite saved", "FAIL", "post-mortem"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_MARKERS))
+def test_example_runs(script):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} is missing"
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for marker in EXPECTED_MARKERS[script]:
+        assert marker in result.stdout, (
+            f"{script}: expected {marker!r} in output"
+        )
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_MARKERS), (
+        "add new examples to EXPECTED_MARKERS so they stay smoke-tested"
+    )

@@ -1,0 +1,195 @@
+"""Tests for CoFG-driven sequence generation and the mutation engine."""
+
+import pytest
+
+from repro.analysis import build_all_cofgs, build_cofg
+from repro.classify import FailureClass
+from repro.components import BoundedBuffer, ProducerConsumer
+from repro.testing import (
+    ALL_OPERATORS,
+    CallTemplate,
+    DropSynchronized,
+    NotifyAllToNotify,
+    RemoveNotify,
+    RemoveWaitLoop,
+    WaitToYield,
+    WhileToIf,
+    annotate_expectations,
+    applicable_operators,
+    generate_covering_sequence,
+    mutate_component,
+    run_sequence,
+)
+from repro.vm import RunStatus
+
+
+PC_ALPHABET = [
+    CallTemplate("receive"),
+    CallTemplate("send", lambda i: (chr(ord("a") + i % 26) * 2,), label="send(2 chars)"),
+    CallTemplate("send", lambda i: (chr(ord("A") + i % 26),), label="send(1 char)"),
+]
+
+
+class TestGenerator:
+    def test_generates_nonempty_sequence(self):
+        result = generate_covering_sequence(
+            ProducerConsumer, PC_ALPHABET, max_length=8
+        )
+        assert result.sequence.calls
+        assert result.covered > 0
+        assert result.evaluations >= len(result.sequence.calls)
+
+    def test_coverage_improves_over_single_call(self):
+        result = generate_covering_sequence(
+            ProducerConsumer, PC_ALPHABET, max_length=10, patience=3
+        )
+        assert result.covered >= 6
+
+    def test_describe(self):
+        result = generate_covering_sequence(
+            ProducerConsumer, PC_ALPHABET, max_length=4
+        )
+        assert "generated" in result.describe()
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            generate_covering_sequence(ProducerConsumer, [])
+
+    def test_each_call_its_own_thread(self):
+        result = generate_covering_sequence(
+            ProducerConsumer, PC_ALPHABET, max_length=5
+        )
+        threads = [c.thread for c in result.sequence.calls]
+        assert len(threads) == len(set(threads))
+
+
+class TestAnnotation:
+    def _golden(self):
+        from repro.testing import TestSequence
+
+        seq = (
+            TestSequence("golden")
+            .add(1, "c1", "receive", check_completion=False)
+            .add(2, "p1", "send", "ab", check_completion=False)
+            .add(3, "c2", "receive", check_completion=False)
+        )
+        outcome = run_sequence(ProducerConsumer, seq)
+        return outcome, annotate_expectations(outcome)
+
+    def test_completion_clocks_recorded(self):
+        _, golden = self._golden()
+        by_thread = {c.thread: c for c in golden.calls}
+        assert by_thread["c1"].expect_at == 2  # released by the send at 2
+        assert by_thread["p1"].expect_at == 2
+        assert by_thread["c2"].expect_at == 3
+
+    def test_returns_recorded(self):
+        _, golden = self._golden()
+        by_thread = {c.thread: c for c in golden.calls}
+        assert by_thread["c1"].expect_returns == "a"
+        assert by_thread["c2"].expect_returns == "b"
+
+    def test_golden_passes_on_correct_component(self):
+        _, golden = self._golden()
+        assert run_sequence(ProducerConsumer, golden).passed
+
+    def test_returns_can_be_skipped(self):
+        outcome, _ = self._golden()
+        golden = annotate_expectations(outcome, expect_returns=False)
+        from repro.detect.completion import UNSET
+
+        assert all(c.expect_returns is UNSET for c in golden.calls)
+
+    def test_never_annotated_for_hanging_call(self):
+        from repro.testing import TestSequence
+
+        seq = TestSequence("hang").add(1, "c", "receive", check_completion=False)
+        outcome = run_sequence(ProducerConsumer, seq)
+        golden = annotate_expectations(outcome)
+        assert golden.calls[0].expect_never
+
+
+class TestMutationEngine:
+    def test_applicable_operators_for_receive(self):
+        names = {op.name for op in applicable_operators(ProducerConsumer, "receive")}
+        assert "while_to_if" in names
+        assert "remove_notify" in names
+        assert "drop_sync" not in names  # has a wait: dropping sync would crash
+
+    def test_drop_sync_applicable_without_wait(self):
+        names = {op.name for op in applicable_operators(BoundedBuffer, "size")}
+        assert "drop_sync" in names
+
+    def test_mutant_class_name(self):
+        mutant = mutate_component(ProducerConsumer, "send", RemoveNotify)
+        assert mutant.__name__ == "ProducerConsumer__remove_notify"
+        assert issubclass(mutant, ProducerConsumer)
+
+    def test_mutant_cofg_buildable(self):
+        mutant = mutate_component(ProducerConsumer, "send", RemoveNotify)
+        cofg = build_cofg(mutant, "send")
+        # notifyAll nodes are gone from the mutated method
+        assert not cofg.notify_nodes()
+
+    def test_while_to_if_changes_cofg(self):
+        mutant = mutate_component(ProducerConsumer, "receive", WhileToIf)
+        cofg = build_cofg(mutant, "receive")
+        arcs = {(a.src.kind.value, a.dst.kind.value) for a in cofg.arcs}
+        assert ("wait", "wait") not in arcs  # no loop anymore
+
+    def test_remove_wait_loop(self):
+        mutant = mutate_component(ProducerConsumer, "receive", RemoveWaitLoop)
+        cofg = build_cofg(mutant, "receive")
+        assert not cofg.wait_nodes()
+
+    def test_seeded_classes(self):
+        assert RemoveNotify.seeded_class is FailureClass.FF_T5
+        assert WhileToIf.seeded_class is FailureClass.EF_T5
+        assert WaitToYield.seeded_class is FailureClass.FF_T4
+        assert RemoveWaitLoop.seeded_class is FailureClass.FF_T3
+        assert DropSynchronized.seeded_class is FailureClass.FF_T1
+
+    def test_all_operators_have_distinct_names(self):
+        names = [op.name for op in ALL_OPERATORS]
+        assert len(names) == len(set(names))
+
+
+class TestMutantBehaviour:
+    """Each mutant misbehaves in the way its failure class predicts."""
+
+    def _golden(self):
+        from repro.testing import TestSequence
+
+        seq = (
+            TestSequence("golden")
+            .add(1, "c1", "receive", check_completion=False)
+            .add(2, "c2", "receive", check_completion=False)
+            .add(3, "p1", "send", "ab", check_completion=False)
+            .add(4, "p2", "send", "c", check_completion=False)
+            .add(5, "c3", "receive", check_completion=False)
+        )
+        outcome = run_sequence(ProducerConsumer, seq)
+        return annotate_expectations(outcome)
+
+    def test_remove_notify_kills(self):
+        golden = self._golden()
+        mutant = mutate_component(ProducerConsumer, "send", RemoveNotify)
+        outcome = run_sequence(mutant, golden)
+        assert not outcome.passed
+
+    def test_remove_wait_loop_kills(self):
+        golden = self._golden()
+        mutant = mutate_component(ProducerConsumer, "receive", RemoveWaitLoop)
+        outcome = run_sequence(mutant, golden)
+        assert not outcome.passed
+
+    def test_wait_to_yield_hits_step_limit(self):
+        golden = self._golden()
+        mutant = mutate_component(ProducerConsumer, "receive", WaitToYield)
+        outcome = run_sequence(mutant, golden)
+        assert outcome.result.status is RunStatus.STEP_LIMIT
+        assert not outcome.passed
+
+    def test_golden_still_passes_unmutated(self):
+        golden = self._golden()
+        assert run_sequence(ProducerConsumer, golden).passed

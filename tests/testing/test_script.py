@@ -1,0 +1,189 @@
+"""Tests for the ConAn-style test-script parser and runner."""
+
+import pytest
+
+from repro.testing import ScriptError, parse_script, run_script
+
+GOOD_SCRIPT = """
+# producer-consumer regression
+component repro.components:ProducerConsumer
+
+thread consumer:
+    @1 receive() -> 'a' @2      # blocked until the send
+    @3 receive() -> 'b' @3
+    @5 receive() @never
+
+thread producer:
+    @2 send("ab") @2
+"""
+
+
+class TestParsing:
+    def test_component_resolved(self):
+        parsed = parse_script(GOOD_SCRIPT)
+        assert parsed.component_name == "ProducerConsumer"
+        instance = parsed.component_factory()
+        assert type(instance).__name__ == "ProducerConsumer"
+
+    def test_calls_parsed(self):
+        parsed = parse_script(GOOD_SCRIPT)
+        calls = parsed.sequence.calls
+        assert len(calls) == 4
+        first = calls[0]
+        assert (first.at, first.thread, first.method) == (1, "consumer", "receive")
+        assert first.expect_returns == "a"
+        assert first.expect_at == 2
+
+    def test_never_parsed(self):
+        parsed = parse_script(GOOD_SCRIPT)
+        never_calls = [c for c in parsed.sequence.calls if c.expect_never]
+        assert len(never_calls) == 1
+        assert never_calls[0].at == 5
+
+    def test_window_syntax(self):
+        script = """
+component repro.components:ProducerConsumer
+thread t:
+    @1 receive() @[1, 4]
+"""
+        call = parse_script(script).sequence.calls[0]
+        assert call.expect_between == (1, 4)
+
+    def test_unchecked_call(self):
+        script = """
+component repro.components:ProducerConsumer
+thread t:
+    @1 send("x")
+    @2 receive?()
+"""
+        calls = parse_script(script).sequence.calls
+        assert calls[1].check_completion is False
+
+    def test_constructor_args(self):
+        script = """
+component repro.components:BoundedBuffer(2)
+thread t:
+    @1 put(1) @1
+"""
+        parsed = parse_script(script)
+        assert parsed.component_factory().capacity == 2
+
+    def test_tuple_and_kw_literals(self):
+        script = """
+component repro.components:BoundedBuffer
+thread t:
+    @1 put((1, 'two')) @1
+"""
+        call = parse_script(script).sequence.calls[0]
+        assert call.args == ((1, "two"),)
+
+    def test_comment_inside_string_preserved(self):
+        script = """
+component repro.components:ProducerConsumer
+thread t:
+    @1 send("a#b") @1
+"""
+        call = parse_script(script).sequence.calls[0]
+        assert call.args == ("a#b",)
+
+
+class TestParseErrors:
+    def test_missing_component(self):
+        with pytest.raises(ScriptError, match="no component"):
+            parse_script("thread t:\n")
+
+    def test_call_before_component(self):
+        with pytest.raises(ScriptError, match="before the component"):
+            parse_script(
+                "thread t:\n    @1 m()\ncomponent repro.components:Semaphore\n"
+            )
+
+    def test_call_outside_thread(self):
+        with pytest.raises(ScriptError, match="outside a thread"):
+            parse_script(
+                "component repro.components:Semaphore\n@1 acquire()\n"
+            )
+
+    def test_unknown_component(self):
+        with pytest.raises(ScriptError, match="cannot resolve"):
+            parse_script("component nosuch.module:Thing\nthread t:\n    @1 m()\n")
+
+    def test_garbage_line(self):
+        with pytest.raises(ScriptError, match="cannot parse"):
+            parse_script(
+                "component repro.components:Semaphore\nthread t:\n    what is this\n"
+            )
+
+    def test_duplicate_component(self):
+        with pytest.raises(ScriptError, match="duplicate"):
+            parse_script(
+                "component repro.components:Semaphore\n"
+                "component repro.components:Semaphore\n"
+            )
+
+    def test_bad_args(self):
+        with pytest.raises(ScriptError, match="bad argument"):
+            parse_script(
+                "component repro.components:Semaphore\nthread t:\n"
+                "    @1 acquire(not-a-literal!) @1\n"
+            )
+
+    def test_empty_window(self):
+        with pytest.raises(ScriptError, match="empty window"):
+            parse_script(
+                "component repro.components:Semaphore\nthread t:\n"
+                "    @1 acquire() @[4, 2]\n"
+            )
+
+    def test_unchecked_with_expectation_rejected(self):
+        with pytest.raises(ScriptError, match="cannot be combined"):
+            parse_script(
+                "component repro.components:Semaphore\nthread t:\n"
+                "    @1 acquire?() @2\n"
+            )
+
+    def test_no_calls(self):
+        with pytest.raises(ScriptError, match="no calls"):
+            parse_script("component repro.components:Semaphore\n")
+
+    def test_line_numbers_reported(self):
+        try:
+            parse_script(
+                "component repro.components:Semaphore\nthread t:\n    ???\n"
+            )
+        except ScriptError as exc:
+            assert exc.line_number == 3
+        else:
+            pytest.fail("expected ScriptError")
+
+
+class TestExecution:
+    def test_good_script_passes(self):
+        outcome = run_script(GOOD_SCRIPT)
+        assert outcome.passed
+        assert outcome.call_results["consumer"] == ["a", "b"]
+
+    def test_failing_script_reports(self):
+        script = GOOD_SCRIPT.replace("-> 'a' @2", "-> 'a' @1")
+        outcome = run_script(script)
+        assert not outcome.passed
+        assert outcome.violations
+
+    def test_faulty_component_script(self):
+        script = """
+component repro.components.faulty:NoNotifyProducerConsumer
+thread consumer:
+    @1 receive() @2
+thread producer:
+    @2 send("x") @2
+"""
+        outcome = run_script(script)
+        assert not outcome.passed
+
+    def test_runner_kwargs_forwarded(self):
+        from repro.vm import SelectionPolicy
+
+        outcome = run_script(
+            GOOD_SCRIPT, notify_policy=SelectionPolicy.LIFO
+        )
+        assert outcome.passed

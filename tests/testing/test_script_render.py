@@ -1,0 +1,88 @@
+"""Tests for script rendering (sequence -> text) and round-tripping."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.components import ProducerConsumer
+from repro.testing import (
+    TestSequence,
+    annotate_expectations,
+    parse_script,
+    render_script,
+    run_sequence,
+)
+
+
+class TestRenderScript:
+    def test_basic_rendering(self):
+        seq = (
+            TestSequence("s")
+            .add(1, "c", "receive", expect_at=2, expect_returns="a")
+            .add(2, "p", "send", "ab", expect_at=2)
+        )
+        text = render_script(seq, "repro.components:ProducerConsumer")
+        assert "component repro.components:ProducerConsumer" in text
+        assert "thread c:" in text and "thread p:" in text
+        assert "@1 receive() -> 'a' @2" in text
+        assert "@2 send('ab') @2" in text
+
+    def test_never_and_window(self):
+        seq = (
+            TestSequence("s")
+            .add(1, "t", "receive", expect_never=True)
+            .add(2, "t", "receive", expect_between=(2, 5))
+        )
+        text = render_script(seq, "repro.components:ProducerConsumer")
+        assert "@never" in text
+        assert "@[2, 5]" in text
+
+    def test_unchecked_rendering(self):
+        seq = TestSequence("s").add(1, "t", "receive", check_completion=False)
+        text = render_script(seq, "repro.components:ProducerConsumer")
+        assert "receive?()" in text
+
+    def test_constructor_args(self):
+        seq = TestSequence("s").add(1, "t", "put", 1, expect_at=1)
+        text = render_script(
+            seq, "repro.components:BoundedBuffer", constructor_args=(2,)
+        )
+        assert "component repro.components:BoundedBuffer(2)" in text
+        parsed = parse_script(text)
+        assert parsed.component_factory().capacity == 2
+
+    def test_roundtrip_identity(self):
+        seq = (
+            TestSequence("golden")
+            .add(1, "c", "receive", check_completion=False)
+            .add(2, "p", "send", "ab", check_completion=False)
+            .add(3, "c", "receive", check_completion=False)
+        )
+        golden = annotate_expectations(run_sequence(ProducerConsumer, seq))
+        text = render_script(golden, "repro.components:ProducerConsumer")
+        reparsed = parse_script(text)
+        assert set(reparsed.sequence.calls) == set(golden.calls)
+        assert reparsed.run().passed
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=9),
+                st.sampled_from(["c1", "c2", "p"]),
+                st.sampled_from(["receive", "send"]),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, call_specs):
+        """Any sequence over literal args survives render -> parse."""
+        seq = TestSequence("prop")
+        for at, thread, method in call_specs:
+            args = ("xy",) if method == "send" else ()
+            seq.add(at, thread, method, *args, check_completion=False)
+        text = render_script(seq, "repro.components:ProducerConsumer")
+        reparsed = parse_script(text)
+        assert sorted(
+            (c.at, c.thread, c.method, c.args) for c in reparsed.sequence.calls
+        ) == sorted((c.at, c.thread, c.method, c.args) for c in seq.calls)

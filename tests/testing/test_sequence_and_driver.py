@@ -1,0 +1,160 @@
+"""Tests for TestSequence and the deterministic sequence driver."""
+
+import pytest
+
+from repro.components import BoundedBuffer, ProducerConsumer, Semaphore
+from repro.detect.completion import UNSET
+from repro.testing import SequenceRunner, TestSequence, run_sequence
+from repro.vm import RunStatus, SelectionPolicy
+
+
+class TestSequenceModel:
+    def test_add_chainable(self):
+        seq = TestSequence("s").add(1, "t", "m").add(2, "t", "m2")
+        assert len(seq.calls) == 2
+
+    def test_threads_in_order(self):
+        seq = (
+            TestSequence("s")
+            .add(1, "b", "m")
+            .add(2, "a", "m")
+            .add(3, "b", "m")
+        )
+        assert seq.threads() == ["b", "a"]
+
+    def test_horizon(self):
+        seq = TestSequence("s").add(1, "t", "m", expect_at=9)
+        assert seq.horizon() == 9
+
+    def test_calls_for_sorted_by_time(self):
+        seq = TestSequence("s").add(5, "t", "m2").add(1, "t", "m1")
+        assert [c.method for c in seq.calls_for("t")] == ["m1", "m2"]
+
+    def test_expectations_default_to_call_time(self):
+        seq = TestSequence("s").add(3, "t", "m")
+        exp = seq.expectations("C")[0]
+        assert exp.at == 3 and exp.thread == "t" and exp.component == "C"
+
+    def test_expectations_occurrence_indices(self):
+        seq = TestSequence("s").add(1, "t", "m").add(2, "t", "m")
+        exps = seq.expectations("C")
+        assert [e.occurrence for e in exps] == [0, 1]
+
+    def test_expect_never(self):
+        seq = TestSequence("s").add(1, "t", "m", expect_never=True)
+        assert seq.expectations("C")[0].never
+
+    def test_check_completion_false_produces_no_expectation(self):
+        seq = TestSequence("s").add(1, "t", "m", check_completion=False)
+        assert seq.expectations("C") == []
+
+    def test_returns_unset_by_default(self):
+        seq = TestSequence("s").add(1, "t", "m")
+        assert seq.expectations("C")[0].returns is UNSET
+
+    def test_describe(self):
+        seq = TestSequence("s").add(1, "t", "send", "x", expect_at=2)
+        text = seq.describe()
+        assert "t=1" in text and "send('x')" in text and "@2" in text
+
+    def test_kwargs_roundtrip(self):
+        seq = TestSequence("s").add(1, "t", "m", timeout=5)
+        assert seq.calls[0].kwargs_dict() == {"timeout": 5}
+
+
+class TestDriver:
+    def test_producer_consumer_pass(self):
+        seq = (
+            TestSequence("basic")
+            .add(1, "p", "send", "ab", expect_at=1)
+            .add(2, "c", "receive", expect_at=2, expect_returns="a")
+            .add(3, "c", "receive", expect_at=3, expect_returns="b")
+        )
+        outcome = run_sequence(ProducerConsumer, seq)
+        assert outcome.passed
+        assert outcome.call_results["c"] == ["a", "b"]
+        assert "PASS" in outcome.describe()
+
+    def test_blocked_consumer_released_later(self):
+        seq = (
+            TestSequence("release")
+            .add(1, "c", "receive", expect_at=4, expect_returns="z")
+            .add(4, "p", "send", "z", expect_at=4)
+        )
+        assert run_sequence(ProducerConsumer, seq).passed
+
+    def test_failing_expectation_fails(self):
+        seq = TestSequence("wrong").add(1, "c", "receive", expect_at=1)
+        outcome = run_sequence(ProducerConsumer, seq)
+        assert not outcome.passed
+        assert "FAIL" in outcome.describe()
+
+    def test_runner_reuse_fresh_instances(self):
+        runner = SequenceRunner(ProducerConsumer)
+        seq = (
+            TestSequence("s")
+            .add(1, "p", "send", "x", expect_at=1)
+            .add(2, "c", "receive", expect_at=2, expect_returns="x")
+        )
+        first = runner.run(seq)
+        second = runner.run(seq)
+        assert first.passed and second.passed
+
+    def test_bounded_buffer_sequence(self):
+        seq = (
+            TestSequence("bb")
+            .add(1, "p", "put", 1, expect_at=1)
+            .add(2, "p", "put", 2, expect_at=2)
+            .add(3, "c", "get", expect_at=3, expect_returns=1)
+            .add(4, "c", "get", expect_at=4, expect_returns=2)
+            .add(5, "c", "get", expect_never=True)
+        )
+        outcome = run_sequence(lambda: BoundedBuffer(4), seq)
+        assert outcome.passed
+        assert outcome.result.status is RunStatus.STUCK  # c hangs by design
+
+    def test_buffer_full_blocks_producer(self):
+        seq = (
+            TestSequence("full")
+            .add(1, "p", "put", "a", expect_at=1)
+            .add(2, "p", "put", "b", expect_at=3)  # blocked until the get
+            .add(3, "c", "get", expect_at=3, expect_returns="a")
+        )
+        assert run_sequence(lambda: BoundedBuffer(1), seq).passed
+
+    def test_semaphore_sequence(self):
+        seq = (
+            TestSequence("sem")
+            .add(1, "a", "acquire", expect_at=1)
+            .add(2, "b", "acquire", expect_at=3)  # blocked until release
+            .add(3, "a", "release", expect_at=3)
+        )
+        assert run_sequence(lambda: Semaphore(1), seq).passed
+
+    def test_policy_override(self):
+        runner = SequenceRunner(
+            ProducerConsumer, notify_policy=SelectionPolicy.LIFO
+        )
+        seq = (
+            TestSequence("s")
+            .add(1, "c1", "receive", check_completion=False)
+            .add(2, "c2", "receive", check_completion=False)
+            .add(3, "p", "send", "x", expect_at=3)
+        )
+        outcome = runner.run(seq)
+        # LIFO notify order: c2 (latest waiter) is served the character
+        assert outcome.call_results["c2"] == ["x"]
+        assert outcome.call_results["c1"] == []
+
+    def test_coverage_attached(self):
+        seq = TestSequence("s").add(1, "p", "send", "x", expect_at=1)
+        outcome = run_sequence(ProducerConsumer, seq)
+        assert outcome.coverage.total_arcs == 10
+        assert outcome.coverage.covered_arcs > 0
+
+    def test_report_attached(self):
+        seq = TestSequence("s").add(1, "c", "receive", expect_never=True)
+        outcome = run_sequence(ProducerConsumer, seq)
+        assert outcome.report is not None
+        # the stuck consumer shows up in the classification
+        assert not outcome.report.classification.clean

@@ -1,0 +1,70 @@
+"""Property-based tests for regression-suite serialization."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.detect.completion import UNSET
+from repro.testing import TestSequence
+from repro.testing.regression import RegressionSuite
+
+literal_args = st.one_of(
+    st.integers(min_value=-100, max_value=100),
+    st.text(alphabet="abcxyz", max_size=5),
+    st.booleans(),
+    st.none(),
+)
+
+call_strategy = st.fixed_dictionaries(
+    {
+        "at": st.integers(min_value=1, max_value=20),
+        "thread": st.sampled_from(["t1", "t2", "t3"]),
+        "method": st.sampled_from(["put", "get", "poke"]),
+        "args": st.lists(literal_args, max_size=3),
+        "expectation": st.sampled_from(["at", "between", "never", "none", "skip"]),
+        "expect_returns": st.one_of(st.just(UNSET), literal_args),
+    }
+)
+
+
+def build_sequence(call_dicts):
+    sequence = TestSequence("prop")
+    for spec in call_dicts:
+        kwargs = {}
+        if spec["expectation"] == "at":
+            kwargs["expect_at"] = spec["at"] + 1
+        elif spec["expectation"] == "between":
+            kwargs["expect_between"] = (spec["at"], spec["at"] + 3)
+        elif spec["expectation"] == "never":
+            kwargs["expect_never"] = True
+        elif spec["expectation"] == "skip":
+            kwargs["check_completion"] = False
+        if (
+            spec["expect_returns"] is not UNSET
+            and spec["expectation"] != "skip"
+        ):
+            kwargs["expect_returns"] = spec["expect_returns"]
+        sequence.add(
+            spec["at"], spec["thread"], spec["method"], *spec["args"], **kwargs
+        )
+    return sequence
+
+
+class TestSuiteSerializationProperties:
+    @given(st.lists(call_strategy, min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_json_roundtrip_preserves_calls(self, call_dicts):
+        sequence = build_sequence(call_dicts)
+        suite = RegressionSuite("Fake", [sequence])
+        restored = RegressionSuite.from_json(suite.to_json())
+        assert restored.component_name == "Fake"
+        assert restored.sequences[0].calls == sequence.calls
+
+    @given(st.lists(call_strategy, min_size=1, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_expectations_survive_roundtrip(self, call_dicts):
+        sequence = build_sequence(call_dicts)
+        suite = RegressionSuite("Fake", [sequence])
+        restored = RegressionSuite.from_json(suite.to_json())
+        original = sequence.expectations("Fake")
+        recovered = restored.sequences[0].expectations("Fake")
+        assert original == recovered

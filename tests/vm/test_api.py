@@ -1,0 +1,247 @@
+"""Tests for the component API: @synchronized, @unsynchronized,
+MonitorComponent attribute instrumentation."""
+
+import pytest
+
+from repro.vm import (
+    EventKind,
+    FifoScheduler,
+    Kernel,
+    MonitorComponent,
+    NotifyAll,
+    RoundRobinScheduler,
+    Wait,
+    Yield,
+    is_synchronized,
+    synchronized,
+    unsynchronized,
+)
+
+
+class Cell(MonitorComponent):
+    def __init__(self):
+        super().__init__()
+        self.full = False
+        self.value = None
+
+    @synchronized
+    def put(self, v):
+        while self.full:
+            yield Wait()
+        self.value = v
+        self.full = True
+        yield NotifyAll()
+
+    @synchronized
+    def get(self):
+        while not self.full:
+            yield Wait()
+        v = self.value
+        self.full = False
+        yield NotifyAll()
+        return v
+
+    @synchronized
+    def peek(self):
+        return self.value
+
+    @unsynchronized
+    def raw_read(self):
+        return self.value
+
+    def helper(self):
+        return "not a component method"
+
+
+class TestDecorators:
+    def test_is_synchronized(self):
+        assert is_synchronized(Cell.put)
+        assert not is_synchronized(Cell.raw_read)
+        assert not is_synchronized(Cell.helper)
+
+    def test_wrapper_markers(self):
+        assert Cell.put._vm_call_wrapper
+        assert Cell.raw_read._vm_call_wrapper
+        assert not hasattr(Cell.helper, "_vm_call_wrapper")
+
+    def test_source_method_preserved(self):
+        assert Cell.put._vm_source_method.__name__ == "put"
+
+
+def run_cell_program():
+    kernel = Kernel(scheduler=FifoScheduler())
+    cell = kernel.register(Cell())
+
+    def producer():
+        yield from cell.put(1)
+
+    def consumer():
+        value = yield from cell.get()
+        return value
+
+    kernel.spawn(consumer, name="cons")  # runs first: must wait
+    kernel.spawn(producer, name="prod")
+    return kernel, cell, kernel.run()
+
+
+class TestSynchronizedExecution:
+    def test_round_trip(self):
+        _, _, result = run_cell_program()
+        assert result.ok
+        assert result.thread_results["cons"] == 1
+
+    def test_lock_events_emitted(self):
+        _, _, result = run_cell_program()
+        cons = result.trace.transition_sequence("cons")
+        assert cons == ["T1", "T2", "T3", "T5", "T2", "T4"]
+
+    def test_call_records(self):
+        _, _, result = run_cell_program()
+        records = result.trace.call_records()
+        methods = [(r.thread, r.method, r.completed) for r in records]
+        assert ("cons", "get", True) in methods
+        assert ("prod", "put", True) in methods
+
+    def test_call_result_recorded(self):
+        _, _, result = run_cell_program()
+        get_record = next(
+            r for r in result.trace.call_records() if r.method == "get"
+        )
+        assert get_record.result == 1
+
+    def test_plain_method_runs_atomically(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+        cell = kernel.register(Cell())
+
+        def body():
+            value = yield from cell.peek()
+            return value
+
+        kernel.spawn(body, name="t")
+        result = kernel.run()
+        assert result.ok
+        assert result.thread_results["t"] is None
+        t_events = result.trace.transition_sequence("t")
+        assert t_events == ["T1", "T2", "T4"]
+
+    def test_exception_releases_lock(self):
+        class Boomer(MonitorComponent):
+            def __init__(self):
+                super().__init__()
+                self.x = 0
+
+            @synchronized
+            def boom(self):
+                yield Yield()
+                raise RuntimeError("bang")
+
+            @synchronized
+            def ok(self):
+                return "fine"
+
+        kernel = Kernel(scheduler=FifoScheduler())
+        comp = kernel.register(Boomer())
+
+        def t1():
+            yield from comp.boom()
+
+        def t2():
+            value = yield from comp.ok()
+            return value
+
+        kernel.spawn(t1, name="t1")
+        kernel.spawn(t2, name="t2")
+        result = kernel.run()
+        assert isinstance(result.crashed.get("t1"), RuntimeError)
+        assert result.thread_results.get("t2") == "fine"
+        # the lock was released on the exception path
+        assert kernel.monitors[comp.vm_name].is_free()
+
+
+class TestAttributeInstrumentation:
+    def test_reads_and_writes_recorded(self):
+        _, _, result = run_cell_program()
+        accesses = result.trace.accesses()
+        fields = {(a.field, a.is_write) for a in accesses}
+        assert ("full", False) in fields
+        assert ("full", True) in fields
+        assert ("value", True) in fields
+
+    def test_lockset_attached(self):
+        _, cell, result = run_cell_program()
+        for access in result.trace.accesses():
+            assert cell.vm_name in access.locks_held
+
+    def test_no_events_outside_vm(self):
+        cell = Cell()
+        cell.value = 99  # no kernel attached: plain attribute write
+        assert cell.value == 99
+
+    def test_private_attributes_not_instrumented(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+
+        class Private(MonitorComponent):
+            def __init__(self):
+                super().__init__()
+                self._secret = 1
+                self.public = 2
+
+            @synchronized
+            def touch(self):
+                self._secret += 1
+                return self.public
+
+        comp = kernel.register(Private())
+
+        def body():
+            yield from comp.touch()
+
+        kernel.spawn(body)
+        result = kernel.run()
+        fields = {a.field for a in result.trace.accesses()}
+        assert "public" in fields
+        assert "_secret" not in fields
+
+    def test_unsynchronized_access_has_empty_lockset(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+        cell = kernel.register(Cell())
+
+        def body():
+            value = yield from cell.raw_read()
+            return value
+
+        kernel.spawn(body, name="t")
+        result = kernel.run()
+        accesses = result.trace.accesses()
+        assert accesses
+        assert all(a.locks_held == frozenset() for a in accesses)
+
+
+class TestRegistration:
+    def test_register_assigns_name(self):
+        kernel = Kernel()
+        cell = kernel.register(Cell())
+        assert cell.vm_name == "Cell"
+        assert "Cell" in kernel.monitors
+
+    def test_register_uniquifies(self):
+        kernel = Kernel()
+        kernel.register(Cell())
+        second = kernel.register(Cell())
+        assert second.vm_name == "Cell#2"
+
+    def test_register_custom_name(self):
+        kernel = Kernel()
+        cell = kernel.register(Cell(), name="buffer")
+        assert cell.vm_name == "buffer"
+
+    def test_kernel_property(self):
+        kernel = Kernel()
+        cell = kernel.register(Cell())
+        assert cell.kernel is kernel
+
+    def test_duplicate_bare_monitor_rejected(self):
+        kernel = Kernel()
+        kernel.new_monitor("m")
+        with pytest.raises(ValueError):
+            kernel.new_monitor("m")

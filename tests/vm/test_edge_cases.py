@@ -1,0 +1,281 @@
+"""VM edge cases: dynamic spawning, nested components, reentrancy depth,
+crash cleanup across multiple monitors, clock corner cases."""
+
+import pytest
+
+from repro.vm import (
+    Acquire,
+    AwaitTime,
+    EventKind,
+    FifoScheduler,
+    GetTime,
+    Kernel,
+    MonitorComponent,
+    Notify,
+    NotifyAll,
+    Release,
+    RoundRobinScheduler,
+    RunStatus,
+    Tick,
+    Wait,
+    Yield,
+    synchronized,
+)
+
+
+class TestDynamicSpawn:
+    def test_thread_spawned_during_run(self):
+        """A running thread may spawn more threads; the kernel picks them
+        up at the next scheduling step."""
+        kernel = Kernel(scheduler=FifoScheduler())
+        results = []
+
+        def child(n):
+            yield Yield()
+            results.append(n)
+
+        def parent():
+            yield Yield()
+            kernel.spawn(child, 1, name="child1")
+            kernel.spawn(child, 2, name="child2")
+            yield Yield()
+
+        kernel.spawn(parent, name="parent")
+        result = kernel.run()
+        assert result.status is RunStatus.COMPLETED
+        assert sorted(results) == [1, 2]
+        assert set(result.thread_states) == {"parent", "child1", "child2"}
+
+    def test_component_registered_during_run(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+
+        class Late(MonitorComponent):
+            def __init__(self):
+                super().__init__()
+                self.x = 0
+
+            @synchronized
+            def poke(self):
+                self.x = self.x + 1
+                return self.x
+
+        def body():
+            yield Yield()
+            late = kernel.register(Late())
+
+            def user():
+                value = yield from late.poke()
+                return value
+
+            kernel.spawn(user, name="user")
+
+        kernel.spawn(body, name="spawner")
+        result = kernel.run()
+        assert result.thread_results.get("user") == 1
+
+
+class TestDeepReentrancy:
+    def test_five_deep_hold_and_wait(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+        kernel.new_monitor("m")
+        depth_after = []
+
+        def waiter():
+            for _ in range(5):
+                yield Acquire("m")
+            yield Wait("m")
+            depth_after.append(kernel.monitors["m"].entry_count)
+            for _ in range(5):
+                yield Release("m")
+            return "done"
+
+        def notifier():
+            yield Acquire("m")
+            yield Notify("m")
+            yield Release("m")
+
+        kernel.spawn(waiter, name="w")
+        kernel.spawn(notifier, name="n")
+        result = kernel.run()
+        assert result.thread_results["w"] == "done"
+        assert depth_after == [5]
+
+    def test_unbalanced_release_crashes(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+        kernel.new_monitor("m")
+
+        def body():
+            yield Acquire("m")
+            yield Release("m")
+            yield Release("m")  # one too many
+
+        kernel.spawn(body, name="t")
+        result = kernel.run()
+        assert "t" in result.crashed
+
+
+class TestCrashCleanup:
+    def test_crash_releases_all_monitors(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+        kernel.new_monitor("m1")
+        kernel.new_monitor("m2")
+
+        def crasher():
+            yield Acquire("m1")
+            yield Acquire("m2")
+            yield Acquire("m2")  # reentrant depth 2
+            raise RuntimeError("die")
+
+        def survivor():
+            yield Acquire("m1")
+            yield Acquire("m2")
+            yield Release("m2")
+            yield Release("m1")
+            return "ok"
+
+        kernel.spawn(crasher, name="crasher")
+        kernel.spawn(survivor, name="survivor")
+        result = kernel.run()
+        assert result.thread_results.get("survivor") == "ok"
+        assert kernel.monitors["m1"].is_free()
+        assert kernel.monitors["m2"].is_free()
+
+    def test_crash_inside_wait_leaves_waiters_consistent(self):
+        """A thread crashing *after* being woken (exception thrown from
+        component code post-wait) must not corrupt the wait set."""
+
+        class Fragile(MonitorComponent):
+            def __init__(self):
+                super().__init__()
+                self.go = False
+
+            @synchronized
+            def fragile_wait(self):
+                while not self.go:
+                    yield Wait()
+                raise RuntimeError("woke up angry")
+
+            @synchronized
+            def release_all(self):
+                self.go = True
+                yield NotifyAll()
+
+        kernel = Kernel(scheduler=FifoScheduler())
+        comp = kernel.register(Fragile())
+
+        def waiter():
+            yield from comp.fragile_wait()
+
+        def releaser():
+            yield from comp.release_all()
+            return "released"
+
+        kernel.spawn(waiter, name="w")
+        kernel.spawn(releaser, name="r")
+        result = kernel.run()
+        assert isinstance(result.crashed.get("w"), RuntimeError)
+        assert result.thread_results.get("r") == "released"
+        assert kernel.monitors[comp.vm_name].wait_set == []
+        assert kernel.monitors[comp.vm_name].is_free()
+
+
+class TestClockCorners:
+    def test_tick_with_no_waiters(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+
+        def ticker():
+            yield Tick()
+            yield Tick()
+            now = yield GetTime()
+            return now
+
+        kernel.spawn(ticker, name="t")
+        assert kernel.run().thread_results["t"] == 2
+
+    def test_multiple_awaiters_same_time(self):
+        kernel = Kernel(scheduler=FifoScheduler(), auto_tick=True)
+        woke = []
+
+        def sleeper(name):
+            yield AwaitTime(3)
+            woke.append(name)
+
+        kernel.spawn(sleeper, "a", name="a")
+        kernel.spawn(sleeper, "b", name="b")
+        result = kernel.run()
+        assert result.ok
+        assert sorted(woke) == ["a", "b"]
+        assert kernel.clock_time == 3
+
+    def test_auto_tick_stops_at_furthest_needed(self):
+        kernel = Kernel(scheduler=FifoScheduler(), auto_tick=True)
+
+        def sleeper():
+            yield AwaitTime(2)
+            yield AwaitTime(7)
+
+        kernel.spawn(sleeper, name="s")
+        assert kernel.run().ok
+        assert kernel.clock_time == 7
+
+    def test_awaiting_past_time_does_not_rewind(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+
+        def body():
+            yield Tick()
+            yield Tick()
+            yield AwaitTime(1)  # already past: no-op
+            now = yield GetTime()
+            return now
+
+        kernel.spawn(body, name="t")
+        assert kernel.run().thread_results["t"] == 2
+
+    def test_mixed_clock_and_monitor_wait(self):
+        """A thread waiting on a monitor and another awaiting the clock:
+        auto-tick must not 'wake' the monitor waiter."""
+        kernel = Kernel(scheduler=FifoScheduler(), auto_tick=True)
+        kernel.new_monitor("m")
+
+        def monitor_waiter():
+            yield Acquire("m")
+            yield Wait("m")
+            yield Release("m")
+
+        def clocked():
+            yield AwaitTime(3)
+            return "woke"
+
+        kernel.spawn(monitor_waiter, name="mw")
+        kernel.spawn(clocked, name="ck")
+        result = kernel.run()
+        assert result.status is RunStatus.STUCK
+        assert result.thread_results.get("ck") == "woke"
+        assert result.thread_states["mw"] == "waiting"
+
+
+class TestMultiComponentThreads:
+    def test_thread_using_three_components(self):
+        from repro.components import BoundedBuffer, CountDownLatch, Semaphore
+
+        kernel = Kernel(scheduler=RoundRobinScheduler(), max_steps=50_000)
+        buffer = kernel.register(BoundedBuffer(1))
+        latch = kernel.register(CountDownLatch(1))
+        semaphore = kernel.register(Semaphore(1))
+
+        def producer():
+            yield from semaphore.acquire()
+            yield from buffer.put("payload")
+            yield from semaphore.release()
+            yield from latch.count_down()
+
+        def consumer():
+            yield from latch.await_zero()
+            item = yield from buffer.get()
+            return item
+
+        kernel.spawn(producer, name="p")
+        kernel.spawn(consumer, name="c")
+        result = kernel.run()
+        assert result.ok
+        assert result.thread_results["c"] == "payload"

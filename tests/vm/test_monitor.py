@@ -1,0 +1,87 @@
+"""Unit tests for monitor objects and selection policies."""
+
+import random
+
+import pytest
+
+from repro.vm.monitor import MonitorObject, SelectionPolicy, select_index
+
+
+class TestSelectIndex:
+    def test_fifo_picks_first(self):
+        assert select_index(SelectionPolicy.FIFO, 5, None) == 0
+
+    def test_lifo_picks_last(self):
+        assert select_index(SelectionPolicy.LIFO, 5, None) == 4
+
+    def test_random_uses_rng(self):
+        rng = random.Random(0)
+        picks = {select_index(SelectionPolicy.RANDOM, 4, rng) for _ in range(50)}
+        assert picks == {0, 1, 2, 3}
+
+    def test_random_requires_rng(self):
+        with pytest.raises(ValueError):
+            select_index(SelectionPolicy.RANDOM, 3, None)
+
+    def test_adversarial_bypasses_head(self):
+        assert select_index(SelectionPolicy.ADVERSARIAL_LAST, 3, None) == 1
+        assert select_index(SelectionPolicy.ADVERSARIAL_LAST, 1, None) == 0
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ValueError):
+            select_index(SelectionPolicy.FIFO, 0, None)
+
+
+class TestMonitorObject:
+    def test_initial_state_free(self):
+        monitor = MonitorObject("m")
+        assert monitor.is_free()
+        assert not monitor.is_owned_by("t1")
+
+    def test_acquire(self):
+        monitor = MonitorObject("m")
+        monitor.acquire_by("t1")
+        assert monitor.owner == "t1"
+        assert monitor.entry_count == 1
+        assert monitor.is_owned_by("t1")
+
+    def test_entry_set_fifo(self):
+        monitor = MonitorObject("m")
+        monitor.add_blocked("a")
+        monitor.add_blocked("b")
+        assert monitor.select_blocked(SelectionPolicy.FIFO, None) == "a"
+        assert monitor.entry_set == ["b"]
+
+    def test_entry_set_lifo(self):
+        monitor = MonitorObject("m")
+        monitor.add_blocked("a")
+        monitor.add_blocked("b")
+        assert monitor.select_blocked(SelectionPolicy.LIFO, None) == "b"
+
+    def test_wait_set_selection(self):
+        monitor = MonitorObject("m")
+        monitor.add_waiter("w1")
+        monitor.add_waiter("w2")
+        assert monitor.select_waiter(SelectionPolicy.FIFO, None) == "w1"
+        monitor.remove_waiter("w2")
+        assert monitor.wait_set == []
+
+    def test_remove_blocked(self):
+        monitor = MonitorObject("m")
+        monitor.add_blocked("a")
+        monitor.remove_blocked("a")
+        assert monitor.entry_set == []
+
+    def test_snapshot_is_plain_data(self):
+        monitor = MonitorObject("m")
+        monitor.acquire_by("t", 2)
+        monitor.add_blocked("b")
+        monitor.add_waiter("w")
+        snap = monitor.snapshot()
+        assert snap == {
+            "name": "m",
+            "owner": "t",
+            "entry_count": 2,
+            "entry_set": ("b",),
+            "wait_set": ("w",),
+        }

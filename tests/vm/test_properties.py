@@ -1,0 +1,154 @@
+"""Property-based tests (hypothesis) for the monitor VM.
+
+The central properties: under *any* schedule (seed), the VM preserves
+monitor semantics — mutual exclusion, lock-state consistency, valid
+per-thread transition grammars — and identical seeds give identical
+traces (the determinism the whole testing method rests on).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.components import BoundedBuffer, ProducerConsumer
+from repro.vm import (
+    EventKind,
+    Kernel,
+    RandomScheduler,
+    RunStatus,
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def pc_program(seed, payloads):
+    kernel = Kernel(scheduler=RandomScheduler(seed=seed), max_steps=50_000)
+    pc = kernel.register(ProducerConsumer())
+
+    def producer():
+        for payload in payloads:
+            yield from pc.send(payload)
+
+    def consumer(n):
+        out = []
+        for _ in range(n):
+            out.append((yield from pc.receive()))
+        return "".join(out)
+
+    total = sum(len(p) for p in payloads)
+    kernel.spawn(producer, name="p")
+    kernel.spawn(consumer, total, name="c")
+    return kernel.run()
+
+
+payload_lists = st.lists(
+    st.text(alphabet="abcdef", min_size=1, max_size=4), min_size=1, max_size=4
+)
+
+
+class TestScheduleIndependence:
+    @given(seeds, payload_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_pc_output_schedule_independent(self, seed, payloads):
+        """The consumer always receives the concatenation of the sends in
+        order, whatever the schedule."""
+        result = pc_program(seed, payloads)
+        assert result.status is RunStatus.COMPLETED, result.thread_states
+        assert result.thread_results["c"] == "".join(payloads)
+
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_determinism(self, seed):
+        r1 = pc_program(seed, ["ab", "c"])
+        r2 = pc_program(seed, ["ab", "c"])
+        assert [(e.thread, e.kind.value, e.monitor) for e in r1.trace] == [
+            (e.thread, e.kind.value, e.monitor) for e in r2.trace
+        ]
+
+
+class TestMonitorInvariants:
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_mutual_exclusion_in_trace(self, seed):
+        """Replaying the trace, at most one thread holds each monitor at
+        any time, and only the owner releases or waits."""
+        result = pc_program(seed, ["abc", "d"])
+        owner = {}
+        for event in result.trace:
+            if event.kind is EventKind.MONITOR_ACQUIRE:
+                if not event.detail.get("reentrant"):
+                    assert owner.get(event.monitor) is None
+                    owner[event.monitor] = event.thread
+                else:
+                    assert owner.get(event.monitor) == event.thread
+            elif event.kind is EventKind.MONITOR_RELEASE:
+                if not event.detail.get("reentrant"):
+                    assert owner.get(event.monitor) == event.thread
+                    owner[event.monitor] = None
+            elif event.kind is EventKind.MONITOR_WAIT:
+                assert owner.get(event.monitor) == event.thread
+                owner[event.monitor] = None
+            elif event.kind in (EventKind.NOTIFY, EventKind.NOTIFY_ALL):
+                assert owner.get(event.monitor) == event.thread
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_transition_grammar(self, seed):
+        """Every thread's transition sequence obeys the Figure-1 grammar:
+        T1 only from outside, T2 only after T1 or T5, T3/T4 only from
+        inside, T5 only after T3."""
+        result = pc_program(seed, ["ab"])
+        for thread in result.trace.threads():
+            state = "A"
+            for transition in result.trace.transition_sequence(thread):
+                if transition == "T1":
+                    assert state == "A"
+                    state = "B"
+                elif transition == "T2":
+                    assert state == "B"
+                    state = "C"
+                elif transition == "T3":
+                    assert state == "C"
+                    state = "D"
+                elif transition == "T4":
+                    assert state == "C"
+                    state = "A"
+                elif transition == "T5":
+                    assert state == "D"
+                    state = "B"
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_event_seq_dense_and_ordered(self, seed):
+        result = pc_program(seed, ["ab", "cd"])
+        seqs = [e.seq for e in result.trace]
+        assert seqs == list(range(len(seqs)))
+        times = [e.time for e in result.trace]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+
+class TestBufferProperties:
+    @given(
+        seeds,
+        st.integers(min_value=1, max_value=4),
+        st.lists(st.integers(), min_size=1, max_size=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_buffer_fifo_any_schedule(self, seed, capacity, items):
+        kernel = Kernel(scheduler=RandomScheduler(seed=seed), max_steps=100_000)
+        buf = kernel.register(BoundedBuffer(capacity))
+
+        def producer():
+            for item in items:
+                yield from buf.put(item)
+
+        def consumer():
+            got = []
+            for _ in range(len(items)):
+                got.append((yield from buf.get()))
+            return got
+
+        kernel.spawn(producer, name="p")
+        kernel.spawn(consumer, name="c")
+        result = kernel.run()
+        assert result.status is RunStatus.COMPLETED
+        assert result.thread_results["c"] == items
