@@ -1,0 +1,123 @@
+"""Bench Ext-G: campaign engine scaling vs worker count.
+
+Runs the same random-mode campaign budget on the bug-seeded Ext-B
+producer-consumer workload at increasing ``--workers`` settings and
+records wall-clock, runs/sec and the speedup relative to a single
+worker.  On a multi-core host the pool must deliver real speedup; on a
+single-core host (CI containers are often pinned to one CPU) the bench
+still verifies that parallel dispatch completes the identical budget
+with identical dedup/failure results and bounded overhead, but skips the
+speedup assertion — there is nothing to win when ``sched_getaffinity``
+says one core.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+from conftest import write_result
+
+from repro.engine import CampaignSpec, run_campaign
+
+BUDGET = 1200
+SHARD_SIZE = 50
+WORKER_COUNTS = [1, 2, 4]
+
+
+def available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def run_at(workers: int):
+    spec = CampaignSpec(
+        factory="pc-bug",
+        mode="random",
+        budget=BUDGET,
+        workers=workers,
+        shard_size=SHARD_SIZE,
+    )
+    started = time.perf_counter()
+    result = run_campaign(spec)
+    elapsed = time.perf_counter() - started
+    return result, elapsed
+
+
+@pytest.fixture(scope="module")
+def scaling_runs():
+    if multiprocessing.get_start_method(allow_none=False) not in (
+        "fork",
+        "forkserver",
+        "spawn",
+    ):  # pragma: no cover - defensive
+        pytest.skip("no usable multiprocessing start method")
+    return {workers: run_at(workers) for workers in WORKER_COUNTS}
+
+
+def test_same_budget_same_findings(scaling_runs):
+    """Every worker count executes the full budget and, because random
+    shards are seed ranges, finds the byte-identical set of schedules."""
+    baseline, _ = scaling_runs[1]
+    base_keys = {s.schedule_key for s in baseline.summaries}
+    base_sigs = set(baseline.distinct_failure_signatures())
+    for workers, (result, _) in scaling_runs.items():
+        assert result.n_executed == BUDGET, f"workers={workers}"
+        assert not result.shards_failed, f"workers={workers}"
+        assert {s.schedule_key for s in result.summaries} == base_keys
+        assert set(result.distinct_failure_signatures()) == base_sigs
+    assert base_sigs, "bug-seeded workload must produce failures"
+
+
+def test_scaling_summary(scaling_runs, results_dir):
+    cores = available_cores()
+    base_elapsed = scaling_runs[1][1]
+    lines = [
+        "Ext-G: campaign engine scaling (pc-bug, random mode, "
+        f"budget={BUDGET}, shard_size={SHARD_SIZE}, {cores} core(s))"
+    ]
+    speedups = {}
+    for workers in WORKER_COUNTS:
+        result, elapsed = scaling_runs[workers]
+        speedups[workers] = base_elapsed / elapsed
+        lines.append(
+            f"  workers={workers}: {elapsed:6.2f}s "
+            f"({result.n_executed / elapsed:7.1f} runs/s, "
+            f"speedup x{speedups[workers]:.2f})"
+        )
+    text = "\n".join(lines)
+    write_result(results_dir, "extG_engine_scaling.txt", text)
+    print()
+    print(text)
+
+    if cores >= 2:
+        # Real parallel hardware: 4 workers must beat 1 outright.
+        assert speedups[4] > 1.2, text
+    else:
+        # Single-core host: no speedup is possible, but the pool's
+        # process/queue overhead must stay bounded (< 2x the serial time).
+        assert speedups[4] > 0.5, text
+
+
+def test_inline_vs_pool_overhead(results_dir):
+    """workers=0 (in-process, no pool) is the overhead-free reference;
+    one pooled worker pays fork + queue-streaming costs only."""
+    inline_result, inline_elapsed = run_at(0)
+    pooled_result, pooled_elapsed = run_at(1)
+    assert inline_result.n_executed == pooled_result.n_executed == BUDGET
+    text = (
+        "Ext-G: pool overhead (workers=0 inline vs workers=1 pooled)\n"
+        f"  inline: {inline_elapsed:6.2f}s "
+        f"({BUDGET / inline_elapsed:7.1f} runs/s)\n"
+        f"  pooled: {pooled_elapsed:6.2f}s "
+        f"({BUDGET / pooled_elapsed:7.1f} runs/s)\n"
+        f"  overhead: x{pooled_elapsed / inline_elapsed:.2f}"
+    )
+    write_result(results_dir, "extG_pool_overhead.txt", text)
+    print()
+    print(text)
+    assert pooled_elapsed < inline_elapsed * 3.0, text

@@ -10,10 +10,17 @@
     python -m repro run script.cts [--save-trace run.jsonl] [--verbose]
     python -m repro analyze run.jsonl
     python -m repro contention run.jsonl
+    python -m repro explore pc-bug --mode random --seeds 0:100
+    python -m repro campaign pc-bug --workers 4 --budget 400 \\
+        --journal camp.jsonl [--resume]
 
 The ``run`` command executes a ConAn-style test script (see
 :mod:`repro.testing.script` for the format); ``analyze`` re-runs every
-trace-based detector over a saved run.
+trace-based detector over a saved run.  ``explore`` drives the
+single-process schedule explorer over a named workload or any
+``module:function`` program factory; ``campaign`` shards the same
+schedule space across a multiprocessing pool with journaling and resume
+(see :mod:`repro.engine`).
 """
 
 from __future__ import annotations
@@ -234,6 +241,141 @@ def _cmd_suite_run(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _parse_seeds(text: str) -> List[int]:
+    """Parse a seed spec: ``7``, ``0:100`` (half-open), or ``1,5,9``."""
+    if ":" in text:
+        lo_text, hi_text = text.split(":", 1)
+        lo, hi = int(lo_text or 0), int(hi_text)
+        if hi <= lo:
+            raise SystemExit(f"error: empty seed range {text!r}")
+        return list(range(lo, hi))
+    if "," in text:
+        return [int(part) for part in text.split(",") if part.strip()]
+    return [int(text)]
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.engine.workloads import resolve_factory
+    from repro.testing import explore_pct, explore_random, explore_systematic
+    from repro.vm import Kernel, RunStatus
+    from repro.vm.scheduler import (
+        FifoScheduler,
+        RecordingScheduler,
+        ReplayScheduler,
+    )
+
+    try:
+        factory = resolve_factory(args.factory)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+    if args.mode == "replay":
+        if args.decisions is None:
+            raise SystemExit("error: --mode replay requires --decisions")
+        from repro.vm.scheduler import ChoiceExhaustedError
+
+        try:
+            decisions = [int(d) for d in args.decisions.split(",") if d.strip()]
+        except ValueError:
+            raise SystemExit(
+                f"error: --decisions must be comma-separated integers, "
+                f"got {args.decisions!r}"
+            )
+        recorder = RecordingScheduler(
+            ReplayScheduler(decisions, fallback=FifoScheduler())
+        )
+        try:
+            result = factory(recorder).run()
+        except ChoiceExhaustedError as exc:
+            raise SystemExit(
+                f"error: decision sequence does not fit this program: {exc}"
+            )
+        print(f"replayed {len(decisions)} decisions: {result.status.value}")
+        if result.stuck_threads:
+            print(f"  stuck threads: {', '.join(result.stuck_threads)}")
+        if result.crashed:
+            for name, exc in result.crashed.items():
+                print(f"  crashed {name}: {exc!r}")
+        if args.save_trace:
+            from repro.vm.serialize import save_trace
+
+            save_trace(result.trace, args.save_trace, schedule=result.schedule_log)
+            print(f"trace saved to {args.save_trace}")
+        return 0 if result.ok else 2
+
+    if args.mode == "systematic":
+        result = explore_systematic(
+            factory,
+            max_runs=args.runs,
+            max_depth=args.max_depth,
+            branch=args.branch,
+            stop_on_failure=args.stop_on_failure,
+        )
+    else:
+        seeds = _parse_seeds(args.seeds) if args.seeds else list(range(args.runs))
+        if args.mode == "random":
+            result = explore_random(
+                factory, seeds=seeds, stop_on_failure=args.stop_on_failure
+            )
+        else:  # pct
+            result = explore_pct(
+                factory,
+                seeds=seeds,
+                depth=args.pct_depth,
+                expected_steps=args.pct_steps,
+                stop_on_failure=args.stop_on_failure,
+            )
+    print(result.describe())
+    lo, hi = result.failure_rate_interval()
+    print(f"  failure rate: {result.failure_rate():.1%} (95% CI [{lo:.1%}, {hi:.1%}])")
+    for run in result.failures():
+        if run.seed is not None:
+            print(f"  failure at seed {run.seed}: {run.result.status.value}")
+        else:
+            decisions = ",".join(str(d) for d in run.decisions)
+            print(
+                f"  failure ({run.result.status.value}) — replay with "
+                f"--mode replay --decisions {decisions}"
+            )
+        break  # first failure is enough for the console
+    return 0 if not result.failures() else 2
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import sys as _sys
+
+    from repro.engine import CampaignError, CampaignSpec, ProgressTracker, run_campaign
+    from repro.engine.journal import JournalError
+
+    spec = CampaignSpec(
+        factory=args.factory,
+        mode=args.mode,
+        budget=args.budget,
+        workers=args.workers,
+        shard_size=args.shard_size,
+        seed_start=args.seed_start,
+        goal=args.goal,
+        coverage=args.coverage,
+        run_timeout=args.timeout,
+        max_retries=args.retries,
+        max_depth=args.max_depth,
+        branch=args.branch,
+        pct_depth=args.pct_depth,
+        pct_expected_steps=args.pct_steps,
+        journal_path=args.journal,
+    )
+    progress = ProgressTracker(
+        total_runs=args.budget,
+        stream=None if args.quiet else _sys.stderr,
+    )
+    try:
+        result = run_campaign(spec, resume=args.resume, progress=progress)
+    except (CampaignError, JournalError) as exc:
+        raise SystemExit(f"error: {exc}")
+    print(result.describe())
+    return 2 if result.failures() else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -321,6 +463,85 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.add_argument("suite", help="path to a suite .json")
     p_suite.add_argument("component", help="module:ClassName to test")
     p_suite.set_defaults(func=_cmd_suite_run)
+
+    p_explore = sub.add_parser(
+        "explore",
+        help="single-process schedule exploration of a workload "
+        "(systematic DFS, random, PCT, or exact replay)",
+    )
+    p_explore.add_argument(
+        "factory", help="workload name (e.g. pc-bug) or module:function factory"
+    )
+    p_explore.add_argument(
+        "--mode",
+        default="systematic",
+        choices=["systematic", "random", "pct", "replay"],
+    )
+    p_explore.add_argument(
+        "--runs", type=int, default=200, help="run budget (seed count if no --seeds)"
+    )
+    p_explore.add_argument(
+        "--seeds", help="seed spec for random/pct: '7', '0:100', or '1,5,9'"
+    )
+    p_explore.add_argument("--stop-on-failure", action="store_true")
+    p_explore.add_argument("--max-depth", type=int, default=400)
+    p_explore.add_argument("--branch", default="shallow", choices=["shallow", "deep"])
+    p_explore.add_argument("--pct-depth", type=int, default=3)
+    p_explore.add_argument("--pct-steps", type=int, default=200)
+    p_explore.add_argument(
+        "--decisions", help="comma-separated decision indices for --mode replay"
+    )
+    p_explore.add_argument(
+        "--save-trace", help="(replay mode) write the trace to this JSONL path"
+    )
+    p_explore.set_defaults(func=_cmd_explore)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="parallel, resumable schedule-exploration campaign "
+        "(shards across a multiprocessing pool; see repro.engine)",
+    )
+    p_campaign.add_argument(
+        "factory", help="workload name (e.g. pc-bug) or module:function factory"
+    )
+    p_campaign.add_argument(
+        "--mode", default="random", choices=["random", "pct", "systematic"]
+    )
+    p_campaign.add_argument("--budget", type=int, default=200, help="total runs")
+    p_campaign.add_argument(
+        "--workers", type=int, default=1, help="worker processes (0 = inline)"
+    )
+    p_campaign.add_argument("--shard-size", type=int, default=25)
+    p_campaign.add_argument("--seed-start", type=int, default=0)
+    p_campaign.add_argument(
+        "--goal",
+        default="budget",
+        choices=["budget", "first-failure", "coverage"],
+        help="early-stop condition",
+    )
+    p_campaign.add_argument(
+        "--coverage", help="module:Class whose CoFG arc coverage to track"
+    )
+    p_campaign.add_argument(
+        "--timeout", type=float, default=10.0, help="per-run wall-clock seconds"
+    )
+    p_campaign.add_argument(
+        "--retries", type=int, default=2, help="max requeues of a crashed shard"
+    )
+    p_campaign.add_argument("--max-depth", type=int, default=400)
+    p_campaign.add_argument("--branch", default="shallow", choices=["shallow", "deep"])
+    p_campaign.add_argument("--pct-depth", type=int, default=3)
+    p_campaign.add_argument("--pct-steps", type=int, default=200)
+    p_campaign.add_argument("--journal", help="JSONL checkpoint path")
+    p_campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip shards already journaled (requires --journal)",
+    )
+    p_campaign.add_argument(
+        "--quiet", action="store_true", help="suppress live progress on stderr"
+    )
+    p_campaign.set_defaults(func=_cmd_campaign)
 
     return parser
 

@@ -49,6 +49,32 @@ class CoverageMatrix:
         self.rows.append(row)
         self.labels.append(label or f"run{len(self.rows)}")
 
+    def add_counts(
+        self,
+        counts: Dict[Tuple[str, str, str], int],
+        label: str = "",
+    ) -> None:
+        """Append one run's hit counts from a plain ``(method, src, dst)
+        -> count`` mapping — the serializable form a campaign worker
+        streams back, so matrices merge across process boundaries without
+        shipping trackers or traces."""
+        row = np.zeros(len(self.arc_keys), dtype=np.int64)
+        for i, key in enumerate(self.arc_keys):
+            row[i] = counts.get(key, 0)
+        self.rows.append(row)
+        self.labels.append(label or f"run{len(self.rows)}")
+
+    def merge(self, other: "CoverageMatrix") -> None:
+        """Append every row of ``other`` (built over the same CoFGs) —
+        the incremental-merge primitive for sharded campaigns."""
+        if other.arc_keys != self.arc_keys:
+            raise ValueError(
+                "cannot merge coverage matrices with different arc sets "
+                f"({len(self.arc_keys)} vs {len(other.arc_keys)} arcs)"
+            )
+        self.rows.extend(other.rows)
+        self.labels.extend(other.labels)
+
     # -- queries -------------------------------------------------------------
 
     def as_array(self) -> np.ndarray:
@@ -65,6 +91,12 @@ class CoverageMatrix:
             return np.zeros(0)
         covered = (np.cumsum(matrix > 0, axis=0) > 0)
         return covered.sum(axis=1) / matrix.shape[1]
+
+    def coverage_fraction(self) -> float:
+        """Fraction of arcs covered by the union of *all* runs so far
+        (the live number a campaign's progress line reports)."""
+        curve = self.cumulative_coverage()
+        return float(curve[-1]) if curve.size else 0.0
 
     def runs_to_full_coverage(self) -> Optional[int]:
         """Smallest k with full union coverage after k runs, or None."""

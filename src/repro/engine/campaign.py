@@ -1,0 +1,607 @@
+"""Campaign orchestration: parallel, resumable schedule exploration.
+
+A *campaign* is a budgeted sweep of a program's schedule space — the
+paper's "how many schedules until the bug shows?" question (Section 6 /
+Ext-B) run at scale.  The orchestrator:
+
+* plans the schedule space into :class:`~repro.engine.shards.Shard`\\ s
+  (seed ranges for random/PCT, DFS prefix partitions for systematic);
+* fans shards out over a ``multiprocessing`` worker pool with crash
+  isolation — a worker that dies or hangs marks its shard failed and the
+  shard is requeued with bounded retries;
+* merges streamed :class:`~repro.testing.explorer.RunSummary` messages,
+  deduping by decision-sequence hash and folding per-arc coverage hits
+  into one mergeable :class:`~repro.coverage.matrix.CoverageMatrix`;
+* stops early on configurable goals (first failure, full arc coverage)
+  and journals every completed shard to a JSONL checkpoint so a killed
+  campaign resumes without re-executing journaled work;
+* reports every distinct failure as a *replayable artifact* — a seed or
+  decision sequence that ``repro explore`` (via the VM's
+  ``ReplayScheduler``) reproduces in one command.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import time
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.testing.explorer import RunSummary, wilson_interval
+
+from .journal import CampaignJournal
+from .progress import ProgressTracker
+from .shards import Shard, plan_seed_shards, plan_systematic_shards
+from .worker import WorkerTask, execute_shard, worker_main
+from .workloads import resolve_factory
+
+__all__ = [
+    "CampaignError",
+    "CampaignSpec",
+    "CampaignResult",
+    "ReplayArtifact",
+    "run_campaign",
+]
+
+_MODES = ("random", "pct", "systematic")
+_GOALS = ("budget", "first-failure", "coverage")
+
+#: Pseudo shard id for the systematic planner's own expansion runs.
+PLAN_SHARD_ID = "plan"
+
+
+class CampaignError(ValueError):
+    """A campaign spec or journal is unusable."""
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything that defines a campaign.
+
+    The *schedule space* fields (everything except ``workers``,
+    ``run_timeout``, ``max_retries``, and ``journal_path``) are hashed
+    into the fingerprint that guards ``--resume``: you may resume with a
+    different worker count or timeout, but not a different space.
+    """
+
+    factory: str
+    mode: str = "random"
+    budget: int = 200
+    workers: int = 1
+    shard_size: int = 25
+    seed_start: int = 0
+    goal: str = "budget"
+    coverage: Optional[str] = None  # "module:Class" whose CoFG arcs to track
+    run_timeout: float = 10.0
+    max_retries: int = 2
+    max_depth: int = 400
+    branch: str = "shallow"
+    pct_depth: int = 3
+    pct_expected_steps: int = 200
+    journal_path: Optional[str] = None
+
+    def validate(self) -> None:
+        if self.mode not in _MODES:
+            raise CampaignError(f"mode must be one of {_MODES}, got {self.mode!r}")
+        if self.goal not in _GOALS:
+            raise CampaignError(f"goal must be one of {_GOALS}, got {self.goal!r}")
+        if self.goal == "coverage" and not self.coverage:
+            raise CampaignError("goal 'coverage' requires a coverage component")
+        if self.budget <= 0:
+            raise CampaignError(f"budget must be positive, got {self.budget}")
+        if self.shard_size <= 0:
+            raise CampaignError(f"shard_size must be positive, got {self.shard_size}")
+        if self.workers < 0:
+            raise CampaignError(f"workers must be >= 0, got {self.workers}")
+        try:
+            resolve_factory(self.factory)  # fail fast on unknown factories
+        except ValueError as exc:
+            raise CampaignError(str(exc))
+
+    def fingerprint(self) -> str:
+        """Stable hash of the schedule-space-defining fields."""
+        space = {
+            "factory": self.factory,
+            "mode": self.mode,
+            "budget": self.budget,
+            "shard_size": self.shard_size,
+            "seed_start": self.seed_start,
+            "goal": self.goal,
+            "coverage": self.coverage,
+            "max_depth": self.max_depth,
+            "branch": self.branch,
+            "pct_depth": self.pct_depth,
+            "pct_expected_steps": self.pct_expected_steps,
+        }
+        raw = json.dumps(space, sort_keys=True)
+        return hashlib.sha256(raw.encode()).hexdigest()
+
+    def worker_task(self, shard: Shard) -> WorkerTask:
+        return WorkerTask(
+            shard=shard,
+            factory_spec=self.factory,
+            run_timeout=self.run_timeout,
+            max_depth=self.max_depth,
+            branch=self.branch,
+            pct_depth=self.pct_depth,
+            pct_expected_steps=self.pct_expected_steps,
+            stop_on_failure=(self.goal == "first-failure"),
+            coverage_spec=self.coverage,
+        )
+
+
+@dataclass(frozen=True)
+class ReplayArtifact:
+    """A one-command reproduction recipe for an observed failure."""
+
+    signature: Tuple[str, Tuple[str, ...]]
+    seed: Optional[int]
+    decisions: Tuple[int, ...]
+    mode: str
+    factory: str
+    pct_depth: int = 3
+    pct_expected_steps: int = 200
+
+    def command(self) -> str:
+        """The ``repro explore`` invocation that reproduces this failure
+        deterministically (seed replay for random/PCT, exact
+        decision-index replay via ReplayScheduler otherwise)."""
+        if self.mode == "random" and self.seed is not None:
+            return (
+                f"python -m repro explore {self.factory} "
+                f"--mode random --seeds {self.seed}"
+            )
+        if self.mode == "pct" and self.seed is not None:
+            return (
+                f"python -m repro explore {self.factory} --mode pct "
+                f"--seeds {self.seed} --pct-depth {self.pct_depth} "
+                f"--pct-steps {self.pct_expected_steps}"
+            )
+        decisions = ",".join(str(d) for d in self.decisions)
+        return (
+            f"python -m repro explore {self.factory} "
+            f"--mode replay --decisions {decisions}"
+        )
+
+
+@dataclass
+class CampaignResult:
+    """Merged outcome of a campaign (unique schedules only)."""
+
+    spec: CampaignSpec
+    summaries: List[RunSummary] = field(default_factory=list)
+    duplicates: int = 0
+    shards_total: int = 0
+    shards_completed: int = 0
+    shards_failed: List[str] = field(default_factory=list)
+    shards_resumed: int = 0
+    shards_requeued: int = 0
+    exhausted: bool = False
+    goal_reached: Optional[str] = None
+    wall_time: float = 0.0
+    coverage: Optional[Any] = None  # CoverageMatrix when tracked
+
+    @property
+    def n_runs(self) -> int:
+        """Unique schedules merged (journaled + fresh)."""
+        return len(self.summaries)
+
+    @property
+    def n_executed(self) -> int:
+        """All run executions, including duplicate schedules."""
+        return len(self.summaries) + self.duplicates
+
+    def statuses(self) -> Counter:
+        return Counter(s.status for s in self.summaries)
+
+    def failures(self) -> List[RunSummary]:
+        return [s for s in self.summaries if not s.ok]
+
+    def distinct_failure_signatures(self) -> List[Tuple[str, Tuple[str, ...]]]:
+        seen: Dict[Tuple[str, Tuple[str, ...]], None] = {}
+        for s in self.failures():
+            seen.setdefault(s.signature)
+        return list(seen)
+
+    def failure_rate(self) -> float:
+        if not self.summaries:
+            return 0.0
+        return len(self.failures()) / len(self.summaries)
+
+    def failure_rate_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        return wilson_interval(len(self.failures()), len(self.summaries), z)
+
+    def first_failure(self) -> Optional[RunSummary]:
+        for s in self.summaries:
+            if not s.ok:
+                return s
+        return None
+
+    def replay_artifacts(self) -> List[ReplayArtifact]:
+        """One replay recipe per distinct failure signature (the first
+        summary observed with that signature)."""
+        artifacts: Dict[Tuple[str, Tuple[str, ...]], ReplayArtifact] = {}
+        for s in self.failures():
+            if s.signature in artifacts:
+                continue
+            artifacts[s.signature] = ReplayArtifact(
+                signature=s.signature,
+                seed=s.seed,
+                decisions=s.decisions,
+                mode=self.spec.mode if s.seed is not None else "systematic",
+                factory=self.spec.factory,
+                pct_depth=self.spec.pct_depth,
+                pct_expected_steps=self.spec.pct_expected_steps,
+            )
+        return list(artifacts.values())
+
+    def coverage_fraction(self) -> Optional[float]:
+        if self.coverage is None:
+            return None
+        return self.coverage.coverage_fraction()
+
+    def describe(self) -> str:
+        status_counts = ", ".join(
+            f"{status}: {count}" for status, count in sorted(self.statuses().items())
+        )
+        lines = [
+            f"campaign {self.spec.factory!r} mode={self.spec.mode} "
+            f"budget={self.spec.budget} workers={self.spec.workers}"
+            + (" (exhaustive)" if self.exhausted else ""),
+            f"  runs: {self.n_executed} executed, {self.n_runs} unique schedules"
+            + (f" ({self.duplicates} duplicates)" if self.duplicates else ""),
+            f"  outcomes: {status_counts or 'none'}",
+        ]
+        n_failures = len(self.failures())
+        if self.summaries:
+            lo, hi = self.failure_rate_interval()
+            lines.append(
+                f"  failures: {n_failures} ({self.failure_rate():.1%}), "
+                f"{len(self.distinct_failure_signatures())} distinct signature(s), "
+                f"95% CI [{lo:.1%}, {hi:.1%}]"
+            )
+        frac = self.coverage_fraction()
+        if frac is not None:
+            full_at = self.coverage.runs_to_full_coverage()
+            lines.append(
+                f"  coverage: {frac:.0%} of CoFG arcs"
+                + (f" (full after {full_at} runs)" if full_at else "")
+            )
+        shard_bit = (
+            f"  shards: {self.shards_completed}/{self.shards_total} completed"
+        )
+        extras = []
+        if self.shards_resumed:
+            extras.append(f"{self.shards_resumed} resumed")
+        if self.shards_requeued:
+            extras.append(f"{self.shards_requeued} requeued")
+        if self.shards_failed:
+            extras.append(f"{len(self.shards_failed)} failed")
+        if extras:
+            shard_bit += f" ({', '.join(extras)})"
+        lines.append(shard_bit)
+        rate = self.n_executed / self.wall_time if self.wall_time > 0 else 0.0
+        lines.append(f"  wall time: {self.wall_time:.2f}s ({rate:.1f} runs/s)")
+        if self.goal_reached:
+            lines.append(f"  goal reached: {self.goal_reached}")
+        for artifact in self.replay_artifacts():
+            status, stuck = artifact.signature
+            stuck_bit = f" (stuck: {', '.join(stuck)})" if stuck else ""
+            lines.append(f"  failure {status}{stuck_bit} — replay:")
+            lines.append(f"    {artifact.command()}")
+        return "\n".join(lines)
+
+
+class _Aggregator:
+    """Merges run summaries: dedupe by schedule hash, fold coverage."""
+
+    def __init__(self, spec: CampaignSpec, progress: ProgressTracker) -> None:
+        self.spec = spec
+        self.progress = progress
+        self.result = CampaignResult(spec=spec)
+        self._seen: set = set()
+        if spec.coverage:
+            from repro.analysis import build_all_cofgs
+            from repro.coverage.matrix import CoverageMatrix
+
+            if ":" in spec.coverage:
+                module_name, class_name = spec.coverage.split(":", 1)
+            else:
+                module_name, class_name = spec.coverage.rsplit(".", 1)
+            import importlib
+
+            cls = getattr(importlib.import_module(module_name), class_name)
+            self.result.coverage = CoverageMatrix(build_all_cofgs(cls))
+
+    def merge(self, summary: RunSummary) -> None:
+        key = summary.schedule_key
+        duplicate = key in self._seen
+        if duplicate:
+            self.result.duplicates += 1
+        else:
+            self._seen.add(key)
+            self.result.summaries.append(summary)
+            if self.result.coverage is not None:
+                counts = {
+                    (m, s, d): n for m, s, d, n in summary.arc_hits
+                }
+                label = (
+                    f"seed{summary.seed}"
+                    if summary.seed is not None
+                    else f"run{summary.index}"
+                )
+                self.result.coverage.add_counts(counts, label=label)
+                self.progress.coverage_fraction = (
+                    self.result.coverage.coverage_fraction()
+                )
+        self.progress.note_run(summary, duplicate=duplicate)
+
+    def goal_reached(self) -> Optional[str]:
+        if self.spec.goal == "first-failure" and any(
+            not s.ok for s in self.result.summaries
+        ):
+            return "first-failure"
+        if (
+            self.spec.goal == "coverage"
+            and self.result.coverage is not None
+            and self.result.coverage.coverage_fraction() >= 1.0
+        ):
+            return "coverage"
+        return None
+
+
+def _plan(spec: CampaignSpec):
+    """Plan the shard list; returns (shards, planner_summaries, exhausted)."""
+    if spec.mode in ("random", "pct"):
+        shards = plan_seed_shards(
+            spec.mode, spec.budget, spec.shard_size, spec.seed_start
+        )
+        return shards, [], False
+    factory = resolve_factory(spec.factory)
+    n_shards = max(1, spec.budget // spec.shard_size)
+    plan = plan_systematic_shards(
+        factory,
+        budget=spec.budget,
+        n_shards=n_shards,
+        max_depth=spec.max_depth,
+        branch=spec.branch,
+    )
+    return plan.shards, plan.planner_summaries, plan.exhausted
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+@dataclass
+class _Active:
+    process: Any
+    shard: Shard
+    deadline: float
+    dead_since: Optional[float] = None
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    resume: bool = False,
+    progress: Optional[ProgressTracker] = None,
+) -> CampaignResult:
+    """Execute (or resume) a campaign and return the merged result."""
+    spec.validate()
+    started = time.monotonic()
+    shards, planner_summaries, plan_exhausted = _plan(spec)
+
+    progress = progress or ProgressTracker(total_runs=spec.budget)
+    progress.shards_total = len(shards)
+    aggregator = _Aggregator(spec, progress)
+    result = aggregator.result
+    result.shards_total = len(shards)
+
+    # -- journal / resume --------------------------------------------------
+    journal: Optional[CampaignJournal] = None
+    completed: Dict[str, List[RunSummary]] = {}
+    exhausted_flags: Dict[str, bool] = {}
+    if resume and not spec.journal_path:
+        raise CampaignError("resume requires a journal path")
+    if spec.journal_path:
+        journal = CampaignJournal(spec.journal_path)
+        if resume:
+            state = journal.resume(spec.fingerprint())
+            completed = dict(state.shards)
+            exhausted_flags.update(state.exhausted)
+        else:
+            journal.start(
+                spec.fingerprint(),
+                meta={"factory": spec.factory, "mode": spec.mode,
+                      "budget": spec.budget},
+            )
+
+    try:
+        planned_ids = {s.shard_id for s in shards}
+        resumed_ids = set(completed) & (planned_ids | {PLAN_SHARD_ID})
+        for shard_id in sorted(resumed_ids):
+            for summary in completed[shard_id]:
+                aggregator.merge(summary)
+        shard_resumed_count = len(resumed_ids - {PLAN_SHARD_ID})
+        result.shards_resumed = shard_resumed_count
+        result.shards_completed = shard_resumed_count
+        progress.note_shards_resumed(shard_resumed_count)
+
+        # The systematic planner re-ran during _plan (its runs are the
+        # price of rebuilding the deterministic shard list); merge them
+        # only when they were not already journaled.
+        if planner_summaries and PLAN_SHARD_ID not in completed:
+            for summary in planner_summaries:
+                aggregator.merge(summary)
+            if journal is not None:
+                journal.append_shard(PLAN_SHARD_ID, planner_summaries)
+
+        pending = deque(s for s in shards if s.shard_id not in resumed_ids)
+        goal = aggregator.goal_reached()
+        if goal is None and pending:
+            runner = _run_inline if spec.workers == 0 else _run_pool
+            goal = runner(
+                spec, pending, aggregator, journal, progress, exhausted_flags
+            )
+        if goal is None and spec.goal == "budget" and not result.shards_failed:
+            goal = "budget"
+        result.goal_reached = goal
+        result.exhausted = plan_exhausted or (
+            spec.mode == "systematic"
+            and bool(shards)
+            and result.shards_completed == result.shards_total
+            and all(exhausted_flags.get(sid, False) for sid in planned_ids)
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+        result.wall_time = time.monotonic() - started
+        progress.maybe_emit(force=True)
+    return result
+
+
+def _run_inline(
+    spec: CampaignSpec,
+    pending: "deque[Shard]",
+    aggregator: _Aggregator,
+    journal: Optional[CampaignJournal],
+    progress: ProgressTracker,
+    exhausted_flags: Dict[str, bool],
+) -> Optional[str]:
+    """Sequential in-process execution (``workers=0``): no isolation, no
+    timeouts beyond the per-run alarm — the debug path."""
+    result = aggregator.result
+    while pending:
+        shard = pending.popleft()
+        outcome = execute_shard(spec.worker_task(shard), emit=aggregator.merge)
+        exhausted_flags[shard.shard_id] = outcome.exhausted
+        if journal is not None:
+            journal.append_shard(
+                shard.shard_id, outcome.summaries, exhausted=outcome.exhausted
+            )
+        result.shards_completed += 1
+        progress.note_shard_done()
+        progress.maybe_emit()
+        goal = aggregator.goal_reached()
+        if goal is not None:
+            return goal
+    return None
+
+
+def _run_pool(
+    spec: CampaignSpec,
+    pending: "deque[Shard]",
+    aggregator: _Aggregator,
+    journal: Optional[CampaignJournal],
+    progress: ProgressTracker,
+    exhausted_flags: Dict[str, bool],
+) -> Optional[str]:
+    """The multiprocess orchestration loop: bounded pool, crash isolation,
+    shard deadlines, bounded retries, early goal stop."""
+    from queue import Empty
+
+    result = aggregator.result
+    ctx = _mp_context()
+    queue = ctx.Queue()
+    active: Dict[str, _Active] = {}
+    buffers: Dict[str, List[RunSummary]] = {}
+    retries: Dict[str, int] = {}
+    goal: Optional[str] = None
+    #: grace period between a worker dying and the shard being declared
+    #: crashed, so in-flight queue messages (including "done") can drain.
+    grace = 1.0
+
+    def launch(shard: Shard) -> None:
+        task = spec.worker_task(shard)
+        process = ctx.Process(target=worker_main, args=(task, queue), daemon=True)
+        process.start()
+        deadline = (
+            time.monotonic() + spec.run_timeout * max(1, shard.max_runs) + 30.0
+        )
+        active[shard.shard_id] = _Active(process, shard, deadline)
+        buffers[shard.shard_id] = []
+
+    def requeue_or_fail(shard: Shard) -> None:
+        buffers.pop(shard.shard_id, None)
+        retries[shard.shard_id] = retries.get(shard.shard_id, 0) + 1
+        if retries[shard.shard_id] <= spec.max_retries:
+            pending.append(shard)
+            progress.note_shard_requeued()
+            result.shards_requeued += 1
+        else:
+            result.shards_failed.append(shard.shard_id)
+            progress.note_shard_failed()
+
+    def retire(shard_id: str) -> Optional[_Active]:
+        entry = active.pop(shard_id, None)
+        if entry is not None:
+            entry.process.join(timeout=5.0)
+        return entry
+
+    def handle(kind: str, shard_id: str, payload) -> None:
+        nonlocal goal
+        if kind == "run":
+            summary = RunSummary.from_dict(payload)
+            if shard_id in buffers:
+                buffers[shard_id].append(summary)
+            aggregator.merge(summary)
+            if goal is None:
+                goal = aggregator.goal_reached()
+        elif kind == "done":
+            exhausted_flags[shard_id] = bool(payload)
+            summaries = buffers.pop(shard_id, [])
+            if journal is not None:
+                journal.append_shard(shard_id, summaries, exhausted=bool(payload))
+            result.shards_completed += 1
+            progress.note_shard_done()
+            retire(shard_id)
+        elif kind == "fail":
+            entry = retire(shard_id)
+            if entry is not None:
+                requeue_or_fail(entry.shard)
+
+    try:
+        while (pending or active) and goal is None:
+            while pending and len(active) < spec.workers:
+                launch(pending.popleft())
+
+            # Drain every available message before judging liveness, so a
+            # cleanly finished worker is never mistaken for a crash.
+            try:
+                message = queue.get(timeout=0.05)
+            except Empty:
+                message = None
+            while message is not None:
+                handle(*message)
+                try:
+                    message = queue.get_nowait()
+                except Empty:
+                    message = None
+
+            now = time.monotonic()
+            for shard_id, entry in list(active.items()):
+                if not entry.process.is_alive():
+                    if entry.dead_since is None:
+                        entry.dead_since = now
+                    elif now - entry.dead_since > grace:
+                        # died without a done/fail message: hard crash
+                        retire(shard_id)
+                        requeue_or_fail(entry.shard)
+                elif now > entry.deadline:
+                    entry.process.terminate()
+                    retire(shard_id)
+                    requeue_or_fail(entry.shard)
+            progress.maybe_emit()
+    finally:
+        for _shard_id, entry in list(active.items()):
+            if entry.process.is_alive():
+                entry.process.terminate()
+            entry.process.join(timeout=5.0)
+        active.clear()
+        queue.close()
+        queue.cancel_join_thread()
+    return goal

@@ -1,0 +1,109 @@
+"""Live campaign counters: runs/sec, distinct signatures, coverage.
+
+The orchestrator calls ``note_*`` as events arrive and ``maybe_emit``
+once per loop tick; the tracker rate-limits its own output so a hot
+campaign does not drown the terminal.  Everything here is also the data
+of the final report — ``snapshot()`` is what ``CampaignResult.describe``
+prints.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import IO, Optional, Set, Tuple
+
+from repro.testing.explorer import RunSummary
+
+__all__ = ["ProgressTracker"]
+
+
+class ProgressTracker:
+    """Counters for a running campaign, with optional periodic emission."""
+
+    def __init__(
+        self,
+        total_runs: Optional[int] = None,
+        stream: Optional[IO[str]] = None,
+        interval: float = 1.0,
+        clock=time.monotonic,
+    ) -> None:
+        self.total_runs = total_runs
+        self.stream = stream
+        self.interval = interval
+        self._clock = clock
+        self.started_at = clock()
+        self._last_emit = float("-inf")
+
+        self.runs = 0
+        self.duplicates = 0
+        self.failures = 0
+        self.signatures: Set[Tuple[str, Tuple[str, ...]]] = set()
+        self.coverage_fraction: Optional[float] = None
+        self.shards_done = 0
+        self.shards_failed = 0
+        self.shards_requeued = 0
+        self.shards_resumed = 0
+        self.shards_total = 0
+
+    # -- event intake ------------------------------------------------------
+
+    def note_run(self, summary: RunSummary, duplicate: bool = False) -> None:
+        self.runs += 1
+        if duplicate:
+            self.duplicates += 1
+        if not summary.ok:
+            self.failures += 1
+            self.signatures.add(summary.signature)
+
+    def note_shard_done(self) -> None:
+        self.shards_done += 1
+
+    def note_shard_failed(self) -> None:
+        self.shards_failed += 1
+
+    def note_shard_requeued(self) -> None:
+        self.shards_requeued += 1
+
+    def note_shards_resumed(self, count: int) -> None:
+        self.shards_resumed += count
+        self.shards_done += count
+
+    # -- derived numbers ---------------------------------------------------
+
+    def elapsed(self) -> float:
+        return max(self._clock() - self.started_at, 1e-9)
+
+    def runs_per_sec(self) -> float:
+        return self.runs / self.elapsed()
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self) -> str:
+        parts = []
+        if self.total_runs:
+            parts.append(f"runs {self.runs}/{self.total_runs}")
+        else:
+            parts.append(f"runs {self.runs}")
+        parts.append(f"{self.runs_per_sec():.1f}/s")
+        parts.append(f"failures {self.failures}")
+        parts.append(f"signatures {len(self.signatures)}")
+        if self.coverage_fraction is not None:
+            parts.append(f"coverage {self.coverage_fraction:.0%}")
+        shard_bit = f"shards {self.shards_done}/{self.shards_total}"
+        if self.shards_requeued:
+            shard_bit += f" ({self.shards_requeued} requeued)"
+        if self.shards_resumed:
+            shard_bit += f" ({self.shards_resumed} resumed)"
+        parts.append(shard_bit)
+        return " | ".join(parts)
+
+    def maybe_emit(self, force: bool = False) -> None:
+        """Write a progress line at most once per ``interval`` seconds."""
+        if self.stream is None:
+            return
+        now = self._clock()
+        if not force and now - self._last_emit < self.interval:
+            return
+        self._last_emit = now
+        self.stream.write(self.render() + "\n")
+        self.stream.flush()

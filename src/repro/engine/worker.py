@@ -1,0 +1,227 @@
+"""Campaign worker: executes one shard, streaming compact summaries.
+
+Runs in a child process (or inline, for ``workers=0`` debugging).  The
+worker rebuilds the program from the factory *spec string* — nothing
+unpicklable crosses the process boundary — then drives the matching
+explorer over its shard's seeds or DFS prefixes, posting one
+:class:`~repro.testing.explorer.RunSummary` message per completed run and
+a final ``done`` message.  The orchestrator treats a missing ``done`` as
+a crashed/hung worker and requeues the shard.
+
+Per-run wall-clock timeouts use ``SIGALRM`` where available (child
+processes run in their main thread, so the signal contract holds).  The
+timeout exception derives from ``BaseException`` on purpose: the kernel's
+run loop catches ``Exception`` from thread bodies (a crashed thread is a
+*result*, not an error), and a timeout must cut through that to abort the
+whole run.
+"""
+
+from __future__ import annotations
+
+import signal
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.testing.explorer import (
+    ExplorationRun,
+    RunSummary,
+    explore_pct,
+    explore_random,
+    explore_systematic,
+)
+from repro.vm.kernel import Kernel, RunResult, RunStatus
+
+from .shards import Shard
+from .workloads import resolve_factory
+
+__all__ = ["WorkerTask", "ShardOutcome", "execute_shard", "worker_main"]
+
+
+class RunTimeoutInterrupt(BaseException):
+    """Raised by the SIGALRM handler to abort a wedged run.
+
+    BaseException so the kernel's per-thread ``except Exception`` cannot
+    swallow it and mislabel the timeout as a thread crash.
+    """
+
+
+@dataclass(frozen=True)
+class WorkerTask:
+    """Everything a worker needs to execute one shard, all picklable."""
+
+    shard: Shard
+    factory_spec: str
+    run_timeout: float = 10.0
+    max_depth: int = 400
+    branch: str = "shallow"
+    pct_depth: int = 3
+    pct_expected_steps: int = 200
+    stop_on_failure: bool = False
+    coverage_spec: Optional[str] = None  # "module:Class" for CoFG tracking
+
+
+@dataclass
+class ShardOutcome:
+    """An inline-executed shard's aggregated result."""
+
+    shard_id: str
+    summaries: List[RunSummary] = field(default_factory=list)
+    exhausted: bool = False
+
+
+def _timed_runner(timeout: float) -> Callable[[Kernel], RunResult]:
+    """A kernel runner that aborts after ``timeout`` wall-clock seconds,
+    returning a TIMEOUT result instead of hanging the shard.  Falls back
+    to plain ``Kernel.run`` where SIGALRM is unavailable (non-POSIX) —
+    the orchestrator's shard deadline still bounds those."""
+    if timeout <= 0 or not hasattr(signal, "SIGALRM"):
+        return lambda kernel: kernel.run()
+
+    def run(kernel: Kernel) -> RunResult:
+        def _on_alarm(signum, frame):
+            raise RunTimeoutInterrupt()
+
+        try:
+            previous = signal.signal(signal.SIGALRM, _on_alarm)
+        except ValueError:  # not the main thread (inline mode under test)
+            return kernel.run()
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+        try:
+            return kernel.run()
+        except RunTimeoutInterrupt:
+            live = [t.name for t in kernel.threads.values() if t.is_live()]
+            return RunResult(
+                status=RunStatus.TIMEOUT,
+                trace=kernel.trace,
+                steps=kernel.steps,
+                stuck_threads=live,
+                schedule_log=list(kernel.schedule_log),
+            )
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+    return run
+
+
+def _coverage_extractor(
+    coverage_spec: Optional[str],
+) -> Optional[Callable[[Any], List[Tuple[str, str, str, int]]]]:
+    """Build a trace -> per-arc hit count extractor from a component spec
+    (CoFGs are built once per shard, in the worker)."""
+    if not coverage_spec:
+        return None
+    from repro.analysis import build_all_cofgs
+    from repro.coverage.tracker import CoverageTracker
+
+    if ":" in coverage_spec:
+        module_name, class_name = coverage_spec.split(":", 1)
+    elif "." in coverage_spec:
+        module_name, class_name = coverage_spec.rsplit(".", 1)
+    else:
+        raise ValueError(f"coverage spec {coverage_spec!r} must be module:Class")
+    import importlib
+
+    cls = getattr(importlib.import_module(module_name), class_name)
+    cofgs = build_all_cofgs(cls)
+
+    def extract(trace) -> List[Tuple[str, str, str, int]]:
+        tracker = CoverageTracker(cofgs)
+        tracker.feed(trace)
+        hits: List[Tuple[str, str, str, int]] = []
+        for method, coverage in tracker.methods.items():
+            for (src, dst), count in coverage.hits.items():
+                if count:
+                    hits.append((method, src, dst, count))
+        return hits
+
+    return extract
+
+
+def execute_shard(
+    task: WorkerTask,
+    emit: Optional[Callable[[RunSummary], None]] = None,
+) -> ShardOutcome:
+    """Run one shard to completion in this process.
+
+    ``emit`` is called with each run's summary as it completes (the
+    streaming hook: the process worker posts to the result queue, inline
+    mode feeds the orchestrator's aggregator directly).
+    """
+    factory = resolve_factory(task.factory_spec)
+    runner = _timed_runner(task.run_timeout)
+    extract = _coverage_extractor(task.coverage_spec)
+    outcome = ShardOutcome(shard_id=task.shard.shard_id)
+
+    def on_run(run: ExplorationRun) -> None:
+        arc_hits = extract(run.result.trace) if extract is not None else ()
+        summary = run.summary(arc_hits=arc_hits)
+        outcome.summaries.append(summary)
+        if emit is not None:
+            emit(summary)
+
+    shard = task.shard
+    if shard.mode == "systematic":
+        result = explore_systematic(
+            factory,
+            max_runs=shard.max_runs,
+            max_depth=task.max_depth,
+            branch=task.branch,
+            roots=[list(p) for p in shard.prefixes],
+            stop_on_failure=task.stop_on_failure,
+            on_run=on_run,
+            keep_runs=False,
+            runner=runner,
+        )
+        outcome.exhausted = result.exhausted
+    elif shard.mode == "random":
+        explore_random(
+            factory,
+            seeds=shard.seeds,
+            stop_on_failure=task.stop_on_failure,
+            on_run=on_run,
+            keep_runs=False,
+            runner=runner,
+        )
+    elif shard.mode == "pct":
+        explore_pct(
+            factory,
+            seeds=shard.seeds,
+            depth=task.pct_depth,
+            expected_steps=task.pct_expected_steps,
+            stop_on_failure=task.stop_on_failure,
+            on_run=on_run,
+            keep_runs=False,
+            runner=runner,
+        )
+    else:
+        raise ValueError(f"unknown shard mode {shard.mode!r}")
+    return outcome
+
+
+def worker_main(task: WorkerTask, queue) -> None:
+    """Child-process entry point: execute the shard, streaming messages.
+
+    Message protocol (all tuples, all picklable):
+
+    * ``("run", shard_id, summary_dict)`` — one per completed run;
+    * ``("done", shard_id, exhausted)`` — the shard finished;
+    * ``("fail", shard_id, error_text)`` — the shard raised; the
+      orchestrator decides whether to requeue.
+
+    A worker that dies without posting ``done``/``fail`` (hard crash,
+    ``kill -9``, segfault in an extension) is detected by the orchestrator
+    via process liveness — that is the crash-isolation contract.
+    """
+    shard_id = task.shard.shard_id
+    try:
+        outcome = execute_shard(
+            task,
+            emit=lambda summary: queue.put(("run", shard_id, summary.to_dict())),
+        )
+        queue.put(("done", shard_id, outcome.exhausted))
+    except BaseException as exc:  # noqa: BLE001 - report, then die quietly
+        try:
+            queue.put(("fail", shard_id, f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass

@@ -1,0 +1,143 @@
+"""Named campaign workloads: registered program factories.
+
+A campaign worker lives in another process, so it cannot receive a
+closure — it receives a *factory spec string* and rebuilds the program
+itself.  Two spellings resolve:
+
+* a registry name (``"pc-bug"``, ``"deadlock-pair"``, ...) — the standard
+  Ext-B workloads, pre-wired below;
+* ``"module:function"`` — any importable :data:`ProgramFactory`
+  (a callable taking a scheduler and returning an unrun ``Kernel``),
+  which is how user code plugs its own programs into ``repro campaign``
+  and ``repro explore``.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict
+
+from repro.testing.explorer import ProgramFactory
+from repro.vm import Acquire, Kernel, Release, Yield
+
+__all__ = ["WORKLOADS", "resolve_factory", "workload_names"]
+
+
+def _pc_workload(component_cls) -> ProgramFactory:
+    """The Ext-B producer-consumer shape: 3 consumers racing 2 producers
+    over one shared monitor."""
+
+    def factory(scheduler) -> Kernel:
+        kernel = Kernel(scheduler=scheduler)
+        pc = kernel.register(component_cls())
+
+        def consumer():
+            yield from pc.receive()
+
+        def producer(payload):
+            yield from pc.send(payload)
+
+        for i in range(3):
+            kernel.spawn(consumer, name=f"c{i}")
+        kernel.spawn(producer, "ab", name="p1")
+        kernel.spawn(producer, "c", name="p2")
+        return kernel
+
+    return factory
+
+
+def pc_ok(scheduler) -> Kernel:
+    """Correct producer-consumer (should complete under every schedule)."""
+    from repro.components import ProducerConsumer
+
+    return _pc_workload(ProducerConsumer)(scheduler)
+
+
+def pc_bug(scheduler) -> Kernel:
+    """The bug-seeded producer-consumer campaign workload: ``notify``
+    instead of ``notifyAll`` loses wakeups under some schedules (FF-T5)."""
+    from repro.components.faulty import SingleNotifyProducerConsumer
+
+    return _pc_workload(SingleNotifyProducerConsumer)(scheduler)
+
+
+def pc_no_notify(scheduler) -> Kernel:
+    """Producer-consumer whose send never notifies (FF-T5, deterministic
+    once a consumer waits)."""
+    from repro.components.faulty import NoNotifyProducerConsumer
+
+    return _pc_workload(NoNotifyProducerConsumer)(scheduler)
+
+
+def deadlock_pair(scheduler) -> Kernel:
+    """Two opposite-direction transfers over unordered account locks
+    (FF-T2/FF-T4 deadlock on some schedules)."""
+    from repro.components import Account
+    from repro.components.faulty import DeadlockPair
+
+    kernel = Kernel(scheduler=scheduler)
+    a = kernel.register(Account(10), name="A")
+    b = kernel.register(Account(10), name="B")
+    pair = kernel.register(DeadlockPair())
+
+    def t1():
+        yield from pair.transfer(a, b, 1)
+
+    def t2():
+        yield from pair.transfer(b, a, 1)
+
+    kernel.spawn(t1, name="t1")
+    kernel.spawn(t2, name="t2")
+    return kernel
+
+
+def racing_locks(scheduler) -> Kernel:
+    """Two bare monitors taken in opposite orders — the smallest workload
+    whose schedule tree mixes deadlocks and completions."""
+    kernel = Kernel(scheduler=scheduler)
+    kernel.new_monitor("m1")
+    kernel.new_monitor("m2")
+
+    def worker(first, second):
+        yield Acquire(first)
+        yield Yield()
+        yield Acquire(second)
+        yield Release(second)
+        yield Release(first)
+
+    kernel.spawn(worker, "m1", "m2", name="a")
+    kernel.spawn(worker, "m2", "m1", name="b")
+    return kernel
+
+
+WORKLOADS: Dict[str, ProgramFactory] = {
+    "pc-ok": pc_ok,
+    "pc-bug": pc_bug,
+    "pc-no-notify": pc_no_notify,
+    "deadlock-pair": deadlock_pair,
+    "racing-locks": racing_locks,
+}
+
+
+def workload_names() -> list:
+    return sorted(WORKLOADS)
+
+
+def resolve_factory(spec: str) -> ProgramFactory:
+    """Resolve a factory spec: registry name or ``module:function``."""
+    if spec in WORKLOADS:
+        return WORKLOADS[spec]
+    if ":" not in spec:
+        raise ValueError(
+            f"unknown workload {spec!r} (known: {', '.join(workload_names())}; "
+            f"or give module:function)"
+        )
+    module_name, func_name = spec.split(":", 1)
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise ValueError(f"cannot import factory module {module_name!r}: {exc}")
+    factory = getattr(module, func_name, None)
+    if not callable(factory):
+        raise ValueError(f"{module_name!r} has no factory callable {func_name!r}")
+    return factory

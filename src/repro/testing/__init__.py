@@ -8,6 +8,7 @@ Public API::
         generate_covering_sequence, CallTemplate,   # CoFG-driven generation
         annotate_expectations,                      # golden-run oracles
         explore_systematic, explore_random,         # schedule exploration
+        explore_pct, RunSummary, wilson_interval,   # shared with repro.engine
         mutate_component, ALL_OPERATORS,            # mutation engine
     )
 """
@@ -16,9 +17,12 @@ from .driver import SequenceOutcome, SequenceRunner, run_sequence
 from .explorer import (
     ExplorationResult,
     ExplorationRun,
+    RunSummary,
     explore_for_coverage,
+    explore_pct,
     explore_random,
     explore_systematic,
+    wilson_interval,
 )
 from .generator import (
     CallTemplate,
@@ -57,6 +61,7 @@ __all__ = [
     "RegressionSuite",
     "RemoveNotify",
     "RemoveWaitLoop",
+    "RunSummary",
     "ScriptError",
     "SequenceOutcome",
     "SequenceRunner",
@@ -68,8 +73,10 @@ __all__ = [
     "annotate_expectations",
     "applicable_operators",
     "explore_for_coverage",
+    "explore_pct",
     "explore_random",
     "explore_systematic",
+    "wilson_interval",
     "generate_covering_sequence",
     "mutate_component",
     "parse_script",

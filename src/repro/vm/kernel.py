@@ -83,6 +83,9 @@ class RunStatus(enum.Enum):
     DEADLOCK = "deadlock"
     STUCK = "stuck"
     STEP_LIMIT = "step_limit"
+    #: never produced by Kernel.run itself — assigned by wall-clock-bounded
+    #: runners (repro.engine workers) when a run exceeds its time budget.
+    TIMEOUT = "timeout"
 
 
 @dataclass

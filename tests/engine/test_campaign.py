@@ -1,0 +1,265 @@
+"""Tests for the campaign orchestrator: specs, goals, pools, resume."""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.engine import (
+    CampaignError,
+    CampaignSpec,
+    JournalError,
+    run_campaign,
+)
+from repro.engine.journal import CampaignJournal
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not HAS_FORK, reason="requires fork start method")
+
+
+def crash_factory(scheduler):
+    """A factory that kills its process outright — the crash-isolation
+    workload.  Only ever invoked inside a sacrificial worker child."""
+    os._exit(3)
+
+
+class TestSpecValidation:
+    def test_unknown_mode(self):
+        with pytest.raises(CampaignError, match="mode"):
+            CampaignSpec(factory="pc-ok", mode="bogus").validate()
+
+    def test_unknown_goal(self):
+        with pytest.raises(CampaignError, match="goal"):
+            CampaignSpec(factory="pc-ok", goal="bogus").validate()
+
+    def test_coverage_goal_requires_component(self):
+        with pytest.raises(CampaignError, match="coverage"):
+            CampaignSpec(factory="pc-ok", goal="coverage").validate()
+
+    def test_unknown_factory(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            CampaignSpec(factory="no-such-workload").validate()
+
+    def test_nonpositive_budget(self):
+        with pytest.raises(CampaignError, match="budget"):
+            CampaignSpec(factory="pc-ok", budget=0).validate()
+
+
+class TestFingerprint:
+    def test_stable(self):
+        a = CampaignSpec(factory="pc-bug", budget=100)
+        b = CampaignSpec(factory="pc-bug", budget=100)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_schedule_space_fields_matter(self):
+        base = CampaignSpec(factory="pc-bug", budget=100)
+        assert (
+            base.fingerprint()
+            != CampaignSpec(factory="pc-bug", budget=200).fingerprint()
+        )
+        assert (
+            base.fingerprint()
+            != CampaignSpec(factory="pc-ok", budget=100).fingerprint()
+        )
+
+    def test_execution_fields_do_not(self):
+        """Resuming with a different worker count / timeout is legal."""
+        base = CampaignSpec(factory="pc-bug", budget=100)
+        tweaked = CampaignSpec(
+            factory="pc-bug",
+            budget=100,
+            workers=8,
+            run_timeout=99.0,
+            max_retries=7,
+            journal_path="/tmp/x.jsonl",
+        )
+        assert base.fingerprint() == tweaked.fingerprint()
+
+
+class TestInlineCampaign:
+    def test_budget_accounting(self):
+        spec = CampaignSpec(factory="pc-bug", budget=40, workers=0, shard_size=10)
+        result = run_campaign(spec)
+        assert result.n_executed == 40
+        assert result.shards_completed == result.shards_total == 4
+        assert result.goal_reached == "budget"
+        assert result.wall_time > 0
+
+    def test_finds_seeded_bug_with_replay_artifacts(self):
+        spec = CampaignSpec(factory="pc-bug", budget=60, workers=0)
+        result = run_campaign(spec)
+        assert result.failures()
+        artifacts = result.replay_artifacts()
+        assert artifacts
+        for artifact in artifacts:
+            assert artifact.seed is not None
+            assert f"--seeds {artifact.seed}" in artifact.command()
+
+    def test_replayed_seed_reproduces_failure(self):
+        from repro.engine.workloads import pc_bug
+        from repro.testing import explore_random
+
+        spec = CampaignSpec(factory="pc-bug", budget=60, workers=0)
+        result = run_campaign(spec)
+        artifact = result.replay_artifacts()[0]
+        rerun = explore_random(pc_bug, seeds=[artifact.seed])
+        assert rerun.runs[0].signature == artifact.signature
+
+    def test_first_failure_goal_stops_early(self):
+        spec = CampaignSpec(
+            factory="racing-locks",
+            mode="systematic",
+            budget=500,
+            workers=0,
+            shard_size=5,
+            goal="first-failure",
+        )
+        result = run_campaign(spec)
+        assert result.goal_reached == "first-failure"
+        assert result.failures()
+        assert result.n_executed < 500
+
+    def test_systematic_exhausts_small_tree(self):
+        spec = CampaignSpec(
+            factory="racing-locks",
+            mode="systematic",
+            budget=10_000,
+            workers=0,
+            shard_size=100,
+        )
+        result = run_campaign(spec)
+        assert result.exhausted
+        # Sequential exhaustive DFS finds the same distinct schedules.
+        from repro.engine.workloads import racing_locks
+        from repro.testing import explore_systematic
+
+        sequential = explore_systematic(racing_locks, max_runs=10_000)
+        assert {s.decisions for s in result.summaries} == {
+            r.decisions for r in sequential.runs
+        }
+
+    def test_coverage_tracking(self):
+        spec = CampaignSpec(
+            factory="pc-ok",
+            budget=20,
+            workers=0,
+            coverage="repro.components:ProducerConsumer",
+        )
+        result = run_campaign(spec)
+        assert result.coverage is not None
+        assert 0.0 < result.coverage_fraction() <= 1.0
+        assert "coverage" in result.describe()
+
+    def test_describe_is_complete(self):
+        spec = CampaignSpec(factory="pc-bug", budget=30, workers=0)
+        text = run_campaign(spec).describe()
+        assert "unique schedules" in text
+        assert "95% CI" in text
+        assert "replay:" in text
+
+
+@needs_fork
+class TestPooledCampaign:
+    def test_pool_matches_inline_results(self):
+        inline = run_campaign(
+            CampaignSpec(factory="pc-bug", budget=50, workers=0, shard_size=10)
+        )
+        pooled = run_campaign(
+            CampaignSpec(factory="pc-bug", budget=50, workers=2, shard_size=10)
+        )
+        assert pooled.n_executed == inline.n_executed == 50
+        assert {s.schedule_key for s in pooled.summaries} == {
+            s.schedule_key for s in inline.summaries
+        }
+        assert set(pooled.distinct_failure_signatures()) == set(
+            inline.distinct_failure_signatures()
+        )
+
+    def test_crashing_worker_requeues_then_fails_shard(self):
+        spec = CampaignSpec(
+            factory=f"{__name__}:crash_factory",
+            budget=5,
+            workers=1,
+            shard_size=5,
+            max_retries=1,
+        )
+        result = run_campaign(spec)
+        assert result.shards_failed == ["random-000000-000005"]
+        assert result.shards_requeued == 1  # one retry, then give up
+        assert result.n_executed == 0
+        assert result.goal_reached is None  # budget goal unmet
+
+
+class TestJournalAndResume:
+    def test_resume_without_journal_rejected(self):
+        with pytest.raises(CampaignError, match="journal"):
+            run_campaign(
+                CampaignSpec(factory="pc-ok", budget=5, workers=0), resume=True
+            )
+
+    def test_resume_wrong_spec_rejected(self, tmp_path):
+        journal = str(tmp_path / "c.jsonl")
+        run_campaign(
+            CampaignSpec(
+                factory="pc-ok", budget=10, workers=0, journal_path=journal
+            )
+        )
+        with pytest.raises(JournalError, match="different campaign"):
+            run_campaign(
+                CampaignSpec(
+                    factory="pc-ok", budget=20, workers=0, journal_path=journal
+                ),
+                resume=True,
+            )
+
+    def test_full_resume_executes_nothing(self, tmp_path, monkeypatch):
+        journal = str(tmp_path / "c.jsonl")
+        spec = CampaignSpec(
+            factory="pc-bug", budget=40, workers=0, shard_size=10,
+            journal_path=journal,
+        )
+        first = run_campaign(spec)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("resume must not re-execute journaled shards")
+
+        monkeypatch.setattr("repro.engine.campaign.execute_shard", boom)
+        resumed = run_campaign(spec, resume=True)
+        assert resumed.shards_resumed == resumed.shards_total == 4
+        assert resumed.n_executed == first.n_executed
+        assert {s.schedule_key for s in resumed.summaries} == {
+            s.schedule_key for s in first.summaries
+        }
+
+    def test_partial_resume_completes_remainder(self, tmp_path):
+        journal_path = tmp_path / "c.jsonl"
+        spec = CampaignSpec(
+            factory="pc-bug", budget=40, workers=0, shard_size=10,
+            journal_path=str(journal_path),
+        )
+        first = run_campaign(spec)
+
+        # Simulate a kill after the first journaled shard: drop the rest.
+        lines = journal_path.read_text().splitlines()
+        journal_path.write_text("\n".join(lines[:2]) + "\n")
+        assert len(CampaignJournal(journal_path).load().shards) == 1
+
+        resumed = run_campaign(spec, resume=True)
+        assert resumed.shards_resumed == 1
+        assert resumed.shards_completed == resumed.shards_total == 4
+        assert {s.schedule_key for s in resumed.summaries} == {
+            s.schedule_key for s in first.summaries
+        }
+        # The journal is whole again for the *next* resume.
+        assert len(CampaignJournal(journal_path).load().shards) == 4
+
+    def test_systematic_resume_skips_planner_merge(self, tmp_path):
+        journal = str(tmp_path / "c.jsonl")
+        spec = CampaignSpec(
+            factory="racing-locks", mode="systematic", budget=200,
+            workers=0, shard_size=20, journal_path=journal,
+        )
+        first = run_campaign(spec)
+        resumed = run_campaign(spec, resume=True)
+        assert resumed.duplicates == 0  # planner runs not double-merged
+        assert resumed.n_runs == first.n_runs

@@ -1,0 +1,98 @@
+"""Tests for the live campaign progress tracker."""
+
+import io
+
+from repro.engine.progress import ProgressTracker
+from repro.testing.explorer import RunSummary
+
+
+def ok_run(index):
+    return RunSummary(index=index, status="completed", decisions=(index,))
+
+
+def stuck_run(index, threads=("c0",)):
+    return RunSummary(
+        index=index, status="stuck", decisions=(index,), stuck_threads=threads
+    )
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCounters:
+    def test_runs_failures_signatures(self):
+        tracker = ProgressTracker(total_runs=10)
+        tracker.note_run(ok_run(0))
+        tracker.note_run(stuck_run(1))
+        tracker.note_run(stuck_run(2))  # same signature
+        tracker.note_run(stuck_run(3, threads=("c1",)))
+        assert tracker.runs == 4
+        assert tracker.failures == 3
+        assert len(tracker.signatures) == 2
+
+    def test_duplicates_counted_separately(self):
+        tracker = ProgressTracker()
+        tracker.note_run(ok_run(0))
+        tracker.note_run(ok_run(0), duplicate=True)
+        assert tracker.runs == 2
+        assert tracker.duplicates == 1
+
+    def test_shard_lifecycle(self):
+        tracker = ProgressTracker()
+        tracker.shards_total = 5
+        tracker.note_shards_resumed(2)
+        tracker.note_shard_done()
+        tracker.note_shard_requeued()
+        tracker.note_shard_failed()
+        assert tracker.shards_done == 3  # 2 resumed + 1 fresh
+        assert tracker.shards_requeued == 1
+        assert tracker.shards_failed == 1
+
+    def test_runs_per_sec(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(clock=clock)
+        for i in range(50):
+            tracker.note_run(ok_run(i))
+        clock.now += 2.0
+        assert tracker.runs_per_sec() == 50 / 2.0
+
+
+class TestRendering:
+    def test_render_mentions_everything(self):
+        tracker = ProgressTracker(total_runs=20)
+        tracker.shards_total = 4
+        tracker.note_run(stuck_run(0))
+        tracker.coverage_fraction = 0.5
+        line = tracker.render()
+        assert "runs 1/20" in line
+        assert "failures 1" in line
+        assert "signatures 1" in line
+        assert "coverage 50%" in line
+        assert "shards 0/4" in line
+
+    def test_emit_rate_limited(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        tracker = ProgressTracker(stream=stream, interval=1.0, clock=clock)
+        tracker.maybe_emit()
+        tracker.maybe_emit()  # suppressed: same instant
+        assert stream.getvalue().count("\n") == 1
+        clock.now += 1.5
+        tracker.maybe_emit()
+        assert stream.getvalue().count("\n") == 2
+
+    def test_force_bypasses_rate_limit(self):
+        stream = io.StringIO()
+        tracker = ProgressTracker(stream=stream, interval=60.0)
+        tracker.maybe_emit(force=True)
+        tracker.maybe_emit(force=True)
+        assert stream.getvalue().count("\n") == 2
+
+    def test_no_stream_is_silent(self):
+        tracker = ProgressTracker()
+        tracker.maybe_emit(force=True)  # must not raise

@@ -1,0 +1,124 @@
+"""Tests for shard planning: seed ranges and DFS prefix partitions."""
+
+import pytest
+
+from repro.engine.shards import Shard, plan_seed_shards, plan_systematic_shards
+from repro.engine.workloads import racing_locks
+from repro.testing import explore_systematic
+
+
+class TestSeedShards:
+    def test_covers_budget_exactly_once(self):
+        shards = plan_seed_shards("random", budget=100, shard_size=25)
+        all_seeds = [s for shard in shards for s in shard.seeds]
+        assert all_seeds == list(range(100))
+        assert len(set(all_seeds)) == 100  # disjoint
+
+    def test_ragged_last_shard(self):
+        shards = plan_seed_shards("random", budget=55, shard_size=25)
+        assert [len(s.seeds) for s in shards] == [25, 25, 5]
+        assert shards[-1].seeds == tuple(range(50, 55))
+
+    def test_seed_start_offset(self):
+        shards = plan_seed_shards("pct", budget=10, shard_size=4, seed_start=100)
+        all_seeds = [s for shard in shards for s in shard.seeds]
+        assert all_seeds == list(range(100, 110))
+        assert all(shard.mode == "pct" for shard in shards)
+
+    def test_deterministic_ids(self):
+        a = plan_seed_shards("random", budget=50, shard_size=25)
+        b = plan_seed_shards("random", budget=50, shard_size=25)
+        assert [s.shard_id for s in a] == [s.shard_id for s in b]
+        assert len({s.shard_id for s in a}) == len(a)
+
+    def test_zero_budget(self):
+        assert plan_seed_shards("random", budget=0, shard_size=25) == []
+
+    def test_bad_shard_size(self):
+        with pytest.raises(ValueError, match="shard_size"):
+            plan_seed_shards("random", budget=10, shard_size=0)
+
+    def test_max_runs_matches_seed_count(self):
+        for shard in plan_seed_shards("random", budget=55, shard_size=25):
+            assert shard.max_runs == len(shard.seeds)
+
+
+class TestShardSerialization:
+    def test_seed_shard_roundtrip(self):
+        shard = Shard(
+            shard_id="random-000000-000025",
+            mode="random",
+            seeds=tuple(range(25)),
+            max_runs=25,
+        )
+        assert Shard.from_dict(shard.to_dict()) == shard
+
+    def test_prefix_shard_roundtrip(self):
+        shard = Shard(
+            shard_id="dfs-0003",
+            mode="systematic",
+            prefixes=((0, 1), (2,), ()),
+            max_runs=40,
+        )
+        assert Shard.from_dict(shard.to_dict()) == shard
+
+
+class TestSystematicShards:
+    def test_partitions_are_disjoint_and_cover_frontier(self):
+        plan = plan_systematic_shards(
+            racing_locks, budget=60, n_shards=4, max_depth=50
+        )
+        assert plan.shards, "racing-locks tree is larger than 4 runs"
+        prefix_lists = [shard.prefixes for shard in plan.shards]
+        flat = [p for prefixes in prefix_lists for p in prefixes]
+        assert len(flat) == len(set(flat))  # no prefix dealt twice
+
+    def test_planner_runs_counted(self):
+        plan = plan_systematic_shards(
+            racing_locks, budget=60, n_shards=4, max_depth=50
+        )
+        assert 0 < len(plan.planner_summaries) <= 4
+        indices = [s.index for s in plan.planner_summaries]
+        assert indices == sorted(indices)
+
+    def test_union_matches_sequential_dfs(self):
+        """Planner expansion + per-shard subtree enumeration reaches the
+        same schedules as one sequential exhaustive DFS."""
+        sequential = explore_systematic(racing_locks, max_runs=10_000)
+        assert sequential.exhausted
+        expected = {run.decisions for run in sequential.runs}
+
+        plan = plan_systematic_shards(
+            racing_locks, budget=10_000, n_shards=3, max_depth=400
+        )
+        got = {s.decisions for s in plan.planner_summaries}
+        for shard in plan.shards:
+            result = explore_systematic(
+                racing_locks,
+                max_runs=10_000,
+                roots=[list(p) for p in shard.prefixes],
+            )
+            assert result.exhausted
+            got |= {run.decisions for run in result.runs}
+        assert got == expected
+
+    def test_tiny_tree_exhausts_during_planning(self):
+        def trivial(scheduler):
+            from repro.vm import Kernel, Tick
+
+            kernel = Kernel(scheduler=scheduler)
+
+            def solo():
+                yield Tick()
+
+            kernel.spawn(solo, name="t")
+            return kernel
+
+        plan = plan_systematic_shards(trivial, budget=100, n_shards=8)
+        assert plan.exhausted
+        assert plan.shards == []
+        assert len(plan.planner_summaries) == 1
+
+    def test_bad_n_shards(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            plan_systematic_shards(racing_locks, budget=10, n_shards=0)

@@ -209,6 +209,162 @@ class TestMethodAndSuiteCommands:
         assert "FAIL" in capsys.readouterr().out
 
 
+class TestExploreCommand:
+    def test_systematic_finds_deadlock(self, capsys):
+        code = main(
+            ["explore", "racing-locks", "--mode", "systematic", "--runs", "50"]
+        )
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "explored" in out
+        assert "--mode replay --decisions" in out  # replay hint printed
+
+    def test_random_with_seed_range(self, capsys):
+        code = main(
+            ["explore", "pc-bug", "--mode", "random", "--seeds", "0:40"]
+        )
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "failure at seed" in out
+        assert "95% CI" in out
+
+    def test_clean_workload_exits_zero(self, capsys):
+        assert main(["explore", "pc-ok", "--mode", "random", "--seeds", "0:5"]) == 0
+
+    def test_pct_mode(self, capsys):
+        code = main(
+            ["explore", "racing-locks", "--mode", "pct", "--seeds", "0:20"]
+        )
+        assert code in (0, 2)
+        assert "explored 20 schedules" in capsys.readouterr().out
+
+    def test_replay_reproduces_deadlock(self, capsys):
+        main(["explore", "racing-locks", "--mode", "systematic", "--runs", "50"])
+        out = capsys.readouterr().out
+        decisions = [
+            line.split("--decisions")[1].strip()
+            for line in out.splitlines()
+            if "--decisions" in line
+        ][0]
+        code = main(
+            ["explore", "racing-locks", "--mode", "replay", "--decisions", decisions]
+        )
+        assert code == 2
+        assert "deadlock" in capsys.readouterr().out
+
+    def test_replay_requires_decisions(self):
+        with pytest.raises(SystemExit):
+            main(["explore", "racing-locks", "--mode", "replay"])
+
+    def test_replay_out_of_range_decisions_clean_error(self):
+        with pytest.raises(SystemExit, match="does not fit"):
+            main(
+                [
+                    "explore",
+                    "racing-locks",
+                    "--mode",
+                    "replay",
+                    "--decisions",
+                    "99,99",
+                ]
+            )
+
+    def test_replay_non_integer_decisions_clean_error(self):
+        with pytest.raises(SystemExit, match="comma-separated integers"):
+            main(
+                [
+                    "explore",
+                    "racing-locks",
+                    "--mode",
+                    "replay",
+                    "--decisions",
+                    "1,x",
+                ]
+            )
+
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["explore", "no-such-workload"])
+
+    def test_module_function_factory(self, capsys):
+        code = main(
+            [
+                "explore",
+                "repro.engine.workloads:pc_ok",
+                "--mode",
+                "random",
+                "--seeds",
+                "3",
+            ]
+        )
+        assert code == 0
+
+
+class TestCampaignCommand:
+    def test_inline_campaign(self, capsys):
+        code = main(
+            [
+                "campaign",
+                "pc-bug",
+                "--budget",
+                "40",
+                "--workers",
+                "0",
+                "--quiet",
+            ]
+        )
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "unique schedules" in out
+        assert "replay:" in out
+
+    def test_clean_campaign_exits_zero(self, capsys):
+        code = main(
+            ["campaign", "pc-ok", "--budget", "10", "--workers", "0", "--quiet"]
+        )
+        assert code == 0
+        assert "goal reached: budget" in capsys.readouterr().out
+
+    def test_journal_and_resume(self, tmp_path, capsys):
+        journal = str(tmp_path / "c.jsonl")
+        args = [
+            "campaign", "pc-ok", "--budget", "20", "--workers", "0",
+            "--journal", journal, "--quiet",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--resume"]) == 0
+        assert "resumed" in capsys.readouterr().out
+
+    def test_unknown_workload_clean_error(self):
+        # resolve_factory's ValueError must surface as the CLI's clean
+        # SystemExit, not a traceback.
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(
+                ["campaign", "pc-bgu", "--budget", "5", "--workers", "0", "--quiet"]
+            )
+
+    def test_resume_needs_journal(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["campaign", "pc-ok", "--budget", "5", "--workers", "0", "--resume"]
+            )
+
+    def test_invalid_goal_combination(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "campaign",
+                    "pc-ok",
+                    "--goal",
+                    "coverage",
+                    "--workers",
+                    "0",
+                    "--quiet",
+                ]
+            )
+
+
 class TestShippedScript:
     def test_examples_script_passes(self, capsys):
         import pathlib

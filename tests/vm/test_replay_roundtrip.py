@@ -1,0 +1,95 @@
+"""Serialize → replay round-trips under every scheduler policy.
+
+The reproducibility contract behind every campaign artifact: a run
+executed under *any* policy can be saved as a JSONL trace (with its
+schedule log embedded), reloaded, and replayed deterministically — via
+:class:`NameReplayScheduler` from the saved per-step thread log, or via
+:class:`ReplayScheduler` from the recorded decision indices — producing
+the identical event trace both ways.
+"""
+
+import pytest
+
+from repro.engine.workloads import pc_ok, racing_locks
+from repro.vm import (
+    FifoScheduler,
+    Kernel,
+    NameReplayScheduler,
+    PCTScheduler,
+    RandomScheduler,
+    ReplayScheduler,
+    RoundRobinScheduler,
+    dumps_trace,
+    load_schedule,
+    loads_trace,
+    save_trace,
+)
+from repro.vm.scheduler import RecordingScheduler
+
+POLICIES = {
+    "fifo": lambda: FifoScheduler(),
+    "round-robin": lambda: RoundRobinScheduler(),
+    "random": lambda: RandomScheduler(seed=13),
+    "pct": lambda: PCTScheduler(seed=13, depth=3, expected_steps=200),
+}
+
+WORKLOADS = {"pc-ok": pc_ok, "racing-locks": racing_locks}
+
+
+def events_of(trace):
+    return [
+        (e.thread, e.kind, e.monitor, e.method, tuple(sorted(e.detail.items())))
+        for e in trace
+    ]
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+class TestScheduleLogReplay:
+    """Original run → save_trace(schedule=...) → load → NameReplayScheduler."""
+
+    def test_identical_event_trace(self, tmp_path, policy, workload):
+        factory = WORKLOADS[workload]
+        original = factory(POLICIES[policy]()).run()
+
+        path = tmp_path / f"{workload}-{policy}.jsonl"
+        save_trace(original.trace, path, schedule=original.schedule_log)
+
+        restored = loads_trace(path.read_text())
+        assert events_of(restored) == events_of(original.trace)
+
+        replayed = factory(
+            NameReplayScheduler(load_schedule(path), strict=True)
+        ).run()
+        assert replayed.status is original.status
+        assert events_of(replayed.trace) == events_of(original.trace)
+        assert replayed.schedule_log == original.schedule_log
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+class TestDecisionIndexReplay:
+    """Recorded decision indices → ReplayScheduler reproduces the run.
+
+    This is the campaign engine's systematic-mode artifact format: a
+    tuple of ``pick`` indices, policy-agnostic by construction.
+    """
+
+    def test_identical_event_trace(self, policy, workload):
+        factory = WORKLOADS[workload]
+        recorder = RecordingScheduler(POLICIES[policy]())
+        original = factory(recorder).run()
+        decisions = [d.chosen for d in recorder.log]
+
+        replayed = factory(
+            ReplayScheduler(decisions, fallback=FifoScheduler())
+        ).run()
+        assert replayed.status is original.status
+        assert events_of(replayed.trace) == events_of(original.trace)
+
+
+def test_trace_text_is_stable_across_roundtrips(tmp_path):
+    """dumps → loads → dumps is a fixed point (no drift on re-save)."""
+    result = pc_ok(RandomScheduler(seed=3)).run()
+    text = dumps_trace(result.trace, schedule=result.schedule_log)
+    assert dumps_trace(loads_trace(text), schedule=result.schedule_log) == text
