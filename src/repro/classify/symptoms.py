@@ -23,9 +23,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.vm.events import EventKind
+from repro.vm.events import Event, EventKind
 from repro.vm.kernel import RunResult, RunStatus
 from repro.vm.thread import ThreadState
 
@@ -36,6 +36,7 @@ __all__ = [
     "ObservedFailure",
     "ClassificationReport",
     "CANDIDATES",
+    "SymptomTracker",
     "symptoms_from_run",
     "classify_symptoms",
 ]
@@ -151,58 +152,118 @@ def classify_symptoms(
     return report
 
 
-def symptoms_from_run(result: RunResult) -> List[Tuple[Symptom, Dict[str, Any]]]:
-    """Extract the VM-level symptoms visible in a run outcome alone
-    (no oracle or detector input): permanently blocked/waiting threads,
-    deadlock cycles, step-budget exhaustion, and lost notifications."""
-    observations: List[Tuple[Symptom, Dict[str, Any]]] = []
-    if result.status is RunStatus.STEP_LIMIT:
-        observations.append(
-            (
-                Symptom.NEVER_COMPLETES,
-                {"detail": f"step budget exhausted after {result.steps} steps"},
+class SymptomTracker:
+    """Streaming VM-level symptom extraction.
+
+    Consumes the event stream as it is emitted and keeps only O(threads +
+    monitors) state — the open-call stack per thread, which threads ever
+    waited on which monitor, and the notifies that woke nobody.  Combined
+    with the :class:`~repro.vm.kernel.RunResult` (which carries final
+    thread states but, under ``trace_mode="none"``, no trace), the tracker
+    reproduces exactly what :func:`symptoms_from_run` reads off a full
+    trace; that function is now a replay wrapper around this class.
+    """
+
+    def __init__(self) -> None:
+        # thread -> stack of open (component, method) calls; top = innermost
+        self._open_calls: Dict[str, List[Tuple[str, str]]] = {}
+        # monitor -> threads that ever entered its wait set
+        self._waits: Dict[Optional[str], Set[str]] = {}
+        # notifies with an empty "woken" list, in emission order
+        self._lost: List[Tuple[str, str, Optional[str], Optional[str], Optional[str]]] = []
+
+    def on_event(self, event: Event) -> None:
+        kind = event.kind
+        if kind is EventKind.CALL_BEGIN:
+            self._open_calls.setdefault(event.thread, []).append(
+                (event.component or "?", event.method or "?")
             )
-        )
-    if result.status is RunStatus.DEADLOCK:
-        observations.append(
-            (
-                Symptom.DEADLOCK_CYCLE,
-                {
-                    "thread": ", ".join(result.deadlock_cycle),
-                    "detail": f"cycle: {' -> '.join(result.deadlock_cycle)}",
-                },
-            )
-        )
-    incomplete = {r.thread: r for r in result.trace.incomplete_calls()}
-    for thread, state in result.thread_states.items():
-        call = incomplete.get(thread)
-        context: Dict[str, Any] = {"thread": thread}
-        if call is not None:
-            context["component"] = call.component
-            context["method"] = call.method
-            context["detail"] = f"inside {call.component}.{call.method}"
-        if state == ThreadState.BLOCKED.value and thread not in result.deadlock_cycle:
-            observations.append((Symptom.PERMANENTLY_BLOCKED, context))
-        elif state == ThreadState.WAITING.value:
-            observations.append((Symptom.PERMANENTLY_WAITING, context))
-    # A notify that woke nobody is only evidence of failure when some
-    # thread on the same monitor ended up waiting forever — otherwise it is
-    # the normal "notify with nobody waiting" of a correct monitor.
-    waiting_monitors = set()
-    for event in result.trace.by_kind(EventKind.MONITOR_WAIT):
-        if result.thread_states.get(event.thread) == ThreadState.WAITING.value:
-            waiting_monitors.add(event.monitor)
-    for event in result.trace.lost_notifications():
-        if event.monitor in waiting_monitors:
+        elif kind is EventKind.CALL_END:
+            stack = self._open_calls.get(event.thread)
+            if stack:
+                stack.pop()
+        elif kind is EventKind.MONITOR_WAIT:
+            self._waits.setdefault(event.monitor, set()).add(event.thread)
+        elif kind in (EventKind.NOTIFY, EventKind.NOTIFY_ALL):
+            if not event.detail.get("woken"):
+                self._lost.append(
+                    (
+                        event.thread,
+                        kind.value,
+                        event.monitor,
+                        event.component,
+                        event.method,
+                    )
+                )
+
+    def observations(self, result: RunResult) -> List[Tuple[Symptom, Dict[str, Any]]]:
+        """The VM-level symptoms, given the run outcome for final states."""
+        observations: List[Tuple[Symptom, Dict[str, Any]]] = []
+        if result.status is RunStatus.STEP_LIMIT:
             observations.append(
                 (
-                    Symptom.LOST_NOTIFICATION,
+                    Symptom.NEVER_COMPLETES,
+                    {"detail": f"step budget exhausted after {result.steps} steps"},
+                )
+            )
+        if result.status is RunStatus.DEADLOCK:
+            observations.append(
+                (
+                    Symptom.DEADLOCK_CYCLE,
                     {
-                        "thread": event.thread,
-                        "component": event.component,
-                        "method": event.method,
-                        "detail": f"{event.kind.value} on {event.monitor} woke nobody",
+                        "thread": ", ".join(result.deadlock_cycle),
+                        "detail": f"cycle: {' -> '.join(result.deadlock_cycle)}",
                     },
                 )
             )
-    return observations
+        for thread, state in result.thread_states.items():
+            stack = self._open_calls.get(thread)
+            context: Dict[str, Any] = {"thread": thread}
+            if stack:
+                component, method = stack[-1]
+                context["component"] = component
+                context["method"] = method
+                context["detail"] = f"inside {component}.{method}"
+            if state == ThreadState.BLOCKED.value and thread not in result.deadlock_cycle:
+                observations.append((Symptom.PERMANENTLY_BLOCKED, context))
+            elif state == ThreadState.WAITING.value:
+                observations.append((Symptom.PERMANENTLY_WAITING, context))
+        # A notify that woke nobody is only evidence of failure when some
+        # thread on the same monitor ended up waiting forever — otherwise it
+        # is the normal "notify with nobody waiting" of a correct monitor.
+        waiting_monitors = {
+            monitor
+            for monitor, threads in self._waits.items()
+            if any(
+                result.thread_states.get(t) == ThreadState.WAITING.value
+                for t in threads
+            )
+        }
+        for thread, kind_value, monitor, component, method in self._lost:
+            if monitor in waiting_monitors:
+                observations.append(
+                    (
+                        Symptom.LOST_NOTIFICATION,
+                        {
+                            "thread": thread,
+                            "component": component,
+                            "method": method,
+                            "detail": f"{kind_value} on {monitor} woke nobody",
+                        },
+                    )
+                )
+        return observations
+
+
+def symptoms_from_run(result: RunResult) -> List[Tuple[Symptom, Dict[str, Any]]]:
+    """Extract the VM-level symptoms visible in a run outcome alone
+    (no oracle or detector input): permanently blocked/waiting threads,
+    deadlock cycles, step-budget exhaustion, and lost notifications.
+
+    Batch form of :class:`SymptomTracker`: replays the stored trace
+    through a tracker and reads its observations.
+    """
+    tracker = SymptomTracker()
+    for event in result.trace:
+        tracker.on_event(event)
+    return tracker.observations(result)

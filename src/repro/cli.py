@@ -10,9 +10,9 @@
     python -m repro run script.cts [--save-trace run.jsonl] [--verbose]
     python -m repro analyze run.jsonl
     python -m repro contention run.jsonl
-    python -m repro explore pc-bug --mode random --seeds 0:100
+    python -m repro explore pc-bug --mode random --seeds 0:100 [--detect]
     python -m repro campaign pc-bug --workers 4 --budget 400 \\
-        --journal camp.jsonl [--resume]
+        --journal camp.jsonl [--resume] [--detect --trace-mode none]
 
 The ``run`` command executes a ConAn-style test script (see
 :mod:`repro.testing.script` for the format); ``analyze`` re-runs every
@@ -269,6 +269,13 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
 
+    pipeline_factory = None
+    if args.detect:
+        from repro.detect.online import PipelineFactory
+
+        pipeline_factory = PipelineFactory(factory)
+        factory = pipeline_factory
+
     if args.mode == "replay":
         if args.decisions is None:
             raise SystemExit("error: --mode replay requires --decisions")
@@ -296,12 +303,25 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         if result.crashed:
             for name, exc in result.crashed.items():
                 print(f"  crashed {name}: {exc!r}")
+        if pipeline_factory is not None and pipeline_factory.pipeline is not None:
+            print()
+            print(pipeline_factory.pipeline.report(result).describe())
         if args.save_trace:
             from repro.vm.serialize import save_trace
 
             save_trace(result.trace, args.save_trace, schedule=result.schedule_log)
             print(f"trace saved to {args.save_trace}")
         return 0 if result.ok else 2
+
+    from collections import Counter
+
+    class_counts: Counter = Counter()
+
+    def on_detect(run) -> None:
+        if pipeline_factory is None or pipeline_factory.pipeline is None:
+            return
+        for code in pipeline_factory.pipeline.summary(run.result).classes:
+            class_counts[code] += 1
 
     if args.mode == "systematic":
         result = explore_systematic(
@@ -310,12 +330,16 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             max_depth=args.max_depth,
             branch=args.branch,
             stop_on_failure=args.stop_on_failure,
+            on_run=on_detect,
         )
     else:
         seeds = _parse_seeds(args.seeds) if args.seeds else list(range(args.runs))
         if args.mode == "random":
             result = explore_random(
-                factory, seeds=seeds, stop_on_failure=args.stop_on_failure
+                factory,
+                seeds=seeds,
+                stop_on_failure=args.stop_on_failure,
+                on_run=on_detect,
             )
         else:  # pct
             result = explore_pct(
@@ -324,8 +348,14 @@ def _cmd_explore(args: argparse.Namespace) -> int:
                 depth=args.pct_depth,
                 expected_steps=args.pct_steps,
                 stop_on_failure=args.stop_on_failure,
+                on_run=on_detect,
             )
     print(result.describe())
+    if args.detect:
+        class_bits = ", ".join(
+            f"{code}: {count}" for code, count in sorted(class_counts.items())
+        )
+        print(f"  failure classes: {class_bits or 'none detected'}")
     lo, hi = result.failure_rate_interval()
     print(f"  failure rate: {result.failure_rate():.1%} (95% CI [{lo:.1%}, {hi:.1%}])")
     for run in result.failures():
@@ -356,6 +386,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         seed_start=args.seed_start,
         goal=args.goal,
         coverage=args.coverage,
+        detect=args.detect,
+        trace_mode=args.trace_mode,
         run_timeout=args.timeout,
         max_retries=args.retries,
         max_depth=args.max_depth,
@@ -483,6 +515,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_explore.add_argument(
         "--seeds", help="seed spec for random/pct: '7', '0:100', or '1,5,9'"
     )
+    p_explore.add_argument(
+        "--detect",
+        action="store_true",
+        help="stream every run through the online detector pipeline "
+        "and report per-failure-class counts",
+    )
     p_explore.add_argument("--stop-on-failure", action="store_true")
     p_explore.add_argument("--max-depth", type=int, default=400)
     p_explore.add_argument("--branch", default="shallow", choices=["shallow", "deep"])
@@ -516,11 +554,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument(
         "--goal",
         default="budget",
-        choices=["budget", "first-failure", "coverage"],
+        choices=["budget", "first-failure", "first-deadlock", "coverage"],
         help="early-stop condition",
     )
     p_campaign.add_argument(
         "--coverage", help="module:Class whose CoFG arc coverage to track"
+    )
+    p_campaign.add_argument(
+        "--detect",
+        action="store_true",
+        help="run the streaming detector pipeline on every run and "
+        "aggregate per-failure-class counts",
+    )
+    p_campaign.add_argument(
+        "--trace-mode",
+        default="full",
+        choices=["full", "none"],
+        help="kernel trace retention; 'none' keeps memory O(detector "
+        "state) and requires --detect",
     )
     p_campaign.add_argument(
         "--timeout", type=float, default=10.0, help="per-run wall-clock seconds"

@@ -9,38 +9,82 @@ Public API::
         analyze_starvation,                       # FF-T2/FF-T5 fairness
         Expectation, check_completion_times,      # the Table-1 oracle
         analyze_run, DetectionReport,             # everything at once
+        DetectorPipeline, PipelineFactory,        # streaming (online) form
     )
+
+Every batch ``detect_*`` entry point above is a thin wrapper that replays
+the trace through the corresponding ``Online*`` detector; attach a
+:class:`DetectorPipeline` to a kernel (or wrap a program factory in
+:class:`PipelineFactory`) to run the same analyses while the run executes,
+with no stored trace at all under ``trace_mode="none"``.
 """
 
-from .contention import ContentionReport, MonitorProfile, profile_contention
+from .online import (
+    DetectionSummary,
+    DetectorPipeline,
+    OnlineDetector,
+    PipelineFactory,
+    default_detectors,
+    replay,
+)
+from .contention import (
+    ContentionReport,
+    MonitorProfile,
+    OnlineContentionProfiler,
+    profile_contention,
+)
 from .completion import (
     CompletionChecker,
     Expectation,
+    OnlineCompletionChecker,
     Violation,
     check_completion_times,
 )
-from .eraser import FieldState, LocksetDetector, RaceReport, detect_races
+from .eraser import (
+    FieldState,
+    LocksetDetector,
+    OnlineLocksetDetector,
+    RaceReport,
+    detect_races,
+)
 from .lockgraph import (
     LockOrderEdge,
+    OnlineLockGraphDetector,
     PotentialDeadlock,
     build_lock_graph,
     detect_lock_cycles,
 )
-from .report import DetectionReport, analyze_run
-from .starvation import StarvationReport, analyze_starvation
-from .vectorclock import HbRace, VectorClock, detect_races_hb
-from .waitgraph import WaitForState, find_deadlock_cycle, reconstruct_final_state
+from .report import DetectionReport, analyze_run, assemble_report, dedupe_hb_races
+from .starvation import OnlineStarvationDetector, StarvationReport, analyze_starvation
+from .vectorclock import HbRace, OnlineHbDetector, VectorClock, detect_races_hb
+from .waitgraph import (
+    OnlineWaitGraphDetector,
+    WaitForState,
+    find_deadlock_cycle,
+    reconstruct_final_state,
+)
 
 __all__ = [
     "CompletionChecker",
     "ContentionReport",
     "MonitorProfile",
     "DetectionReport",
+    "DetectionSummary",
+    "DetectorPipeline",
     "Expectation",
     "FieldState",
     "HbRace",
     "LockOrderEdge",
     "LocksetDetector",
+    "OnlineCompletionChecker",
+    "OnlineContentionProfiler",
+    "OnlineDetector",
+    "OnlineHbDetector",
+    "OnlineLockGraphDetector",
+    "OnlineLocksetDetector",
+    "OnlineStarvationDetector",
+    "OnlineWaitGraphDetector",
+    "PipelineFactory",
     "PotentialDeadlock",
     "RaceReport",
     "StarvationReport",
@@ -49,12 +93,16 @@ __all__ = [
     "WaitForState",
     "analyze_run",
     "analyze_starvation",
+    "assemble_report",
     "build_lock_graph",
     "check_completion_times",
+    "dedupe_hb_races",
+    "default_detectors",
     "detect_lock_cycles",
     "detect_races",
     "detect_races_hb",
     "profile_contention",
     "find_deadlock_cycle",
     "reconstruct_final_state",
+    "replay",
 ]

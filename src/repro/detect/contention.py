@@ -12,10 +12,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.vm.events import EventKind
+from repro.vm.events import Event, EventKind
 from repro.vm.trace import Trace
 
-__all__ = ["MonitorProfile", "ContentionReport", "profile_contention"]
+from .online import OnlineDetector, replay
+
+__all__ = [
+    "MonitorProfile",
+    "ContentionReport",
+    "OnlineContentionProfiler",
+    "profile_contention",
+]
 
 
 @dataclass
@@ -92,49 +99,53 @@ class ContentionReport:
         )
 
 
-def profile_contention(trace: Trace) -> ContentionReport:
-    """Compute per-monitor contention statistics from one trace.
+class OnlineContentionProfiler(OnlineDetector):
+    """Streaming per-monitor contention statistics.
 
     Blocked time is the virtual time between a MONITOR_REQUEST and the
     matching MONITOR_ACQUIRE; wait time is between MONITOR_WAIT and the
     post-notification MONITOR_ACQUIRE (i.e. includes the re-entry delay,
     which is what a caller actually experiences).
     """
-    report = ContentionReport()
-    # (thread, monitor) -> request time, for open requests
-    pending_request: Dict[Tuple[str, str], int] = {}
-    # (thread, monitor) -> wait time, for threads in/returning from wait
-    pending_wait: Dict[Tuple[str, str], int] = {}
 
-    def profile(monitor: str) -> MonitorProfile:
-        if monitor not in report.monitors:
-            report.monitors[monitor] = MonitorProfile(monitor)
-        return report.monitors[monitor]
+    name = "contention"
 
-    for event in trace:
+    def __init__(self) -> None:
+        self.report = ContentionReport()
+        # (thread, monitor) -> request time, for open requests
+        self._pending_request: Dict[Tuple[str, str], int] = {}
+        # (thread, monitor) -> wait time, for threads in/returning from wait
+        self._pending_wait: Dict[Tuple[str, str], int] = {}
+
+    def _profile(self, monitor: str) -> MonitorProfile:
+        if monitor not in self.report.monitors:
+            self.report.monitors[monitor] = MonitorProfile(monitor)
+        return self.report.monitors[monitor]
+
+    def on_event(self, event: Event) -> None:
         monitor = event.monitor
         if monitor is None:
-            continue
+            return
         key = (event.thread, monitor)
-        p = profile(monitor)
+        p = self._profile(monitor)
         if event.kind is EventKind.MONITOR_REQUEST:
-            pending_request[key] = event.time
+            self._pending_request[key] = event.time
         elif event.kind is EventKind.MONITOR_ACQUIRE:
             p.acquisitions += 1
-            if key in pending_wait:
-                waited = event.time - pending_wait.pop(key)
+            if key in self._pending_wait:
+                waited = event.time - self._pending_wait.pop(key)
                 p.total_wait_time += waited
                 p.max_wait_time = max(p.max_wait_time, waited)
-                pending_request.pop(key, None)
-            elif key in pending_request:
-                blocked = event.time - pending_request.pop(key)
+                self._pending_request.pop(key, None)
+            elif key in self._pending_request:
+                blocked = event.time - self._pending_request.pop(key)
                 if blocked > 0:
                     p.contended_acquisitions += 1
                     p.total_blocked_time += blocked
                     p.max_blocked_time = max(p.max_blocked_time, blocked)
         elif event.kind is EventKind.MONITOR_WAIT:
             p.waits += 1
-            pending_wait[key] = event.time
+            self._pending_wait[key] = event.time
         elif event.kind is EventKind.NOTIFY:
             p.notifies += 1
             if not event.detail.get("woken"):
@@ -143,4 +154,12 @@ def profile_contention(trace: Trace) -> ContentionReport:
             p.notify_alls += 1
             if not event.detail.get("woken"):
                 p.lost_notifies += 1
-    return report
+
+    def finish(self) -> ContentionReport:
+        return self.report
+
+
+def profile_contention(trace: Trace) -> ContentionReport:
+    """Compute per-monitor contention statistics from one trace (replays
+    the stored events through :class:`OnlineContentionProfiler`)."""
+    return replay(trace, OnlineContentionProfiler()).finish()

@@ -25,9 +25,18 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro.vm.events import Event, EventKind
 from repro.vm.trace import AccessRecord, Trace
 
-__all__ = ["FieldState", "RaceReport", "LocksetDetector", "detect_races"]
+from .online import OnlineDetector, replay
+
+__all__ = [
+    "FieldState",
+    "RaceReport",
+    "LocksetDetector",
+    "OnlineLocksetDetector",
+    "detect_races",
+]
 
 
 class FieldState(enum.Enum):
@@ -145,9 +154,51 @@ class LocksetDetector:
         return info.lockset if info else None
 
 
+class OnlineLocksetDetector(OnlineDetector):
+    """Streaming Eraser over raw events.
+
+    Reconstructs each thread's lockset incrementally (the same replay
+    :meth:`repro.vm.trace.Trace.accesses` performs in batch) and feeds
+    every READ/WRITE to the :class:`LocksetDetector` state machine.
+    """
+
+    name = "lockset"
+
+    def __init__(self) -> None:
+        self.detector = LocksetDetector()
+        self._held: Dict[str, List[str]] = {}
+
+    def on_event(self, event: Event) -> None:
+        stack = self._held.setdefault(event.thread, [])
+        if event.kind is EventKind.MONITOR_ACQUIRE:
+            for _ in range(event.detail.get("count", 1)):
+                stack.append(event.monitor or "?")
+        elif event.kind is EventKind.MONITOR_RELEASE:
+            if event.monitor in stack:
+                stack.reverse()
+                stack.remove(event.monitor)
+                stack.reverse()
+        elif event.kind is EventKind.MONITOR_WAIT:
+            # wait releases the lock entirely
+            self._held[event.thread] = [m for m in stack if m != event.monitor]
+        elif event.kind in (EventKind.READ, EventKind.WRITE):
+            self.detector.observe(
+                AccessRecord(
+                    thread=event.thread,
+                    component=event.component or "?",
+                    field=event.detail.get("field", "?"),
+                    is_write=event.kind is EventKind.WRITE,
+                    locks_held=frozenset(self._held[event.thread]),
+                    seq=event.seq,
+                    time=event.time,
+                )
+            )
+
+    def finish(self) -> List[RaceReport]:
+        return list(self.detector.reports)
+
+
 def detect_races(trace: Trace) -> List[RaceReport]:
-    """Run the lockset algorithm over a whole trace."""
-    detector = LocksetDetector()
-    for access in trace.accesses():
-        detector.observe(access)
-    return detector.reports
+    """Run the lockset algorithm over a whole trace (replays the stored
+    events through :class:`OnlineLocksetDetector`)."""
+    return replay(trace, OnlineLocksetDetector()).finish()

@@ -16,10 +16,18 @@ from typing import Dict, FrozenSet, List, Set, Tuple
 
 import networkx as nx
 
-from repro.vm.events import EventKind
+from repro.vm.events import Event, EventKind
 from repro.vm.trace import Trace
 
-__all__ = ["LockOrderEdge", "PotentialDeadlock", "build_lock_graph", "detect_lock_cycles"]
+from .online import OnlineDetector, replay
+
+__all__ = [
+    "LockOrderEdge",
+    "PotentialDeadlock",
+    "OnlineLockGraphDetector",
+    "build_lock_graph",
+    "detect_lock_cycles",
+]
 
 
 @dataclass(frozen=True)
@@ -52,15 +60,24 @@ class PotentialDeadlock:
         )
 
 
-def build_lock_graph(trace: Trace) -> Tuple[nx.DiGraph, List[LockOrderEdge]]:
-    """The lock-order graph of a trace: edge ``A -> B`` when some thread
-    acquired ``B`` while holding ``A``.  Reentrant re-acquisitions of the
-    same monitor do not add edges."""
-    graph = nx.DiGraph()
-    edges: List[LockOrderEdge] = []
-    held: Dict[str, List[str]] = {}
-    for event in trace:
-        stack = held.setdefault(event.thread, [])
+class OnlineLockGraphDetector(OnlineDetector):
+    """Streaming lock-order-graph construction.
+
+    The graph grows monotonically as acquisitions nest; cycle
+    enumeration is deferred to :meth:`finish` (cycles in the lock-order
+    graph are *potential* hazards under some other schedule, so there is
+    nothing to abort early for).
+    """
+
+    name = "lockgraph"
+
+    def __init__(self) -> None:
+        self.graph = nx.DiGraph()
+        self.edges: List[LockOrderEdge] = []
+        self._held: Dict[str, List[str]] = {}
+
+    def on_event(self, event: Event) -> None:
+        stack = self._held.setdefault(event.thread, [])
         if event.kind is EventKind.MONITOR_REQUEST:
             # The ordering edge is established at *request* time: a thread
             # blocked on `inner` while holding `outer` is the hazard even
@@ -69,9 +86,9 @@ def build_lock_graph(trace: Trace) -> Tuple[nx.DiGraph, List[LockOrderEdge]]:
             for outer in set(stack):
                 if outer != monitor:
                     edge = LockOrderEdge(outer, monitor, event.thread, event.seq)
-                    if not graph.has_edge(outer, monitor):
-                        graph.add_edge(outer, monitor, witness=edge)
-                    edges.append(edge)
+                    if not self.graph.has_edge(outer, monitor):
+                        self.graph.add_edge(outer, monitor, witness=edge)
+                    self.edges.append(edge)
         elif event.kind is EventKind.MONITOR_ACQUIRE:
             monitor = event.monitor or "?"
             for _ in range(event.detail.get("count", 1)):
@@ -82,28 +99,41 @@ def build_lock_graph(trace: Trace) -> Tuple[nx.DiGraph, List[LockOrderEdge]]:
                 stack.remove(event.monitor)
                 stack.reverse()
         elif event.kind is EventKind.MONITOR_WAIT:
-            held[event.thread] = [m for m in stack if m != event.monitor]
-    return graph, edges
+            self._held[event.thread] = [m for m in stack if m != event.monitor]
+
+    def finish(self) -> List[PotentialDeadlock]:
+        """All simple cycles of the graph as potential deadlocks.
+
+        A cycle formed entirely by one thread's acquisitions is excluded:
+        a single thread cannot deadlock with itself through reentrant
+        locks.
+        """
+        results: List[PotentialDeadlock] = []
+        for cycle in nx.simple_cycles(self.graph):
+            witnesses = []
+            ordered = list(cycle)
+            for i, lock in enumerate(ordered):
+                nxt = ordered[(i + 1) % len(ordered)]
+                witnesses.append(self.graph.edges[lock, nxt]["witness"])
+            threads = {w.thread for w in witnesses}
+            if len(threads) < 2:
+                continue
+            results.append(
+                PotentialDeadlock(locks=tuple(ordered), witnesses=tuple(witnesses))
+            )
+        return results
+
+
+def build_lock_graph(trace: Trace) -> Tuple[nx.DiGraph, List[LockOrderEdge]]:
+    """The lock-order graph of a trace: edge ``A -> B`` when some thread
+    acquired ``B`` while holding ``A``.  Reentrant re-acquisitions of the
+    same monitor do not add edges."""
+    detector = OnlineLockGraphDetector()
+    replay(trace, detector)
+    return detector.graph, detector.edges
 
 
 def detect_lock_cycles(trace: Trace) -> List[PotentialDeadlock]:
-    """All simple cycles of the lock-order graph as potential deadlocks.
-
-    A cycle formed entirely by one thread's acquisitions is excluded:
-    a single thread cannot deadlock with itself through reentrant locks.
-    """
-    graph, _ = build_lock_graph(trace)
-    results: List[PotentialDeadlock] = []
-    for cycle in nx.simple_cycles(graph):
-        witnesses = []
-        ordered = list(cycle)
-        for i, lock in enumerate(ordered):
-            nxt = ordered[(i + 1) % len(ordered)]
-            witnesses.append(graph.edges[lock, nxt]["witness"])
-        threads = {w.thread for w in witnesses}
-        if len(threads) < 2:
-            continue
-        results.append(
-            PotentialDeadlock(locks=tuple(ordered), witnesses=tuple(witnesses))
-        )
-    return results
+    """All simple cycles of the lock-order graph as potential deadlocks
+    (replays the stored events through :class:`OnlineLockGraphDetector`)."""
+    return replay(trace, OnlineLockGraphDetector()).finish()

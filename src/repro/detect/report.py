@@ -30,13 +30,14 @@ from repro.classify.taxonomy import FailureClass
 from repro.vm.kernel import RunResult
 
 from .completion import Expectation, Violation, check_completion_times
+from .contention import ContentionReport, profile_contention
 from .eraser import RaceReport, detect_races
 from .lockgraph import PotentialDeadlock, detect_lock_cycles
 from .starvation import StarvationReport, analyze_starvation
 from .vectorclock import HbRace, detect_races_hb
 from .waitgraph import find_deadlock_cycle
 
-__all__ = ["DetectionReport", "analyze_run"]
+__all__ = ["DetectionReport", "analyze_run", "assemble_report", "dedupe_hb_races"]
 
 
 @dataclass
@@ -49,6 +50,8 @@ class DetectionReport:
     deadlock_cycle: List[str] = field(default_factory=list)
     starvation: List[StarvationReport] = field(default_factory=list)
     completion_violations: List[Violation] = field(default_factory=list)
+    #: measurement, not a failure finding — excluded from ``clean``
+    contention: Optional[ContentionReport] = None
     classification: ClassificationReport = field(
         default_factory=ClassificationReport
     )
@@ -98,40 +101,61 @@ class DetectionReport:
         return "\n".join(lines)
 
 
-def analyze_run(
-    result: RunResult,
-    expectations: Sequence[Expectation] = (),
-    bypass_threshold: int = 3,
-) -> DetectionReport:
-    """Run all detectors over a finished run and classify the findings."""
-    trace = result.trace
-    races = detect_races(trace)
-    hb_races = detect_races_hb(trace)
-    potential = detect_lock_cycles(trace)
-    cycle = find_deadlock_cycle(trace)
-    starvation = analyze_starvation(trace, bypass_threshold=bypass_threshold)
-    violations = (
-        check_completion_times(trace, expectations) if expectations else []
-    )
+def dedupe_hb_races(
+    hb_races: Sequence[HbRace], lockset_races: Sequence[RaceReport]
+) -> List[HbRace]:
+    """Happens-before races on fields the lockset detector did NOT already
+    report.
 
-    observations: List[Tuple[Symptom, Dict[str, Any]]] = symptoms_from_run(result)
-    # happens-before races that lockset also saw are one finding, not two;
-    # HB-only findings (rare: requires an unlocked-but-ordered pattern to
-    # later become unordered) are reported on their own.
-    lockset_fields = {(r.component, r.field) for r in races}
-    for hb_race in hb_races:
-        if (hb_race.component, hb_race.field) not in lockset_fields:
-            observations.append(
-                (
-                    Symptom.DATA_RACE,
-                    {
-                        "thread": hb_race.second_thread,
-                        "component": hb_race.component,
-                        "detail": f"field {hb_race.field!r}: unordered "
-                        f"conflicting accesses (happens-before)",
-                    },
-                )
+    A race both detectors saw is one finding, not two; HB-only findings
+    (rare: requires an unlocked-but-ordered pattern to later become
+    unordered) deserve their own observation.  Used by both the batch
+    :func:`analyze_run` and the streaming pipeline's report assembly.
+    """
+    lockset_fields = {(r.component, r.field) for r in lockset_races}
+    return [
+        hb_race
+        for hb_race in hb_races
+        if (hb_race.component, hb_race.field) not in lockset_fields
+    ]
+
+
+def assemble_report(
+    result: RunResult,
+    *,
+    races: Sequence[RaceReport],
+    hb_races: Sequence[HbRace],
+    potential_deadlocks: Sequence[PotentialDeadlock],
+    deadlock_cycle: Sequence[str],
+    starvation: Sequence[StarvationReport],
+    completion_violations: Sequence[Violation],
+    observations: Sequence[Tuple[Symptom, Dict[str, Any]]],
+    contention: Optional[ContentionReport] = None,
+) -> DetectionReport:
+    """Fold detector findings plus VM-level observations into one
+    classified :class:`DetectionReport`.
+
+    Shared by the batch path (:func:`analyze_run`, findings from trace
+    scans) and the streaming path
+    (:meth:`repro.detect.online.DetectorPipeline.report`, findings from
+    online detectors); ``result`` is unused here beyond signature parity
+    but kept so report assembly can grow result-dependent fields without
+    touching both callers.
+    """
+    del result  # findings and observations carry everything needed today
+    observations = list(observations)
+    for hb_race in dedupe_hb_races(hb_races, races):
+        observations.append(
+            (
+                Symptom.DATA_RACE,
+                {
+                    "thread": hb_race.second_thread,
+                    "component": hb_race.component,
+                    "detail": f"field {hb_race.field!r}: unordered "
+                    f"conflicting accesses (happens-before)",
+                },
             )
+        )
     for race in races:
         observations.append(
             (
@@ -157,7 +181,7 @@ def analyze_run(
                 },
             )
         )
-    for violation in violations:
+    for violation in completion_violations:
         observations.append(
             (
                 violation.symptom,
@@ -171,11 +195,40 @@ def analyze_run(
         )
 
     return DetectionReport(
+        races=list(races),
+        hb_races=list(hb_races),
+        potential_deadlocks=list(potential_deadlocks),
+        deadlock_cycle=list(deadlock_cycle),
+        starvation=list(starvation),
+        completion_violations=list(completion_violations),
+        contention=contention,
+        classification=classify_symptoms(observations),
+    )
+
+
+def analyze_run(
+    result: RunResult,
+    expectations: Sequence[Expectation] = (),
+    bypass_threshold: int = 3,
+) -> DetectionReport:
+    """Run all detectors over a finished run and classify the findings."""
+    trace = result.trace
+    races = detect_races(trace)
+    hb_races = detect_races_hb(trace)
+    potential = detect_lock_cycles(trace)
+    cycle = find_deadlock_cycle(trace)
+    starvation = analyze_starvation(trace, bypass_threshold=bypass_threshold)
+    violations = (
+        check_completion_times(trace, expectations) if expectations else []
+    )
+    return assemble_report(
+        result,
         races=races,
         hb_races=hb_races,
         potential_deadlocks=potential,
         deadlock_cycle=cycle,
         starvation=starvation,
         completion_violations=violations,
-        classification=classify_symptoms(observations),
+        observations=symptoms_from_run(result),
+        contention=profile_contention(trace),
     )

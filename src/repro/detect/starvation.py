@@ -24,10 +24,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Set, Tuple
 
-from repro.vm.events import EventKind
+from repro.vm.events import Event, EventKind
 from repro.vm.trace import Trace
 
-__all__ = ["StarvationReport", "analyze_starvation"]
+from .online import OnlineDetector, replay
+
+__all__ = ["StarvationReport", "OnlineStarvationDetector", "analyze_starvation"]
 
 
 @dataclass(frozen=True)
@@ -52,6 +54,80 @@ class StarvationReport:
         )
 
 
+class OnlineStarvationDetector(OnlineDetector):
+    """Streaming bypass counting per (thread, monitor).
+
+    State is the live entry/wait sets (monitor -> {thread: arrival seq})
+    plus the bypass counters; a bypass is a grant/wake of a thread while
+    a STRICTLY EARLIER arrival is still queued (an overtake) — FIFO
+    policies therefore score zero by construction.  Flagging happens in
+    :meth:`finish`, since "still stuck at the end" is only knowable then.
+    """
+
+    name = "starvation"
+
+    def __init__(
+        self, bypass_threshold: int = 3, include_resolved: bool = False
+    ) -> None:
+        self.bypass_threshold = bypass_threshold
+        self.include_resolved = include_resolved
+        self._entry_sets: Dict[str, Dict[str, int]] = {}
+        self._wait_sets: Dict[str, Dict[str, int]] = {}
+        self._lock_bypasses: Dict[Tuple[str, str], int] = {}
+        self._notify_bypasses: Dict[Tuple[str, str], int] = {}
+
+    def on_event(self, event: Event) -> None:
+        monitor = event.monitor
+        thread = event.thread
+        if event.kind is EventKind.MONITOR_REQUEST:
+            self._entry_sets.setdefault(monitor, {}).setdefault(thread, event.seq)
+        elif event.kind is EventKind.MONITOR_ACQUIRE:
+            queued = self._entry_sets.setdefault(monitor, {})
+            arrived = queued.pop(thread, event.seq)
+            for bystander, bystander_arrived in queued.items():
+                if bystander_arrived < arrived:
+                    key = (bystander, monitor)
+                    self._lock_bypasses[key] = self._lock_bypasses.get(key, 0) + 1
+        elif event.kind is EventKind.MONITOR_WAIT:
+            self._wait_sets.setdefault(monitor, {}).setdefault(thread, event.seq)
+        elif event.kind is EventKind.MONITOR_NOTIFIED:
+            waiters = self._wait_sets.setdefault(monitor, {})
+            arrived = waiters.pop(thread, event.seq)
+            for bystander, bystander_arrived in waiters.items():
+                if bystander_arrived < arrived:
+                    key = (bystander, monitor)
+                    self._notify_bypasses[key] = self._notify_bypasses.get(key, 0) + 1
+            # the woken thread re-enters the entry set
+            self._entry_sets.setdefault(monitor, {}).setdefault(thread, event.seq)
+        elif event.kind in (EventKind.THREAD_END, EventKind.THREAD_CRASH):
+            for queued in self._entry_sets.values():
+                queued.pop(thread, None)
+            for waiters in self._wait_sets.values():
+                waiters.pop(thread, None)
+
+    def finish(self) -> List[StarvationReport]:
+        reports: List[StarvationReport] = []
+        for (thread, monitor), count in sorted(self._lock_bypasses.items()):
+            stuck = thread in self._entry_sets.get(monitor, {})
+            if (count > self.bypass_threshold and (self.include_resolved or stuck)) or (
+                stuck and count >= 1
+            ):
+                reports.append(
+                    StarvationReport(thread, monitor, "lock", count, resolved=not stuck)
+                )
+        for (thread, monitor), count in sorted(self._notify_bypasses.items()):
+            stuck = thread in self._wait_sets.get(monitor, {})
+            if (count > self.bypass_threshold and (self.include_resolved or stuck)) or (
+                stuck and count >= 1
+            ):
+                reports.append(
+                    StarvationReport(
+                        thread, monitor, "notify", count, resolved=not stuck
+                    )
+                )
+        return reports
+
+
 def analyze_starvation(
     trace: Trace,
     bypass_threshold: int = 3,
@@ -62,60 +138,12 @@ def analyze_starvation(
     A report is produced when a thread was bypassed more than
     ``bypass_threshold`` times, unless it eventually proceeded and
     ``include_resolved`` is False; a thread bypassed at least once and
-    still stuck at the end of the trace is always reported.
+    still stuck at the end of the trace is always reported.  Replays the
+    stored events through :class:`OnlineStarvationDetector`.
     """
-    # monitor -> {thread: arrival seq}; a bypass is a grant/wake of a
-    # thread while a STRICTLY EARLIER arrival is still queued (an
-    # overtake) — FIFO policies therefore score zero by construction.
-    entry_sets: Dict[str, Dict[str, int]] = {}
-    wait_sets: Dict[str, Dict[str, int]] = {}
-    lock_bypasses: Dict[Tuple[str, str], int] = {}
-    notify_bypasses: Dict[Tuple[str, str], int] = {}
-
-    for event in trace:
-        monitor = event.monitor
-        thread = event.thread
-        if event.kind is EventKind.MONITOR_REQUEST:
-            entry_sets.setdefault(monitor, {}).setdefault(thread, event.seq)
-        elif event.kind is EventKind.MONITOR_ACQUIRE:
-            queued = entry_sets.setdefault(monitor, {})
-            arrived = queued.pop(thread, event.seq)
-            for bystander, bystander_arrived in queued.items():
-                if bystander_arrived < arrived:
-                    key = (bystander, monitor)
-                    lock_bypasses[key] = lock_bypasses.get(key, 0) + 1
-        elif event.kind is EventKind.MONITOR_WAIT:
-            wait_sets.setdefault(monitor, {}).setdefault(thread, event.seq)
-        elif event.kind is EventKind.MONITOR_NOTIFIED:
-            waiters = wait_sets.setdefault(monitor, {})
-            arrived = waiters.pop(thread, event.seq)
-            for bystander, bystander_arrived in waiters.items():
-                if bystander_arrived < arrived:
-                    key = (bystander, monitor)
-                    notify_bypasses[key] = notify_bypasses.get(key, 0) + 1
-            # the woken thread re-enters the entry set
-            entry_sets.setdefault(monitor, {}).setdefault(thread, event.seq)
-        elif event.kind in (EventKind.THREAD_END, EventKind.THREAD_CRASH):
-            for queued in entry_sets.values():
-                queued.pop(thread, None)
-            for waiters in wait_sets.values():
-                waiters.pop(thread, None)
-
-    reports: List[StarvationReport] = []
-    for (thread, monitor), count in sorted(lock_bypasses.items()):
-        stuck = thread in entry_sets.get(monitor, {})
-        if (count > bypass_threshold and (include_resolved or stuck)) or (
-            stuck and count >= 1
-        ):
-            reports.append(
-                StarvationReport(thread, monitor, "lock", count, resolved=not stuck)
-            )
-    for (thread, monitor), count in sorted(notify_bypasses.items()):
-        stuck = thread in wait_sets.get(monitor, {})
-        if (count > bypass_threshold and (include_resolved or stuck)) or (
-            stuck and count >= 1
-        ):
-            reports.append(
-                StarvationReport(thread, monitor, "notify", count, resolved=not stuck)
-            )
-    return reports
+    return replay(
+        trace,
+        OnlineStarvationDetector(
+            bypass_threshold=bypass_threshold, include_resolved=include_resolved
+        ),
+    ).finish()

@@ -27,10 +27,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.vm.events import EventKind
+from repro.vm.events import Event, EventKind
 from repro.vm.trace import Trace
 
-__all__ = ["VectorClock", "HbRace", "detect_races_hb"]
+from .online import OnlineDetector, replay
+
+__all__ = ["VectorClock", "HbRace", "OnlineHbDetector", "detect_races_hb"]
 
 
 class VectorClock:
@@ -105,54 +107,59 @@ class _Epoch:
     reads: Dict[str, Tuple[VectorClock, int]] = field(default_factory=dict)
 
 
-def detect_races_hb(trace: Trace, max_reports: int = 100) -> List[HbRace]:
-    """Vector-clock race detection over a whole trace."""
-    thread_vc: Dict[str, VectorClock] = {}
-    monitor_vc: Dict[str, VectorClock] = {}
-    notify_vc: Dict[Tuple[str, str], VectorClock] = {}  # (monitor, woken)
-    fields: Dict[Tuple[str, str], _Epoch] = {}
-    races: List[HbRace] = []
+class OnlineHbDetector(OnlineDetector):
+    """Streaming vector-clock race detection (FastTrack-style)."""
 
-    def vc_of(thread: str) -> VectorClock:
-        if thread not in thread_vc:
-            thread_vc[thread] = VectorClock({thread: 1})
-        return thread_vc[thread]
+    name = "hb"
 
-    for event in trace:
+    def __init__(self, max_reports: int = 100) -> None:
+        self.max_reports = max_reports
+        self._thread_vc: Dict[str, VectorClock] = {}
+        self._monitor_vc: Dict[str, VectorClock] = {}
+        self._notify_vc: Dict[Tuple[str, str], VectorClock] = {}  # (monitor, woken)
+        self._fields: Dict[Tuple[str, str], _Epoch] = {}
+        self.races: List[HbRace] = []
+
+    def _vc_of(self, thread: str) -> VectorClock:
+        if thread not in self._thread_vc:
+            self._thread_vc[thread] = VectorClock({thread: 1})
+        return self._thread_vc[thread]
+
+    def on_event(self, event: Event) -> None:
         thread = event.thread
-        vc = vc_of(thread)
+        vc = self._vc_of(thread)
         kind = event.kind
 
         if kind is EventKind.MONITOR_ACQUIRE:
-            released = monitor_vc.get(event.monitor)
+            released = self._monitor_vc.get(event.monitor)
             if released is not None:
                 vc.join(released)
             vc.tick(thread)
         elif kind in (EventKind.MONITOR_RELEASE, EventKind.MONITOR_WAIT):
             # wait releases the lock exactly like a release does
-            monitor_vc.setdefault(event.monitor, VectorClock()).join(vc)
+            self._monitor_vc.setdefault(event.monitor, VectorClock()).join(vc)
             vc.tick(thread)
         elif kind in (EventKind.NOTIFY, EventKind.NOTIFY_ALL):
             for woken in event.detail.get("woken", []):
-                notify_vc[(event.monitor, woken)] = vc.copy()
+                self._notify_vc[(event.monitor, woken)] = vc.copy()
             vc.tick(thread)
         elif kind is EventKind.MONITOR_NOTIFIED:
-            sent = notify_vc.pop((event.monitor, thread), None)
+            sent = self._notify_vc.pop((event.monitor, thread), None)
             if sent is not None:
                 vc.join(sent)
             vc.tick(thread)
         elif kind in (EventKind.READ, EventKind.WRITE):
             key = (event.component or "?", event.detail.get("field", "?"))
-            epoch = fields.setdefault(key, _Epoch())
+            epoch = self._fields.setdefault(key, _Epoch())
             is_write = kind is EventKind.WRITE
             # conflict with the last write
             if (
                 epoch.last_write_vc is not None
                 and epoch.last_write_thread != thread
                 and not epoch.last_write_vc.happens_before(vc)
-                and len(races) < max_reports
+                and len(self.races) < self.max_reports
             ):
-                races.append(
+                self.races.append(
                     HbRace(
                         component=key[0],
                         field=key[1],
@@ -170,9 +177,9 @@ def detect_races_hb(trace: Trace, max_reports: int = 100) -> List[HbRace]:
                     if (
                         reader != thread
                         and not read_vc.happens_before(vc)
-                        and len(races) < max_reports
+                        and len(self.races) < self.max_reports
                     ):
-                        races.append(
+                        self.races.append(
                             HbRace(
                                 component=key[0],
                                 field=key[1],
@@ -191,4 +198,12 @@ def detect_races_hb(trace: Trace, max_reports: int = 100) -> List[HbRace]:
             else:
                 epoch.reads[thread] = (vc.copy(), event.seq)
             vc.tick(thread)
-    return races
+
+    def finish(self) -> List[HbRace]:
+        return list(self.races)
+
+
+def detect_races_hb(trace: Trace, max_reports: int = 100) -> List[HbRace]:
+    """Vector-clock race detection over a whole trace (replays the stored
+    events through :class:`OnlineHbDetector`)."""
+    return replay(trace, OnlineHbDetector(max_reports=max_reports)).finish()

@@ -14,10 +14,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.vm.events import EventKind
+from repro.vm.events import Event, EventKind
 from repro.vm.trace import Trace
 
-__all__ = ["WaitForState", "reconstruct_final_state", "find_deadlock_cycle"]
+from .online import OnlineDetector, replay
+
+__all__ = [
+    "WaitForState",
+    "OnlineWaitGraphDetector",
+    "reconstruct_final_state",
+    "find_deadlock_cycle",
+]
 
 
 @dataclass
@@ -41,48 +48,8 @@ class WaitForState:
         return sorted(self.waiting_on)
 
 
-def reconstruct_final_state(trace: Trace) -> WaitForState:
-    """Replay monitor-protocol events to the end of the trace."""
-    state = WaitForState()
-    hold_count: Dict[Tuple[str, str], int] = {}
-    for event in trace:
-        thread = event.thread
-        monitor = event.monitor
-        if event.kind is EventKind.MONITOR_REQUEST:
-            # Blocked until a matching ACQUIRE appears.
-            if state.owner.get(monitor) != thread:
-                state.blocked_on[thread] = monitor
-        elif event.kind is EventKind.MONITOR_ACQUIRE:
-            state.blocked_on.pop(thread, None)
-            state.owner[monitor] = thread
-            hold_count[(thread, monitor)] = hold_count.get(
-                (thread, monitor), 0
-            ) + event.detail.get("count", 1)
-        elif event.kind is EventKind.MONITOR_RELEASE:
-            key = (thread, monitor)
-            hold_count[key] = hold_count.get(key, 1) - 1
-            if hold_count[key] <= 0:
-                hold_count.pop(key, None)
-                if state.owner.get(monitor) == thread:
-                    del state.owner[monitor]
-        elif event.kind is EventKind.MONITOR_WAIT:
-            hold_count.pop((thread, monitor), None)
-            if state.owner.get(monitor) == thread:
-                del state.owner[monitor]
-            state.waiting_on[thread] = monitor
-        elif event.kind is EventKind.MONITOR_NOTIFIED:
-            state.waiting_on.pop(thread, None)
-            state.blocked_on[thread] = monitor
-        elif event.kind in (EventKind.THREAD_END, EventKind.THREAD_CRASH):
-            state.blocked_on.pop(thread, None)
-            state.waiting_on.pop(thread, None)
-    return state
-
-
-def find_deadlock_cycle(trace: Trace) -> List[str]:
-    """Threads forming a blocked-on cycle at the end of the trace, in
-    cycle order ([] when there is none)."""
-    state = reconstruct_final_state(trace)
+def _cycle_of(state: WaitForState) -> List[str]:
+    """A blocked-on cycle in the given state, in cycle order ([] if none)."""
     edges: Dict[str, str] = {}
     for thread, monitor in state.blocked_on.items():
         owner = state.owner.get(monitor)
@@ -97,3 +64,90 @@ def find_deadlock_cycle(trace: Trace) -> List[str]:
         if node in chain:
             return chain[chain.index(node):]
     return []
+
+
+class OnlineWaitGraphDetector(OnlineDetector):
+    """Streaming wait-for-graph maintenance with live cycle detection.
+
+    Unlike the lock-order graph (whose cycles are merely *potential*
+    failures), a blocked-on cycle is a failure the moment it forms: every
+    thread in it is BLOCKED acquiring a lock held by the next, none can
+    release anything, and spurious wakeups only affect WAITING threads —
+    the cycle is permanent.  That makes it safe to report via
+    :meth:`abort_reason` and end the run early; the kernel's own
+    quiescence diagnosis then yields the same DEADLOCK status a
+    run-to-quiescence would.
+    """
+
+    name = "waitgraph"
+
+    def __init__(self) -> None:
+        self.state = WaitForState()
+        self._hold_count: Dict[Tuple[str, str], int] = {}
+        #: first blocked-on cycle seen while streaming ([] until then)
+        self.live_cycle: List[str] = []
+
+    def on_event(self, event: Event) -> None:
+        state = self.state
+        thread = event.thread
+        monitor = event.monitor
+        kind = event.kind
+        if kind is EventKind.MONITOR_REQUEST:
+            # Blocked until a matching ACQUIRE appears.
+            if state.owner.get(monitor) != thread:
+                state.blocked_on[thread] = monitor
+        elif kind is EventKind.MONITOR_ACQUIRE:
+            state.blocked_on.pop(thread, None)
+            state.owner[monitor] = thread
+            self._hold_count[(thread, monitor)] = self._hold_count.get(
+                (thread, monitor), 0
+            ) + event.detail.get("count", 1)
+        elif kind is EventKind.MONITOR_RELEASE:
+            key = (thread, monitor)
+            self._hold_count[key] = self._hold_count.get(key, 1) - 1
+            if self._hold_count[key] <= 0:
+                self._hold_count.pop(key, None)
+                if state.owner.get(monitor) == thread:
+                    del state.owner[monitor]
+        elif kind is EventKind.MONITOR_WAIT:
+            self._hold_count.pop((thread, monitor), None)
+            if state.owner.get(monitor) == thread:
+                del state.owner[monitor]
+            state.waiting_on[thread] = monitor
+        elif kind is EventKind.MONITOR_NOTIFIED:
+            state.waiting_on.pop(thread, None)
+            state.blocked_on[thread] = monitor
+        elif kind in (EventKind.THREAD_END, EventKind.THREAD_CRASH):
+            state.blocked_on.pop(thread, None)
+            state.waiting_on.pop(thread, None)
+        # A cycle can only appear when a blocked-on edge is added or an
+        # ownership edge is redirected.
+        if not self.live_cycle and kind in (
+            EventKind.MONITOR_REQUEST,
+            EventKind.MONITOR_NOTIFIED,
+            EventKind.MONITOR_ACQUIRE,
+        ):
+            self.live_cycle = _cycle_of(state)
+
+    def abort_reason(self) -> Optional[str]:
+        if self.live_cycle:
+            return f"wait-for cycle: {' -> '.join(self.live_cycle)}"
+        return None
+
+    def finish(self) -> List[str]:
+        """The blocked-on cycle present in the *final* state ([] if none)."""
+        return _cycle_of(self.state)
+
+
+def reconstruct_final_state(trace: Trace) -> WaitForState:
+    """Replay monitor-protocol events to the end of the trace."""
+    detector = OnlineWaitGraphDetector()
+    replay(trace, detector)
+    return detector.state
+
+
+def find_deadlock_cycle(trace: Trace) -> List[str]:
+    """Threads forming a blocked-on cycle at the end of the trace, in
+    cycle order ([] when there is none; replays the stored events through
+    :class:`OnlineWaitGraphDetector`)."""
+    return replay(trace, OnlineWaitGraphDetector()).finish()

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.testing.explorer import RunSummary, wilson_interval
+from repro.vm.kernel import RunStatus
 
 from .journal import CampaignJournal
 from .progress import ProgressTracker
@@ -47,7 +48,8 @@ __all__ = [
 ]
 
 _MODES = ("random", "pct", "systematic")
-_GOALS = ("budget", "first-failure", "coverage")
+_GOALS = ("budget", "first-failure", "first-deadlock", "coverage")
+_TRACE_MODES = ("full", "none")
 
 #: Pseudo shard id for the systematic planner's own expansion runs.
 PLAN_SHARD_ID = "plan"
@@ -75,6 +77,10 @@ class CampaignSpec:
     seed_start: int = 0
     goal: str = "budget"
     coverage: Optional[str] = None  # "module:Class" whose CoFG arcs to track
+    #: run the streaming detector pipeline on every run
+    detect: bool = False
+    #: kernel trace retention ("full" | "none"); "none" requires detect
+    trace_mode: str = "full"
     run_timeout: float = 10.0
     max_retries: int = 2
     max_depth: int = 400
@@ -90,6 +96,18 @@ class CampaignSpec:
             raise CampaignError(f"goal must be one of {_GOALS}, got {self.goal!r}")
         if self.goal == "coverage" and not self.coverage:
             raise CampaignError("goal 'coverage' requires a coverage component")
+        if self.trace_mode not in _TRACE_MODES:
+            raise CampaignError(
+                f"trace_mode must be one of {_TRACE_MODES}, got {self.trace_mode!r}"
+            )
+        if self.trace_mode != "full" and not self.detect:
+            raise CampaignError(
+                "trace_mode 'none' without detect observes nothing"
+            )
+        if self.trace_mode != "full" and self.coverage:
+            raise CampaignError(
+                "coverage tracking reads the stored trace; use trace_mode 'full'"
+            )
         if self.budget <= 0:
             raise CampaignError(f"budget must be positive, got {self.budget}")
         if self.shard_size <= 0:
@@ -111,6 +129,10 @@ class CampaignSpec:
             "seed_start": self.seed_start,
             "goal": self.goal,
             "coverage": self.coverage,
+            # detection is part of the space: it decides what the journal
+            # records, and early aborts change how far each run executes
+            "detect": self.detect,
+            "trace_mode": self.trace_mode,
             "max_depth": self.max_depth,
             "branch": self.branch,
             "pct_depth": self.pct_depth,
@@ -130,6 +152,8 @@ class CampaignSpec:
             pct_expected_steps=self.pct_expected_steps,
             stop_on_failure=(self.goal == "first-failure"),
             coverage_spec=self.coverage,
+            detect=self.detect,
+            trace_mode=self.trace_mode,
         )
 
 
@@ -183,6 +207,9 @@ class CampaignResult:
     goal_reached: Optional[str] = None
     wall_time: float = 0.0
     coverage: Optional[Any] = None  # CoverageMatrix when tracked
+    #: failure-class code -> number of unique schedules implicating it
+    #: (populated only when the spec ran with ``detect=True``)
+    class_counts: Counter = field(default_factory=Counter)
 
     @property
     def n_runs(self) -> int:
@@ -263,6 +290,14 @@ class CampaignResult:
                 f"{len(self.distinct_failure_signatures())} distinct signature(s), "
                 f"95% CI [{lo:.1%}, {hi:.1%}]"
             )
+        if self.class_counts:
+            class_bits = ", ".join(
+                f"{code}: {count}"
+                for code, count in sorted(self.class_counts.items())
+            )
+            lines.append(f"  failure classes: {class_bits}")
+        elif self.spec.detect:
+            lines.append("  failure classes: none detected")
         frac = self.coverage_fraction()
         if frac is not None:
             full_at = self.coverage.runs_to_full_coverage()
@@ -324,6 +359,9 @@ class _Aggregator:
         else:
             self._seen.add(key)
             self.result.summaries.append(summary)
+            for code in summary.detected_classes:
+                self.result.class_counts[code] += 1
+                self.progress.classes[code] += 1
             if self.result.coverage is not None:
                 counts = {
                     (m, s, d): n for m, s, d, n in summary.arc_hits
@@ -344,6 +382,12 @@ class _Aggregator:
             not s.ok for s in self.result.summaries
         ):
             return "first-failure"
+        if self.spec.goal == "first-deadlock" and any(
+            s.status == RunStatus.DEADLOCK.value
+            or (s.detection or {}).get("deadlock_cycle")
+            for s in self.result.summaries
+        ):
+            return "first-deadlock"
         if (
             self.spec.goal == "coverage"
             and self.result.coverage is not None

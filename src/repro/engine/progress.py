@@ -10,6 +10,7 @@ prints.
 from __future__ import annotations
 
 import time
+from collections import Counter
 from typing import IO, Optional, Set, Tuple
 
 from repro.testing.explorer import RunSummary
@@ -38,6 +39,8 @@ class ProgressTracker:
         self.duplicates = 0
         self.failures = 0
         self.signatures: Set[Tuple[str, Tuple[str, ...]]] = set()
+        #: failure-class code -> unique schedules implicating it (detect mode)
+        self.classes: Counter = Counter()
         self.coverage_fraction: Optional[float] = None
         self.shards_done = 0
         self.shards_failed = 0
@@ -87,6 +90,11 @@ class ProgressTracker:
         parts.append(f"{self.runs_per_sec():.1f}/s")
         parts.append(f"failures {self.failures}")
         parts.append(f"signatures {len(self.signatures)}")
+        if self.classes:
+            class_bit = ",".join(
+                f"{code}:{count}" for code, count in sorted(self.classes.items())
+            )
+            parts.append(f"classes {class_bit}")
         if self.coverage_fraction is not None:
             parts.append(f"coverage {self.coverage_fraction:.0%}")
         shard_bit = f"shards {self.shards_done}/{self.shards_total}"

@@ -22,6 +22,7 @@ import signal
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.detect.online import PipelineFactory
 from repro.testing.explorer import (
     ExplorationRun,
     RunSummary,
@@ -58,6 +59,13 @@ class WorkerTask:
     pct_expected_steps: int = 200
     stop_on_failure: bool = False
     coverage_spec: Optional[str] = None  # "module:Class" for CoFG tracking
+    #: run the streaming detector pipeline on every run, shipping a
+    #: DetectionSummary dict inside each RunSummary
+    detect: bool = False
+    #: kernel trace retention ("full" | "none"); "none" requires detect
+    #: to still observe anything, and is incompatible with coverage_spec
+    #: (the CoFG tracker reads the stored trace)
+    trace_mode: str = "full"
 
 
 @dataclass
@@ -149,13 +157,26 @@ def execute_shard(
     mode feeds the orchestrator's aggregator directly).
     """
     factory = resolve_factory(task.factory_spec)
+    if task.trace_mode != "full" and task.coverage_spec:
+        raise ValueError(
+            "coverage tracking reads the stored trace; use trace_mode='full'"
+        )
+    pipeline_factory: Optional[PipelineFactory] = None
+    if task.detect:
+        pipeline_factory = PipelineFactory(factory, trace_mode=task.trace_mode)
+        factory = pipeline_factory
+    elif task.trace_mode != "full":
+        raise ValueError("trace_mode='none' without detect observes nothing")
     runner = _timed_runner(task.run_timeout)
     extract = _coverage_extractor(task.coverage_spec)
     outcome = ShardOutcome(shard_id=task.shard.shard_id)
 
     def on_run(run: ExplorationRun) -> None:
         arc_hits = extract(run.result.trace) if extract is not None else ()
-        summary = run.summary(arc_hits=arc_hits)
+        detection = None
+        if pipeline_factory is not None and pipeline_factory.pipeline is not None:
+            detection = pipeline_factory.pipeline.summary(run.result).to_dict()
+        summary = run.summary(arc_hits=arc_hits, detection=detection)
         outcome.summaries.append(summary)
         if emit is not None:
             emit(summary)

@@ -120,10 +120,22 @@ class RunSummary:
     #: per-arc coverage hits as ``(method, src, dst, count)`` rows
     #: (empty unless the producer tracked coverage).
     arc_hits: Tuple[Tuple[str, str, str, int], ...] = ()
+    #: streaming-detection summary as a plain dict (see
+    #: :meth:`repro.detect.DetectionSummary.to_dict`); None unless the
+    #: producer ran a detector pipeline.
+    detection: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
         return self.status == RunStatus.COMPLETED.value and not self.crashed
+
+    @property
+    def detected_classes(self) -> Tuple[str, ...]:
+        """Failure-class codes the detector pipeline implicated (empty
+        when the run was not detected on, or came up clean)."""
+        if not self.detection:
+            return ()
+        return tuple(self.detection.get("classes", ()))
 
     @property
     def signature(self) -> Tuple[str, Tuple[str, ...]]:
@@ -146,6 +158,7 @@ class RunSummary:
         prefix: Sequence[int] = (),
         seed: Optional[int] = None,
         arc_hits: Sequence[Tuple[str, str, str, int]] = (),
+        detection: Optional[Dict[str, Any]] = None,
     ) -> "RunSummary":
         return cls(
             index=index,
@@ -157,6 +170,7 @@ class RunSummary:
             stuck_threads=tuple(sorted(result.stuck_threads)),
             crashed=tuple(sorted(result.crashed)),
             arc_hits=tuple(tuple(row) for row in arc_hits),
+            detection=detection,
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -176,6 +190,8 @@ class RunSummary:
             payload["crashed"] = list(self.crashed)
         if self.arc_hits:
             payload["arc_hits"] = [list(row) for row in self.arc_hits]
+        if self.detection is not None:
+            payload["detection"] = self.detection
         return payload
 
     @classmethod
@@ -193,6 +209,7 @@ class RunSummary:
                 (str(m), str(s), str(d), int(n))
                 for m, s, d, n in payload.get("arc_hits", ())
             ),
+            detection=payload.get("detection"),
         )
 
 
@@ -219,7 +236,9 @@ class ExplorationRun:
         )
 
     def summary(
-        self, arc_hits: Sequence[Tuple[str, str, str, int]] = ()
+        self,
+        arc_hits: Sequence[Tuple[str, str, str, int]] = (),
+        detection: Optional[Dict[str, Any]] = None,
     ) -> RunSummary:
         """The compact serializable projection of this run."""
         return RunSummary.from_result(
@@ -229,6 +248,7 @@ class ExplorationRun:
             prefix=self.prefix,
             seed=self.seed,
             arc_hits=arc_hits,
+            detection=detection,
         )
 
 

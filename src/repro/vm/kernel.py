@@ -101,6 +101,8 @@ class RunResult:
         deadlock_cycle: the wait-for cycle when status is DEADLOCK.
         stuck_threads: live thread names when status is STUCK/DEADLOCK.
         crashed: names of threads that raised, with their exceptions.
+        abort_reason: why the run was ended early via
+            :meth:`Kernel.request_abort`, or None for a natural ending.
     """
 
     status: RunStatus
@@ -112,6 +114,7 @@ class RunResult:
     stuck_threads: List[str] = field(default_factory=list)
     crashed: Dict[str, BaseException] = field(default_factory=dict)
     schedule_log: List[str] = field(default_factory=list)
+    abort_reason: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -165,7 +168,17 @@ class Kernel:
             fields (required by the race detectors; ~25% of kernel time on
             access-heavy workloads — disable for pure throughput runs or
             when only the monitor protocol matters).
+        trace_mode: ``"full"`` retains every event in ``self.trace`` (the
+            post-hoc analysis path); ``"none"`` retains nothing — events
+            are still delivered to subscribed sinks, so a streaming
+            detector pipeline sees the whole execution while memory stays
+            at O(detector state) instead of O(events).
+        sinks: event subscribers called synchronously with every emitted
+            event, in subscription order (see :meth:`subscribe`).
     """
+
+    #: Valid values of ``trace_mode``.
+    TRACE_MODES = ("full", "none")
 
     def __init__(
         self,
@@ -178,7 +191,13 @@ class Kernel:
         spurious_wakeup_rate: float = 0.0,
         lost_notify_rate: float = 0.0,
         record_accesses: bool = True,
+        trace_mode: str = "full",
+        sinks: Optional[Sequence[Callable[[Event], None]]] = None,
     ) -> None:
+        if trace_mode not in self.TRACE_MODES:
+            raise ValueError(
+                f"trace_mode must be one of {self.TRACE_MODES}, got {trace_mode!r}"
+            )
         self.scheduler = scheduler or FifoScheduler()
         self.lock_policy = lock_policy
         self.notify_policy = notify_policy
@@ -188,6 +207,11 @@ class Kernel:
         self.spurious_wakeup_rate = spurious_wakeup_rate
         self.lost_notify_rate = lost_notify_rate
         self.record_accesses = record_accesses
+        self.trace_mode = trace_mode
+        self._sinks: List[Callable[[Event], None]] = list(sinks or [])
+        #: set via :meth:`request_abort`; a non-None value ends the run
+        #: loop at the next step boundary (first reason wins).
+        self.abort_reason: Optional[str] = None
 
         self.trace = Trace()
         self.time = 0
@@ -287,6 +311,29 @@ class Kernel:
             return vm_name
         return type(ref).__name__
 
+    # -- event bus ----------------------------------------------------------------
+
+    def subscribe(self, sink: Callable[[Event], None]) -> None:
+        """Add an event sink called synchronously with every emitted event.
+
+        Sinks see events in emission order regardless of ``trace_mode``, so
+        a streaming detector attached here observes exactly the sequence a
+        batch detector would read back from a full trace.
+        """
+        self._sinks.append(sink)
+
+    def request_abort(self, reason: str) -> None:
+        """Ask the run loop to stop at the next step boundary.
+
+        Used by online detectors that have already proven a permanent
+        failure (e.g. a wait-for cycle among BLOCKED threads): the usual
+        quiescence diagnosis still runs, so the result status is the same
+        as if the run had burned steps to reach quiescence naturally.
+        The first reason wins; later calls are ignored.
+        """
+        if self.abort_reason is None:
+            self.abort_reason = reason
+
     # -- event emission -----------------------------------------------------------
 
     def emit(
@@ -309,7 +356,10 @@ class Kernel:
             detail=detail,
         )
         self._seq += 1
-        self.trace.append(event)
+        if self.trace_mode == "full":
+            self.trace.append(event)
+        for sink in self._sinks:
+            sink(event)
         return event
 
     def record_access(self, component: Any, fieldname: str, is_write: bool) -> None:
@@ -750,6 +800,10 @@ class Kernel:
         self._ran = True
         status = RunStatus.COMPLETED
         while True:
+            if self.abort_reason is not None:
+                # Early abort (online detector found a permanent failure):
+                # fall through to the normal quiescence diagnosis below.
+                break
             if self.steps >= self.max_steps:
                 status = RunStatus.STEP_LIMIT
                 break
@@ -780,5 +834,6 @@ class Kernel:
                 if t.state is ThreadState.CRASHED and t.exception is not None
             },
             schedule_log=list(self.schedule_log),
+            abort_reason=self.abort_reason,
         )
         return result

@@ -66,15 +66,24 @@ class AccessRecord:
 
 
 class Trace:
-    """An append-only event log with query helpers."""
+    """An append-only event log with query helpers.
+
+    Projections (``events``, ``by_kind``) are cached between appends, so
+    detectors that wrap a streaming pass in a batch API do not pay an
+    O(n) copy per call; :meth:`iter_kind` avoids materializing entirely.
+    """
 
     def __init__(self, events: Optional[Sequence[Event]] = None) -> None:
         self._events: List[Event] = list(events or [])
+        self._events_cache: Optional[Tuple[Event, ...]] = None
+        self._kind_index: Optional[Dict[EventKind, List[Event]]] = None
 
     # -- building -------------------------------------------------------------
 
     def append(self, event: Event) -> None:
         self._events.append(event)
+        self._events_cache = None
+        self._kind_index = None
 
     # -- raw access -----------------------------------------------------------
 
@@ -89,13 +98,26 @@ class Trace:
 
     @property
     def events(self) -> Tuple[Event, ...]:
-        return tuple(self._events)
+        if self._events_cache is None:
+            self._events_cache = tuple(self._events)
+        return self._events_cache
 
     # -- filters --------------------------------------------------------------
 
-    def by_kind(self, *kinds: EventKind) -> List[Event]:
+    def iter_kind(self, *kinds: EventKind) -> Iterator[Event]:
+        """Lazily yield events of the given kinds, in trace order."""
         wanted = set(kinds)
-        return [e for e in self._events if e.kind in wanted]
+        return (e for e in self._events if e.kind in wanted)
+
+    def by_kind(self, *kinds: EventKind) -> List[Event]:
+        if self._kind_index is None:
+            index: Dict[EventKind, List[Event]] = {}
+            for e in self._events:
+                index.setdefault(e.kind, []).append(e)
+            self._kind_index = index
+        if len(kinds) == 1:
+            return list(self._kind_index.get(kinds[0], ()))
+        return list(self.iter_kind(*kinds))
 
     def by_thread(self, thread: str) -> List[Event]:
         return [e for e in self._events if e.thread == thread]

@@ -1,0 +1,143 @@
+"""Batch == online equivalence, for every detector and every workload.
+
+The refactor's contract: each batch ``detect_*`` entry point and the
+streaming :class:`DetectorPipeline` are the *same* analysis, one fed a
+stored trace, the other fed live events off the kernel bus.  These tests
+drive every faulty workload under systematic and random scheduling with a
+pipeline attached, then assert the live findings equal the batch findings
+over the stored trace — report objects included, down to classification.
+"""
+
+import pytest
+
+from repro.components.faulty import UnsyncCounter
+from repro.detect import (
+    CompletionChecker,
+    DetectionSummary,
+    Expectation,
+    analyze_run,
+    analyze_starvation,
+    check_completion_times,
+    detect_lock_cycles,
+    detect_races,
+    detect_races_hb,
+    find_deadlock_cycle,
+    profile_contention,
+)
+from repro.detect.online import PipelineFactory
+from repro.engine.workloads import WORKLOADS
+from repro.testing import explore_random, explore_systematic
+from repro.vm import Kernel, RandomScheduler
+
+
+def unsync_counter(scheduler) -> Kernel:
+    """Two unsynchronized incrementers — lockset/HB race fodder."""
+    kernel = Kernel(scheduler=scheduler)
+    counter = kernel.register(UnsyncCounter())
+
+    def worker():
+        yield from counter.increment()
+
+    kernel.spawn(worker, name="w1")
+    kernel.spawn(worker, name="w2")
+    return kernel
+
+
+FACTORIES = {
+    name: WORKLOADS[name]
+    for name in ("pc-ok", "pc-bug", "pc-no-notify", "deadlock-pair", "racing-locks")
+}
+FACTORIES["unsync-counter"] = unsync_counter
+
+#: Completion-time expectations per workload: a mix of satisfiable,
+#: violated, and never-beginning targets, so the completion checker's
+#: branches all execute during the equivalence sweep.
+EXPECTATIONS = {
+    "pc-ok": (
+        Expectation(component="ProducerConsumer", method="receive", occurrence=0),
+        Expectation(component="ProducerConsumer", method="send", never=True),
+        Expectation(component="ProducerConsumer", method="receive", occurrence=9),
+    ),
+    "pc-bug": (
+        Expectation(
+            component="SingleNotifyProducerConsumer", method="receive", occurrence=0
+        ),
+        Expectation(
+            component="SingleNotifyProducerConsumer", method="send", at=0
+        ),
+    ),
+    "pc-no-notify": (
+        Expectation(
+            component="NoNotifyProducerConsumer", method="receive", never=True
+        ),
+    ),
+}
+GENERIC = (Expectation(component="Nowhere", method="nothing"),)
+
+
+def assert_equivalent(pipeline, result, expectations):
+    trace = result.trace
+    found = pipeline.findings()
+    assert found["lockset"] == detect_races(trace)
+    assert found["hb"] == detect_races_hb(trace)
+    assert found["lockgraph"] == detect_lock_cycles(trace)
+    assert found["waitgraph"] == find_deadlock_cycle(trace)
+    assert found["starvation"] == analyze_starvation(trace)
+    assert found["contention"] == profile_contention(trace)
+    assert found["completion"] == check_completion_times(trace, expectations)
+    # Whole-report equality: findings, symptoms, and classification.
+    assert pipeline.report(result) == analyze_run(result, expectations)
+    # The streaming completion checker against the preserved batch scan.
+    checker = CompletionChecker(expectations)
+    assert checker.check(trace) == checker._check_batch(trace)
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_systematic_equivalence(name):
+    expectations = EXPECTATIONS.get(name, GENERIC)
+    pf = PipelineFactory(
+        FACTORIES[name], early_stop=False, expectations=expectations
+    )
+    checked = []
+
+    def on_run(run):
+        assert pf.pipeline is not None
+        assert_equivalent(pf.pipeline, run.result, expectations)
+        checked.append(run)
+
+    explore_systematic(pf, max_runs=15, on_run=on_run, keep_runs=False)
+    assert checked
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_random_equivalence(name):
+    expectations = EXPECTATIONS.get(name, GENERIC)
+    pf = PipelineFactory(
+        FACTORIES[name], early_stop=False, expectations=expectations
+    )
+    checked = []
+
+    def on_run(run):
+        assert pf.pipeline is not None
+        assert_equivalent(pf.pipeline, run.result, expectations)
+        checked.append(run)
+
+    explore_random(pf, seeds=range(8), on_run=on_run, keep_runs=False)
+    assert len(checked) == 8
+
+
+@pytest.mark.parametrize(
+    "name", ["pc-bug", "pc-no-notify", "deadlock-pair", "racing-locks", "unsync-counter"]
+)
+def test_trace_mode_none_matches_full_trace_analysis(name):
+    """The acceptance bar: a pipeline that never stores a trace reports
+    the same findings as batch analysis of the full trace, seed by seed."""
+    factory = FACTORIES[name]
+    for seed in range(6):
+        full_result = factory(RandomScheduler(seed=seed)).run()
+        full_summary = DetectionSummary.from_report(analyze_run(full_result))
+
+        pf = PipelineFactory(factory, trace_mode="none", early_stop=False)
+        none_result = pf(RandomScheduler(seed=seed)).run()
+        assert len(none_result.trace) == 0
+        assert pf.pipeline.summary(none_result) == full_summary

@@ -299,6 +299,46 @@ class TestExploreCommand:
         )
         assert code == 0
 
+    def test_detect_reports_classes(self, capsys):
+        code = main(
+            ["explore", "pc-bug", "--mode", "random", "--seeds", "0:40", "--detect"]
+        )
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "failure classes:" in out
+        assert "FF-T5" in out
+
+    def test_detect_clean_workload(self, capsys):
+        code = main(
+            ["explore", "pc-ok", "--mode", "random", "--seeds", "0:5", "--detect"]
+        )
+        assert code == 0
+        assert "failure classes: none detected" in capsys.readouterr().out
+
+    def test_detect_replay_prints_report(self, capsys):
+        main(["explore", "racing-locks", "--mode", "systematic", "--runs", "50"])
+        out = capsys.readouterr().out
+        decisions = [
+            line.split("--decisions")[1].strip()
+            for line in out.splitlines()
+            if "--decisions" in line
+        ][0]
+        code = main(
+            [
+                "explore",
+                "racing-locks",
+                "--mode",
+                "replay",
+                "--decisions",
+                decisions,
+                "--detect",
+            ]
+        )
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "deadlock cycle:" in out
+        assert "classification:" in out
+
 
 class TestCampaignCommand:
     def test_inline_campaign(self, capsys):
@@ -361,6 +401,36 @@ class TestCampaignCommand:
                     "--workers",
                     "0",
                     "--quiet",
+                ]
+            )
+
+    def test_detect_traceless_campaign(self, capsys):
+        code = main(
+            [
+                "campaign", "pc-bug", "--budget", "40", "--workers", "0",
+                "--detect", "--trace-mode", "none", "--quiet",
+            ]
+        )
+        assert code == 2
+        assert "failure classes: FF-T5:" in capsys.readouterr().out
+
+    def test_first_deadlock_goal(self, capsys):
+        code = main(
+            [
+                "campaign", "deadlock-pair", "--budget", "100", "--workers", "0",
+                "--goal", "first-deadlock", "--detect", "--trace-mode", "none",
+                "--quiet",
+            ]
+        )
+        assert code == 2
+        assert "goal reached: first-deadlock" in capsys.readouterr().out
+
+    def test_trace_mode_none_requires_detect(self):
+        with pytest.raises(SystemExit, match="observes nothing"):
+            main(
+                [
+                    "campaign", "pc-ok", "--budget", "5", "--workers", "0",
+                    "--trace-mode", "none", "--quiet",
                 ]
             )
 

@@ -1,0 +1,121 @@
+"""Tests for the kernel event bus: sinks, trace_mode, request_abort."""
+
+import pytest
+
+from repro.vm import (
+    Acquire,
+    FifoScheduler,
+    Kernel,
+    RandomScheduler,
+    Release,
+    RunStatus,
+    Tick,
+)
+
+
+def two_thread_kernel(**kwargs) -> Kernel:
+    kernel = Kernel(scheduler=FifoScheduler(), **kwargs)
+    kernel.new_monitor("m")
+
+    def worker():
+        yield Acquire("m")
+        yield Tick()
+        yield Release("m")
+
+    kernel.spawn(worker, name="a")
+    kernel.spawn(worker, name="b")
+    return kernel
+
+
+def spin_kernel(**kwargs) -> Kernel:
+    kernel = Kernel(scheduler=RandomScheduler(seed=0), max_steps=5000, **kwargs)
+
+    def spinner():
+        while True:
+            yield Tick()
+
+    kernel.spawn(spinner, name="spin")
+    return kernel
+
+
+class TestSinks:
+    def test_sink_receives_every_event_in_order(self):
+        seen = []
+        kernel = two_thread_kernel()
+        kernel.subscribe(seen.append)
+        result = kernel.run()
+        assert result.status is RunStatus.COMPLETED
+        assert seen == list(result.trace)
+
+    def test_sinks_constructor_parameter(self):
+        seen = []
+        kernel = two_thread_kernel(sinks=[seen.append])
+        kernel.run()
+        assert seen
+
+    def test_multiple_sinks_all_fire(self):
+        first, second = [], []
+        kernel = two_thread_kernel(sinks=[first.append])
+        kernel.subscribe(second.append)
+        kernel.run()
+        assert first == second
+
+    def test_sink_sees_monotonic_seq(self):
+        seqs = []
+        kernel = two_thread_kernel(sinks=[lambda e: seqs.append(e.seq)])
+        kernel.run()
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+
+class TestTraceMode:
+    def test_default_is_full(self):
+        kernel = two_thread_kernel()
+        assert kernel.trace_mode == "full"
+        result = kernel.run()
+        assert len(result.trace) > 0
+
+    def test_none_keeps_sinks_but_no_trace(self):
+        seen = []
+        kernel = two_thread_kernel(trace_mode="none", sinks=[seen.append])
+        result = kernel.run()
+        assert result.status is RunStatus.COMPLETED
+        assert len(result.trace) == 0
+        assert seen  # the stream still happened
+
+    def test_none_matches_full_event_stream(self):
+        streamed = []
+        kernel = two_thread_kernel(trace_mode="none", sinks=[streamed.append])
+        kernel.run()
+        full = two_thread_kernel().run()
+        assert [(e.kind, e.thread, e.monitor) for e in streamed] == [
+            (e.kind, e.thread, e.monitor) for e in full.trace
+        ]
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="trace_mode"):
+            two_thread_kernel(trace_mode="sometimes")
+
+
+class TestRequestAbort:
+    def test_abort_stops_run_early(self):
+        kernel = spin_kernel()
+
+        def bomb(event):
+            if event.seq >= 10:
+                kernel.request_abort("enough")
+
+        kernel.subscribe(bomb)
+        result = kernel.run()
+        assert result.abort_reason == "enough"
+        assert kernel.steps < 5000
+
+    def test_first_reason_wins(self):
+        kernel = spin_kernel()
+        kernel.request_abort("first")
+        kernel.request_abort("second")
+        assert kernel.abort_reason == "first"
+
+    def test_no_abort_leaves_reason_none(self):
+        result = two_thread_kernel().run()
+        assert result.abort_reason is None
