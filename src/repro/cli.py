@@ -10,9 +10,11 @@
     python -m repro run script.cts [--save-trace run.jsonl] [--verbose]
     python -m repro analyze run.jsonl
     python -m repro contention run.jsonl
-    python -m repro explore pc-bug --mode random --seeds 0:100 [--detect]
+    python -m repro explore pc-bug --mode random --seeds 0:100 [--detect] [--metrics]
     python -m repro campaign pc-bug --workers 4 --budget 400 \\
-        --journal camp.jsonl [--resume] [--detect --trace-mode none]
+        --journal camp.jsonl [--resume] [--detect --trace-mode none] \\
+        [--metrics-out metrics.jsonl]
+    python -m repro profile pc-bug --runs 50
 
 The ``run`` command executes a ConAn-style test script (see
 :mod:`repro.testing.script` for the format); ``analyze`` re-runs every
@@ -184,7 +186,7 @@ def _cmd_contention(args: argparse.Namespace) -> int:
     from repro.vm.serialize import load_trace
 
     report = profile_contention(load_trace(args.trace))
-    print(report.describe())
+    print(report.table())
     return 0
 
 
@@ -276,6 +278,37 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         pipeline_factory = PipelineFactory(factory)
         factory = pipeline_factory
 
+    observed = None
+    metrics_registry = None
+    want_metrics = args.metrics or bool(args.metrics_out)
+    if want_metrics:
+        from repro.obs import MetricsRegistry
+        from repro.obs.sink import ObservedFactory
+
+        observed = ObservedFactory(factory)
+        factory = observed
+        metrics_registry = MetricsRegistry()
+
+    def _finish_metrics() -> None:
+        if metrics_registry is None:
+            return
+        events = metrics_registry.get("vm_events_total")
+        total = int(events.total) if events is not None else 0
+        print(f"  metrics: {total} kernel events")
+        contended = metrics_registry.get("vm_monitor_contended_ticks_total")
+        if contended is not None:
+            for name, ticks in contended.top(3, label="monitor"):
+                print(f"    contended monitor {name}: {int(ticks)} ticks")
+        if args.metrics_out:
+            from repro.obs import write_metrics_jsonl
+
+            write_metrics_jsonl(
+                metrics_registry,
+                args.metrics_out,
+                meta={"factory": args.factory, "mode": args.mode},
+            )
+            print(f"  metrics written to {args.metrics_out}")
+
     if args.mode == "replay":
         if args.decisions is None:
             raise SystemExit("error: --mode replay requires --decisions")
@@ -306,6 +339,9 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         if pipeline_factory is not None and pipeline_factory.pipeline is not None:
             print()
             print(pipeline_factory.pipeline.report(result).describe())
+        if observed is not None and observed.sink is not None:
+            metrics_registry.merge(observed.sink.collect())
+            _finish_metrics()
         if args.save_trace:
             from repro.vm.serialize import save_trace
 
@@ -313,11 +349,20 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             print(f"trace saved to {args.save_trace}")
         return 0 if result.ok else 2
 
+    if args.save_trace:
+        print(
+            "warning: --save-trace only applies to --mode replay; ignoring "
+            "(replay a failure's decisions or seed to capture its trace)",
+            file=sys.stderr,
+        )
+
     from collections import Counter
 
     class_counts: Counter = Counter()
 
     def on_detect(run) -> None:
+        if observed is not None and observed.sink is not None:
+            metrics_registry.merge(observed.sink.collect())
         if pipeline_factory is None or pipeline_factory.pipeline is None:
             return
         for code in pipeline_factory.pipeline.summary(run.result).classes:
@@ -356,6 +401,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             f"{code}: {count}" for code, count in sorted(class_counts.items())
         )
         print(f"  failure classes: {class_bits or 'none detected'}")
+    if want_metrics:
+        _finish_metrics()
     lo, hi = result.failure_rate_interval()
     print(f"  failure rate: {result.failure_rate():.1%} (95% CI [{lo:.1%}, {hi:.1%}])")
     for run in result.failures():
@@ -395,6 +442,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         pct_depth=args.pct_depth,
         pct_expected_steps=args.pct_steps,
         journal_path=args.journal,
+        metrics=args.metrics or bool(args.metrics_out or args.metrics_prom),
+        metrics_out=args.metrics_out,
+        metrics_prom=args.metrics_prom,
     )
     progress = ProgressTracker(
         total_runs=args.budget,
@@ -405,7 +455,39 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     except (CampaignError, JournalError) as exc:
         raise SystemExit(f"error: {exc}")
     print(result.describe())
+    if spec.metrics_out:
+        print(f"metrics written to {spec.metrics_out}")
+    if spec.metrics_prom:
+        print(f"prometheus metrics written to {spec.metrics_prom}")
     return 2 if result.failures() else 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.engine.workloads import resolve_factory
+    from repro.obs import profile_workload
+
+    try:
+        factory = resolve_factory(args.factory)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    report = profile_workload(
+        factory,
+        workload=args.factory,
+        runs=args.runs,
+        seed_start=args.seed_start,
+        detect=not args.no_detect,
+    )
+    print(report.describe())
+    if args.metrics_out:
+        from repro.obs import write_metrics_jsonl
+
+        write_metrics_jsonl(
+            report.registry,
+            args.metrics_out,
+            meta={"workload": args.factory, "runs": args.runs},
+        )
+        print(f"\nmetrics written to {args.metrics_out}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -527,6 +609,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_explore.add_argument("--pct-depth", type=int, default=3)
     p_explore.add_argument("--pct-steps", type=int, default=200)
     p_explore.add_argument(
+        "--metrics",
+        action="store_true",
+        help="attach the instrumentation sink to every run and report "
+        "merged contention metrics",
+    )
+    p_explore.add_argument(
+        "--metrics-out",
+        help="write the merged metrics registry to this JSONL path "
+        "(implies --metrics)",
+    )
+    p_explore.add_argument(
         "--decisions", help="comma-separated decision indices for --mode replay"
     )
     p_explore.add_argument(
@@ -585,6 +678,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument("--pct-steps", type=int, default=200)
     p_campaign.add_argument("--journal", help="JSONL checkpoint path")
     p_campaign.add_argument(
+        "--metrics",
+        action="store_true",
+        help="attach the instrumentation sink to every run and merge "
+        "per-run metrics into a campaign registry",
+    )
+    p_campaign.add_argument(
+        "--metrics-out",
+        help="write the merged campaign metrics to this JSONL path "
+        "(implies --metrics)",
+    )
+    p_campaign.add_argument(
+        "--metrics-prom",
+        help="write the merged campaign metrics in Prometheus text "
+        "format to this path (implies --metrics)",
+    )
+    p_campaign.add_argument(
         "--resume",
         action="store_true",
         help="skip shards already journaled (requires --journal)",
@@ -593,6 +702,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress live progress on stderr"
     )
     p_campaign.set_defaults(func=_cmd_campaign)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="profile a workload under random schedules: hot monitors, "
+        "starved threads, detector time breakdown",
+    )
+    p_profile.add_argument(
+        "factory", help="workload name (e.g. pc-bug) or module:function factory"
+    )
+    p_profile.add_argument(
+        "--runs", type=int, default=20, help="random schedules to profile"
+    )
+    p_profile.add_argument("--seed-start", type=int, default=0)
+    p_profile.add_argument(
+        "--no-detect",
+        action="store_true",
+        help="skip the detector pipeline (pure VM profile)",
+    )
+    p_profile.add_argument(
+        "--metrics-out", help="write the merged registry to this JSONL path"
+    )
+    p_profile.set_defaults(func=_cmd_profile)
 
     return parser
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.report.text import render_table
 from repro.vm.events import Event, EventKind
 from repro.vm.trace import Trace
 
@@ -87,15 +88,48 @@ class ContentionReport:
             key=lambda p: (p.contention_ratio, p.acquisitions),
         )
 
+    def _ranked(self) -> List[MonitorProfile]:
+        return sorted(
+            self.monitors.values(),
+            key=lambda p: (-p.contention_ratio, p.monitor),
+        )
+
     def describe(self) -> str:
         if not self.monitors:
             return "no monitor activity in trace"
-        return "\n".join(
-            profile.describe()
-            for profile in sorted(
-                self.monitors.values(),
-                key=lambda p: (-p.contention_ratio, p.monitor),
-            )
+        return "\n".join(profile.describe() for profile in self._ranked())
+
+    def table(self) -> str:
+        """The profile as a ruled table (the shared CLI renderer), most
+        contended monitor first."""
+        if not self.monitors:
+            return "no monitor activity in trace"
+        rows = [
+            [
+                p.monitor,
+                str(p.acquisitions),
+                f"{p.contention_ratio:.0%}",
+                f"{p.mean_blocked_time:.1f}",
+                str(p.waits),
+                f"{p.mean_wait_time:.1f}",
+                str(p.notifies + p.notify_alls),
+                str(p.lost_notifies),
+            ]
+            for p in self._ranked()
+        ]
+        return render_table(
+            [
+                "monitor",
+                "acq",
+                "contended",
+                "mean block",
+                "waits",
+                "mean wait",
+                "notifies",
+                "lost",
+            ],
+            rows,
+            title="monitor contention",
         )
 
 

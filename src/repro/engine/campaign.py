@@ -30,6 +30,8 @@ from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.metrics import Counter as MetricsCounter
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.testing.explorer import RunSummary, wilson_interval
 from repro.vm.kernel import RunStatus
 
@@ -81,6 +83,9 @@ class CampaignSpec:
     detect: bool = False
     #: kernel trace retention ("full" | "none"); "none" requires detect
     trace_mode: str = "full"
+    #: attach an instrumentation sink to every run (per-run
+    #: MetricsSnapshot rides inside each RunSummary and the journal)
+    metrics: bool = False
     run_timeout: float = 10.0
     max_retries: int = 2
     max_depth: int = 400
@@ -88,6 +93,10 @@ class CampaignSpec:
     pct_depth: int = 3
     pct_expected_steps: int = 200
     journal_path: Optional[str] = None
+    #: write the merged campaign registry here as metrics JSONL
+    metrics_out: Optional[str] = None
+    #: write the merged campaign registry here as Prometheus text
+    metrics_prom: Optional[str] = None
 
     def validate(self) -> None:
         if self.mode not in _MODES:
@@ -107,6 +116,11 @@ class CampaignSpec:
         if self.trace_mode != "full" and self.coverage:
             raise CampaignError(
                 "coverage tracking reads the stored trace; use trace_mode 'full'"
+            )
+        if (self.metrics_out or self.metrics_prom) and not self.metrics:
+            raise CampaignError(
+                "metrics_out/metrics_prom require metrics=True "
+                "(nothing would be collected)"
             )
         if self.budget <= 0:
             raise CampaignError(f"budget must be positive, got {self.budget}")
@@ -133,6 +147,9 @@ class CampaignSpec:
             # records, and early aborts change how far each run executes
             "detect": self.detect,
             "trace_mode": self.trace_mode,
+            # metrics likewise decides what journal lines carry, so a
+            # resumed campaign must agree on it
+            "metrics": self.metrics,
             "max_depth": self.max_depth,
             "branch": self.branch,
             "pct_depth": self.pct_depth,
@@ -154,6 +171,7 @@ class CampaignSpec:
             coverage_spec=self.coverage,
             detect=self.detect,
             trace_mode=self.trace_mode,
+            metrics=self.metrics,
         )
 
 
@@ -210,6 +228,9 @@ class CampaignResult:
     #: failure-class code -> number of unique schedules implicating it
     #: (populated only when the spec ran with ``detect=True``)
     class_counts: Counter = field(default_factory=Counter)
+    #: merged per-run metrics (unique schedules only; populated only when
+    #: the spec ran with ``metrics=True``)
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def n_runs(self) -> int:
@@ -269,6 +290,47 @@ class CampaignResult:
         if self.coverage is None:
             return None
         return self.coverage.coverage_fraction()
+
+    def build_metrics(self) -> MetricsRegistry:
+        """Campaign-level registry: the merged per-run series plus the
+        campaign's own counters (``campaign_runs_total`` by status,
+        duplicates, failure classes, shard accounting, throughput).
+
+        Pure: builds a fresh registry each call, leaving :attr:`metrics`
+        untouched — safe to call repeatedly (exporters, tests).
+        """
+        registry = MetricsRegistry()
+        if self.metrics is not None:
+            registry.merge(self.metrics)
+        runs = registry.counter(
+            "campaign_runs_total", "unique schedules merged, by run status"
+        )
+        for status, count in self.statuses().items():
+            runs.inc(count, status=status)
+        registry.counter(
+            "campaign_duplicate_schedules_total",
+            "runs discarded as duplicate schedules",
+        ).inc(self.duplicates)
+        classes = registry.counter(
+            "campaign_failure_classes_total",
+            "unique schedules implicating each Table-1 failure class",
+        )
+        for code, count in self.class_counts.items():
+            classes.inc(count, failure_class=code)
+        shards = registry.counter(
+            "campaign_shards_total", "shard dispositions across the campaign"
+        )
+        shards.inc(self.shards_completed, state="completed")
+        shards.inc(len(self.shards_failed), state="failed")
+        shards.inc(self.shards_requeued, state="requeued")
+        shards.inc(self.shards_resumed, state="resumed")
+        if self.wall_time > 0:
+            registry.gauge(
+                "campaign_runs_per_second",
+                "overall campaign throughput (executed runs / wall time)",
+                agg="last",
+            ).set(self.n_executed / self.wall_time)
+        return registry
 
     def describe(self) -> str:
         status_counts = ", ".join(
@@ -338,6 +400,8 @@ class _Aggregator:
         self.progress = progress
         self.result = CampaignResult(spec=spec)
         self._seen: set = set()
+        if spec.metrics:
+            self.result.metrics = MetricsRegistry()
         if spec.coverage:
             from repro.analysis import build_all_cofgs
             from repro.coverage.matrix import CoverageMatrix
@@ -362,6 +426,17 @@ class _Aggregator:
             for code in summary.detected_classes:
                 self.result.class_counts[code] += 1
                 self.progress.classes[code] += 1
+            if self.result.metrics is not None and summary.metrics:
+                self.result.metrics.merge_snapshot(
+                    MetricsSnapshot.from_dict(summary.metrics)
+                )
+                contended = self.result.metrics.get(
+                    "vm_monitor_contended_ticks_total"
+                )
+                if isinstance(contended, MetricsCounter):
+                    top = contended.top(1, label="monitor")
+                    if top:
+                        self.progress.top_contended = top[0]
             if self.result.coverage is not None:
                 counts = {
                     (m, s, d): n for m, s, d, n in summary.arc_hits
@@ -505,6 +580,24 @@ def run_campaign(
             journal.close()
         result.wall_time = time.monotonic() - started
         progress.maybe_emit(force=True)
+        progress.emit_final()
+    if spec.metrics_out or spec.metrics_prom:
+        from repro.obs.export import write_metrics_jsonl, write_prometheus
+
+        registry = result.build_metrics()
+        if spec.metrics_out:
+            write_metrics_jsonl(
+                registry,
+                spec.metrics_out,
+                meta={
+                    "campaign": spec.fingerprint()[:12],
+                    "factory": spec.factory,
+                    "mode": spec.mode,
+                    "runs": result.n_runs,
+                },
+            )
+        if spec.metrics_prom:
+            write_prometheus(registry, spec.metrics_prom)
     return result
 
 

@@ -42,6 +42,9 @@ class ProgressTracker:
         #: failure-class code -> unique schedules implicating it (detect mode)
         self.classes: Counter = Counter()
         self.coverage_fraction: Optional[float] = None
+        #: ``(monitor, contended_ticks)`` for the currently most contended
+        #: monitor (metrics mode; fed by the campaign aggregator)
+        self.top_contended: Optional[Tuple[str, float]] = None
         self.shards_done = 0
         self.shards_failed = 0
         self.shards_requeued = 0
@@ -79,6 +82,26 @@ class ProgressTracker:
     def runs_per_sec(self) -> float:
         return self.runs / self.elapsed()
 
+    def eta_seconds(self) -> Optional[float]:
+        """Seconds until ``total_runs`` at the observed rate, or None
+        when no budget is known or no run has finished yet."""
+        if not self.total_runs or self.runs <= 0:
+            return None
+        remaining = self.total_runs - self.runs
+        if remaining <= 0:
+            return 0.0
+        return remaining / self.runs_per_sec()
+
+    @staticmethod
+    def _format_duration(seconds: float) -> str:
+        if seconds < 60:
+            return f"{seconds:.0f}s"
+        minutes, secs = divmod(int(round(seconds)), 60)
+        if minutes < 60:
+            return f"{minutes}m{secs:02d}s"
+        hours, minutes = divmod(minutes, 60)
+        return f"{hours}h{minutes:02d}m"
+
     # -- rendering ---------------------------------------------------------
 
     def render(self) -> str:
@@ -88,6 +111,9 @@ class ProgressTracker:
         else:
             parts.append(f"runs {self.runs}")
         parts.append(f"{self.runs_per_sec():.1f}/s")
+        eta = self.eta_seconds()
+        if eta is not None and eta > 0:
+            parts.append(f"eta {self._format_duration(eta)}")
         parts.append(f"failures {self.failures}")
         parts.append(f"signatures {len(self.signatures)}")
         if self.classes:
@@ -103,6 +129,30 @@ class ProgressTracker:
         if self.shards_resumed:
             shard_bit += f" ({self.shards_resumed} resumed)"
         parts.append(shard_bit)
+        if self.top_contended is not None:
+            monitor, ticks = self.top_contended
+            parts.append(f"hot {monitor}:{int(ticks)}")
+        return " | ".join(parts)
+
+    def render_final(self) -> str:
+        """The one-line post-campaign summary."""
+        parts = [
+            f"done: {self.runs} runs in "
+            f"{self._format_duration(self.elapsed())} "
+            f"({self.runs_per_sec():.1f}/s)",
+            f"failures {self.failures} "
+            f"({len(self.signatures)} signature(s))",
+        ]
+        if self.classes:
+            class_bit = ",".join(
+                f"{code}:{count}" for code, count in sorted(self.classes.items())
+            )
+            parts.append(f"classes {class_bit}")
+        if self.coverage_fraction is not None:
+            parts.append(f"coverage {self.coverage_fraction:.0%}")
+        if self.top_contended is not None:
+            monitor, ticks = self.top_contended
+            parts.append(f"hottest monitor {monitor} ({int(ticks)} ticks)")
         return " | ".join(parts)
 
     def maybe_emit(self, force: bool = False) -> None:
@@ -114,4 +164,11 @@ class ProgressTracker:
             return
         self._last_emit = now
         self.stream.write(self.render() + "\n")
+        self.stream.flush()
+
+    def emit_final(self) -> None:
+        """Write the final summary line (unconditionally)."""
+        if self.stream is None:
+            return
+        self.stream.write(self.render_final() + "\n")
         self.stream.flush()

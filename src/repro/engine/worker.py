@@ -19,10 +19,12 @@ whole run.
 from __future__ import annotations
 
 import signal
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.detect.online import PipelineFactory
+from repro.obs.sink import ObservedFactory
 from repro.testing.explorer import (
     ExplorationRun,
     RunSummary,
@@ -66,6 +68,9 @@ class WorkerTask:
     #: to still observe anything, and is incompatible with coverage_spec
     #: (the CoFG tracker reads the stored trace)
     trace_mode: str = "full"
+    #: attach an instrumentation sink to every run, shipping a
+    #: MetricsSnapshot dict inside each RunSummary
+    metrics: bool = False
 
 
 @dataclass
@@ -167,7 +172,28 @@ def execute_shard(
         factory = pipeline_factory
     elif task.trace_mode != "full":
         raise ValueError("trace_mode='none' without detect observes nothing")
+    observed: Optional[ObservedFactory] = None
+    if task.metrics:
+        # Outermost wrapper: builds the (possibly pipeline-attached)
+        # kernel, then installs a fresh sink on it.
+        observed = ObservedFactory(factory)
+        factory = observed
     runner = _timed_runner(task.run_timeout)
+    if observed is not None:
+        base_runner = runner
+
+        def runner(kernel: Kernel) -> RunResult:  # noqa: F811 - deliberate wrap
+            run_started = time.perf_counter()
+            result = base_runner(kernel)
+            sink = observed.sink
+            if sink is not None:
+                sink.registry.histogram(
+                    "run_wall_seconds", "wall-clock duration per run by status"
+                ).observe(
+                    time.perf_counter() - run_started, status=result.status.value
+                )
+            return result
+
     extract = _coverage_extractor(task.coverage_spec)
     outcome = ShardOutcome(shard_id=task.shard.shard_id)
 
@@ -176,7 +202,10 @@ def execute_shard(
         detection = None
         if pipeline_factory is not None and pipeline_factory.pipeline is not None:
             detection = pipeline_factory.pipeline.summary(run.result).to_dict()
-        summary = run.summary(arc_hits=arc_hits, detection=detection)
+        metrics = None
+        if observed is not None and observed.sink is not None:
+            metrics = observed.sink.snapshot().to_dict()
+        summary = run.summary(arc_hits=arc_hits, detection=detection, metrics=metrics)
         outcome.summaries.append(summary)
         if emit is not None:
             emit(summary)

@@ -1,0 +1,51 @@
+"""repro.obs — metrics, spans, and live telemetry.
+
+The observability layer of the reproduction: a mergeable metrics
+registry (:mod:`.metrics`), dual-clock span tracing (:mod:`.spans`), the
+kernel-event instrumentation sink (:mod:`.sink`), JSONL/Prometheus
+exporters (:mod:`.export`), and the workload profiler (:mod:`.profile`).
+
+Design rule: observability is *pull*, never *push* — nothing in the VM
+or engine imports this package at module level except through the
+factory wrappers a caller explicitly installs, and an uninstrumented
+kernel pays nothing.
+"""
+
+from .export import (
+    load_metrics_jsonl,
+    to_prometheus,
+    write_metrics_jsonl,
+    write_prometheus,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from .profile import ProfileReport, TimedDetector, profile_workload
+from .sink import InstrumentationSink, ObservedFactory
+from .spans import TICK_BUCKETS, Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "DEFAULT_BUCKETS",
+    "Span",
+    "SpanTracer",
+    "TICK_BUCKETS",
+    "InstrumentationSink",
+    "ObservedFactory",
+    "write_metrics_jsonl",
+    "load_metrics_jsonl",
+    "to_prometheus",
+    "write_prometheus",
+    "ProfileReport",
+    "TimedDetector",
+    "profile_workload",
+]

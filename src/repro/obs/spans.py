@@ -1,0 +1,165 @@
+"""Spans: durations stamped in wall-clock *and* VM logical time.
+
+A :class:`Span` brackets one unit of work — a whole run, one scheduling
+decision, one detector step, one monitor hold — and records both clocks
+at entry and exit:
+
+* **wall time** (``time.perf_counter``) — what the operator pays;
+* **VM virtual time** (one tick per kernel scheduling step) — what the
+  simulated program experienced, schedule-deterministic and therefore
+  reproducible across machines;
+* **abstract clock time** (ConAn ticks) — the testing clock, for spans
+  that cross ``Tick``/``AwaitTime`` boundaries.
+
+Because the VM clocks are deterministic for a fixed schedule, span tick
+durations are exact replay-stable measurements: a monitor-hold span of 14
+ticks is 14 ticks on every machine, while its wall duration is noise.
+The :class:`SpanTracer` aggregates finished spans into a registry
+histogram per span name, so tracing feeds the same merge/export pipeline
+as every other metric.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from .metrics import Histogram, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.vm.kernel import Kernel
+
+__all__ = ["Span", "SpanTracer", "TICK_BUCKETS"]
+
+#: Bucket bounds for tick-valued histograms (VM steps are small integers).
+TICK_BUCKETS: Tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+)
+
+
+@dataclass
+class Span:
+    """One timed unit of work.  Create via :meth:`SpanTracer.start`."""
+
+    name: str
+    labels: Dict[str, str] = field(default_factory=dict)
+    wall_start: float = 0.0
+    wall_end: Optional[float] = None
+    vm_start: int = 0
+    vm_end: Optional[int] = None
+    clock_start: int = 0
+    clock_end: Optional[int] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.wall_end is not None
+
+    @property
+    def wall_seconds(self) -> float:
+        end = self.wall_end if self.wall_end is not None else time.perf_counter()
+        return end - self.wall_start
+
+    @property
+    def vm_ticks(self) -> int:
+        end = self.vm_end if self.vm_end is not None else self.vm_start
+        return end - self.vm_start
+
+    @property
+    def clock_ticks(self) -> int:
+        end = self.clock_end if self.clock_end is not None else self.clock_start
+        return end - self.clock_start
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "wall_seconds": self.wall_seconds,
+            "vm_ticks": self.vm_ticks,
+            "clock_ticks": self.clock_ticks,
+        }
+
+
+class SpanTracer:
+    """Creates spans and aggregates their durations.
+
+    The tracer reads the VM clocks from an attached kernel (``attach``),
+    so spans started before a kernel exists simply record zero ticks.
+    ``keep_spans`` retains finished span objects for inspection (tests,
+    the profiler); high-volume callers leave it off and rely on the
+    histogram aggregation, which is constant-space.
+    """
+
+    def __init__(self, keep_spans: bool = False) -> None:
+        self.keep_spans = keep_spans
+        self.finished: List[Span] = []
+        self._kernel: Optional["Kernel"] = None
+        self.registry = MetricsRegistry()
+        self._wall_hist: Histogram = self.registry.histogram(
+            "span_wall_seconds", "wall-clock span durations by span name"
+        )
+        self._tick_hist: Histogram = self.registry.histogram(
+            "span_vm_ticks",
+            "VM virtual-time span durations by span name",
+            buckets=TICK_BUCKETS,
+        )
+
+    def attach(self, kernel: "Kernel") -> "SpanTracer":
+        """Read VM/abstract clocks from this kernel; returns self."""
+        self._kernel = kernel
+        return self
+
+    def _clocks(self) -> Tuple[int, int]:
+        if self._kernel is None:
+            return (0, 0)
+        return (self._kernel.time, self._kernel.clock_time)
+
+    def start(self, name: str, **labels: Any) -> Span:
+        vm_now, clock_now = self._clocks()
+        return Span(
+            name=name,
+            labels={str(k): str(v) for k, v in labels.items()},
+            wall_start=time.perf_counter(),
+            vm_start=vm_now,
+            clock_start=clock_now,
+        )
+
+    def end(self, span: Span) -> Span:
+        span.wall_end = time.perf_counter()
+        span.vm_end, span.clock_end = self._clocks()
+        self._wall_hist.observe(span.wall_seconds, span=span.name)
+        self._tick_hist.observe(span.vm_ticks, span=span.name)
+        if self.keep_spans:
+            self.finished.append(span)
+        return span
+
+    def span(self, name: str, **labels: Any) -> "_SpanContext":
+        """``with tracer.span("run"): ...`` — start/end as a context."""
+        return _SpanContext(self, name, labels)
+
+    # -- queries -----------------------------------------------------------
+
+    def wall_seconds(self, name: str) -> float:
+        return self._wall_hist.total(span=name)
+
+    def vm_ticks(self, name: str) -> float:
+        return self._tick_hist.total(span=name)
+
+    def count(self, name: str) -> int:
+        return self._wall_hist.count(span=name)
+
+
+class _SpanContext:
+    def __init__(self, tracer: SpanTracer, name: str, labels: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._labels = labels
+        self.span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self.span = self._tracer.start(self._name, **self._labels)
+        return self.span
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self.span is not None:
+            self._tracer.end(self.span)

@@ -124,6 +124,10 @@ class RunSummary:
     #: :meth:`repro.detect.DetectionSummary.to_dict`); None unless the
     #: producer ran a detector pipeline.
     detection: Optional[Dict[str, Any]] = None
+    #: per-run metrics snapshot as a plain dict (see
+    #: :meth:`repro.obs.MetricsSnapshot.to_dict`); None unless the
+    #: producer ran with instrumentation attached.
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -159,6 +163,7 @@ class RunSummary:
         seed: Optional[int] = None,
         arc_hits: Sequence[Tuple[str, str, str, int]] = (),
         detection: Optional[Dict[str, Any]] = None,
+        metrics: Optional[Dict[str, Any]] = None,
     ) -> "RunSummary":
         return cls(
             index=index,
@@ -171,6 +176,7 @@ class RunSummary:
             crashed=tuple(sorted(result.crashed)),
             arc_hits=tuple(tuple(row) for row in arc_hits),
             detection=detection,
+            metrics=metrics,
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -192,6 +198,8 @@ class RunSummary:
             payload["arc_hits"] = [list(row) for row in self.arc_hits]
         if self.detection is not None:
             payload["detection"] = self.detection
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
         return payload
 
     @classmethod
@@ -210,6 +218,7 @@ class RunSummary:
                 for m, s, d, n in payload.get("arc_hits", ())
             ),
             detection=payload.get("detection"),
+            metrics=payload.get("metrics"),
         )
 
 
@@ -239,6 +248,7 @@ class ExplorationRun:
         self,
         arc_hits: Sequence[Tuple[str, str, str, int]] = (),
         detection: Optional[Dict[str, Any]] = None,
+        metrics: Optional[Dict[str, Any]] = None,
     ) -> RunSummary:
         """The compact serializable projection of this run."""
         return RunSummary.from_result(
@@ -249,6 +259,7 @@ class ExplorationRun:
             seed=self.seed,
             arc_hits=arc_hits,
             detection=detection,
+            metrics=metrics,
         )
 
 

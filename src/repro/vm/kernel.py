@@ -28,7 +28,17 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .errors import (
     DeadlockError,
@@ -209,6 +219,9 @@ class Kernel:
         self.record_accesses = record_accesses
         self.trace_mode = trace_mode
         self._sinks: List[Callable[[Event], None]] = list(sinks or [])
+        #: kind-filtered subscribers: EventKind -> callbacks.  Empty for
+        #: most kernels; emit pays one truth test when unused.
+        self._kind_sinks: Dict[EventKind, List[Callable[[Event], None]]] = {}
         #: set via :meth:`request_abort`; a non-None value ends the run
         #: loop at the next step boundary (first reason wins).
         self.abort_reason: Optional[str] = None
@@ -220,6 +233,8 @@ class Kernel:
         #: thread picked at each step, in order (enables replay of a
         #: saved run via NameReplayScheduler; embedded in saved traces).
         self.schedule_log: List[str] = []
+        #: thread that ran the previous step (context-switch accounting).
+        self._last_scheduled: Optional[str] = None
         self._seq = 0
         self.threads: Dict[str, SimThread] = {}
         self.monitors: Dict[str, MonitorObject] = {}
@@ -313,14 +328,37 @@ class Kernel:
 
     # -- event bus ----------------------------------------------------------------
 
-    def subscribe(self, sink: Callable[[Event], None]) -> None:
+    def subscribe(
+        self,
+        sink: Callable[[Event], None],
+        kinds: Optional[Iterable[EventKind]] = None,
+    ) -> None:
         """Add an event sink called synchronously with every emitted event.
 
         Sinks see events in emission order regardless of ``trace_mode``, so
         a streaming detector attached here observes exactly the sequence a
         batch detector would read back from a full trace.
+
+        ``kinds`` restricts delivery to the given event kinds, with the
+        filtering done inside the emit loop — one dict lookup per event
+        instead of a Python call into a subscriber that would discard it.
+        Unfiltered subscribers always run first, in subscription order;
+        kind-filtered subscribers follow, in subscription order per kind.
         """
-        self._sinks.append(sink)
+        if kinds is None:
+            self._sinks.append(sink)
+            return
+        for kind in kinds:
+            self._kind_sinks.setdefault(kind, []).append(sink)
+
+    @property
+    def events_emitted(self) -> int:
+        """Total events emitted so far, regardless of trace retention.
+
+        This is the native event counter (the next event's ``seq``);
+        observers read it instead of counting events themselves.
+        """
+        return self._seq
 
     def request_abort(self, reason: str) -> None:
         """Ask the run loop to stop at the next step boundary.
@@ -360,6 +398,9 @@ class Kernel:
             self.trace.append(event)
         for sink in self._sinks:
             sink(event)
+        if self._kind_sinks:
+            for sink in self._kind_sinks.get(kind, ()):
+                sink(event)
         return event
 
     def record_access(self, component: Any, fieldname: str, is_write: bool) -> None:
@@ -406,8 +447,17 @@ class Kernel:
             thread.push_hold(monitor.name)
         thread.blocked_on = None
         thread.state = ThreadState.RUNNABLE
+        blocked_for = 0
+        if thread.blocked_since is not None:
+            blocked_for = self.time - thread.blocked_since
+            thread.blocked_ticks += blocked_for
+            thread.blocked_since = None
         self.emit(
-            chosen_name, EventKind.MONITOR_ACQUIRE, monitor=monitor.name, count=depth
+            chosen_name,
+            EventKind.MONITOR_ACQUIRE,
+            monitor=monitor.name,
+            count=depth,
+            blocked_for=blocked_for,
         )
 
     def _release_fully(self, thread: SimThread, monitor: MonitorObject) -> int:
@@ -443,6 +493,7 @@ class Kernel:
         monitor.add_blocked(thread.name)
         thread.blocked_on = name
         thread.state = ThreadState.BLOCKED
+        thread.blocked_since = self.time
         self._grant_lock(monitor)
 
     def _sys_release(self, thread: SimThread, call: Release) -> None:
@@ -494,6 +545,7 @@ class Kernel:
         monitor.add_waiter(thread.name)
         thread.waiting_on = name
         thread.state = ThreadState.WAITING
+        thread.waiting_since = self.time
         comp, meth = thread.current_frame()
         self.emit(
             thread.name,
@@ -513,6 +565,10 @@ class Kernel:
         waiter.reacquiring = True
         waiter.blocked_on = monitor.name
         waiter.state = ThreadState.BLOCKED
+        if waiter.waiting_since is not None:
+            waiter.waiting_ticks += self.time - waiter.waiting_since
+            waiter.waiting_since = None
+        waiter.blocked_since = self.time
         monitor.add_blocked(waiter_name)
         self.emit(
             waiter_name,
@@ -637,6 +693,24 @@ class Kernel:
         # Unlike notify (where the notifier still holds the lock), a
         # spurious wakeup can hit a free monitor: grant immediately.
         self._grant_lock(monitor)
+
+    # -- native observability counters --------------------------------------------------
+
+    def thread_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-thread scheduler counters, maintained natively by the run
+        loop (no event replay needed): ``context_switches`` (times the
+        thread was scheduled after a different thread ran), and the
+        virtual-time totals ``blocked_ticks`` / ``waiting_ticks``.  The
+        :class:`~repro.obs.InstrumentationSink` consumes these directly
+        instead of re-deriving them from the trace."""
+        return {
+            t.name: {
+                "context_switches": t.context_switches,
+                "blocked_ticks": t.blocked_ticks,
+                "waiting_ticks": t.waiting_ticks,
+            }
+            for t in self.threads.values()
+        }
 
     # -- diagnosis ----------------------------------------------------------------------
 
@@ -780,6 +854,9 @@ class Kernel:
                 f"scheduler returned invalid index {index} for {len(names)} threads"
             )
         thread = runnable[index]
+        if thread.name != self._last_scheduled:
+            thread.context_switches += 1
+            self._last_scheduled = thread.name
         self.schedule_log.append(thread.name)
         syscall = self._resume(thread)
         self.time += 1
@@ -809,6 +886,16 @@ class Kernel:
                 break
             if not self.step():
                 break
+        # Close the open blocked/waiting intervals of threads still queued
+        # at the end, so the native tick counters include time-to-end (a
+        # deadlocked thread's blocked_ticks reach the quiescence point).
+        for t in self.threads.values():
+            if t.blocked_since is not None:
+                t.blocked_ticks += self.time - t.blocked_since
+                t.blocked_since = None
+            if t.waiting_since is not None:
+                t.waiting_ticks += self.time - t.waiting_since
+                t.waiting_since = None
         live = [t for t in self.threads.values() if t.is_live()]
         if status is not RunStatus.STEP_LIMIT:
             if live:

@@ -61,6 +61,15 @@ class SimThread:
         exception: unhandled exception once CRASHED.
         call_stack: (component, method) frames for event attribution.
         started_at / ended_at: kernel times of start and termination.
+        context_switches: times this thread was scheduled when a
+            *different* thread ran the previous step (kernel-maintained).
+        blocked_ticks: total virtual time spent BLOCKED in entry sets
+            (kernel-maintained; open intervals are closed at run end).
+        waiting_ticks: total virtual time spent WAITING in wait sets,
+            up to the wake — the post-notify reacquisition counts as
+            blocked time, not waiting time.
+        blocked_since / waiting_since: open-interval start times used by
+            the kernel to maintain the two tick counters.
     """
 
     name: str
@@ -79,6 +88,11 @@ class SimThread:
     call_stack: List[Tuple[str, str]] = field(default_factory=list)
     started_at: Optional[int] = None
     ended_at: Optional[int] = None
+    context_switches: int = 0
+    blocked_ticks: int = 0
+    waiting_ticks: int = 0
+    blocked_since: Optional[int] = None
+    waiting_since: Optional[int] = None
 
     def innermost_monitor(self) -> Optional[str]:
         """Name of the monitor of the innermost synchronized block, or

@@ -253,6 +253,120 @@ class TestJournalAndResume:
         # The journal is whole again for the *next* resume.
         assert len(CampaignJournal(journal_path).load().shards) == 4
 
+class TestCampaignMetrics:
+    def test_metrics_out_requires_metrics(self):
+        with pytest.raises(CampaignError, match="metrics"):
+            CampaignSpec(
+                factory="pc-ok", metrics_out="/tmp/m.jsonl"
+            ).validate()
+
+    def test_fingerprint_includes_metrics(self):
+        base = CampaignSpec(factory="pc-bug", budget=100)
+        metered = CampaignSpec(factory="pc-bug", budget=100, metrics=True)
+        assert base.fingerprint() != metered.fingerprint()
+
+    def test_inline_campaign_collects_metrics(self):
+        spec = CampaignSpec(factory="pc-bug", budget=30, workers=0, metrics=True)
+        result = run_campaign(spec)
+        assert result.metrics is not None
+        assert result.metrics.counter("vm_events_total").total > 0
+        built = result.build_metrics()
+        statuses = {
+            dict(labels)["status"]: value
+            for labels, value in built.counter("campaign_runs_total").series().items()
+        }
+        assert sum(statuses.values()) == result.n_runs
+
+    def test_metrics_off_leaves_result_bare(self):
+        result = run_campaign(CampaignSpec(factory="pc-ok", budget=5, workers=0))
+        assert result.metrics is None
+        # build_metrics still works: campaign counters only
+        assert result.build_metrics().counter("campaign_runs_total").total == 5
+
+    @needs_fork
+    def test_pooled_merge_matches_inline(self):
+        """Per-run snapshots merged across >=2 worker processes agree with
+        the single-process merge on every deterministic series."""
+        inline = run_campaign(
+            CampaignSpec(
+                factory="pc-bug", budget=40, workers=0, shard_size=10,
+                metrics=True,
+            )
+        )
+        pooled = run_campaign(
+            CampaignSpec(
+                factory="pc-bug", budget=40, workers=2, shard_size=10,
+                metrics=True,
+            )
+        )
+        for name in (
+            "vm_events_total",
+            "vm_steps_total",
+            "vm_monitor_acquisitions_total",
+            "vm_monitor_hold_ticks_total",
+            "vm_monitor_contended_ticks_total",
+        ):
+            assert (
+                pooled.metrics.counter(name).series()
+                == inline.metrics.counter(name).series()
+            ), name
+
+    def test_metrics_out_round_trips(self, tmp_path):
+        from repro.obs.export import load_metrics_jsonl
+
+        out = tmp_path / "metrics.jsonl"
+        spec = CampaignSpec(
+            factory="pc-bug", budget=20, workers=0, metrics=True,
+            metrics_out=str(out),
+        )
+        result = run_campaign(spec)
+        loaded, header = load_metrics_jsonl(out)
+        assert loaded.to_dict() == result.build_metrics().to_dict()
+        assert header["factory"] == "pc-bug"
+        assert header["runs"] == result.n_runs
+        assert header["campaign"] == spec.fingerprint()[:12]
+
+    def test_metrics_prom_written(self, tmp_path):
+        prom = tmp_path / "metrics.prom"
+        run_campaign(
+            CampaignSpec(
+                factory="pc-bug", budget=10, workers=0, metrics=True,
+                metrics_prom=str(prom),
+            )
+        )
+        text = prom.read_text()
+        assert "# TYPE vm_events_total counter" in text
+        assert "# TYPE campaign_runs_total counter" in text
+
+    def test_journal_resume_reproduces_merged_metrics(self, tmp_path):
+        journal = str(tmp_path / "c.jsonl")
+        spec = CampaignSpec(
+            factory="pc-bug", budget=30, workers=0, shard_size=10,
+            metrics=True, journal_path=journal,
+        )
+        first = run_campaign(spec)
+        resumed = run_campaign(spec, resume=True)
+        assert resumed.shards_resumed == resumed.shards_total
+        assert resumed.metrics.to_dict() == first.metrics.to_dict()
+
+    def test_resume_with_flipped_metrics_rejected(self, tmp_path):
+        journal = str(tmp_path / "c.jsonl")
+        run_campaign(
+            CampaignSpec(
+                factory="pc-ok", budget=10, workers=0, journal_path=journal
+            )
+        )
+        with pytest.raises(JournalError, match="different campaign"):
+            run_campaign(
+                CampaignSpec(
+                    factory="pc-ok", budget=10, workers=0, metrics=True,
+                    journal_path=journal,
+                ),
+                resume=True,
+            )
+
+
+class TestJournalAndResumeSystematic:
     def test_systematic_resume_skips_planner_merge(self, tmp_path):
         journal = str(tmp_path / "c.jsonl")
         spec = CampaignSpec(

@@ -62,6 +62,38 @@ class TestCounters:
         assert tracker.runs_per_sec() == 50 / 2.0
 
 
+class TestEta:
+    def test_none_without_budget(self):
+        tracker = ProgressTracker()
+        tracker.note_run(ok_run(0))
+        assert tracker.eta_seconds() is None
+
+    def test_none_before_first_run(self):
+        assert ProgressTracker(total_runs=10).eta_seconds() is None
+
+    def test_remaining_over_rate(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(total_runs=100, clock=clock)
+        for i in range(20):
+            tracker.note_run(ok_run(i))
+        clock.now += 4.0  # 5 runs/s observed, 80 remaining
+        assert tracker.eta_seconds() == 80 / 5.0
+
+    def test_zero_once_budget_met(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(total_runs=2, clock=clock)
+        tracker.note_run(ok_run(0))
+        tracker.note_run(ok_run(1))
+        clock.now += 1.0
+        assert tracker.eta_seconds() == 0.0
+
+    def test_format_duration(self):
+        fmt = ProgressTracker._format_duration
+        assert fmt(9.4) == "9s"
+        assert fmt(75) == "1m15s"
+        assert fmt(3660) == "1h01m"
+
+
 class TestRendering:
     def test_render_mentions_everything(self):
         tracker = ProgressTracker(total_runs=20)
@@ -96,3 +128,53 @@ class TestRendering:
     def test_no_stream_is_silent(self):
         tracker = ProgressTracker()
         tracker.maybe_emit(force=True)  # must not raise
+        tracker.emit_final()  # must not raise either
+
+    def test_render_includes_eta_and_hot_monitor(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(total_runs=100, clock=clock)
+        for i in range(20):
+            tracker.note_run(ok_run(i))
+        clock.now += 4.0
+        tracker.classes["FF-T5"] = 3
+        tracker.top_contended = ("Buffer", 120.0)
+        line = tracker.render()
+        assert "eta 16s" in line
+        assert "classes FF-T5:3" in line
+        assert "hot Buffer:120" in line
+
+
+class TestFinalSummary:
+    def test_render_final(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(total_runs=4, clock=clock)
+        tracker.note_run(ok_run(0))
+        tracker.note_run(stuck_run(1))
+        clock.now += 2.0
+        tracker.classes["FF-T2"] = 1
+        tracker.coverage_fraction = 0.75
+        tracker.top_contended = ("Queue", 42.0)
+        line = tracker.render_final()
+        assert line.startswith("done: 2 runs in 2s (1.0/s)")
+        assert "failures 1 (1 signature(s))" in line
+        assert "classes FF-T2:1" in line
+        assert "coverage 75%" in line
+        assert "hottest monitor Queue (42 ticks)" in line
+
+    def test_final_omits_absent_sections(self):
+        tracker = ProgressTracker()
+        line = tracker.render_final()
+        assert "classes" not in line
+        assert "coverage" not in line
+        assert "hottest" not in line
+
+    def test_emit_final_ignores_rate_limit(self):
+        import io
+
+        stream = io.StringIO()
+        tracker = ProgressTracker(stream=stream, interval=60.0)
+        tracker.maybe_emit()  # consumes the rate-limit slot
+        tracker.emit_final()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert lines[-1].startswith("done:")

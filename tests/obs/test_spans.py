@@ -1,0 +1,68 @@
+"""Span tracing: dual clocks, aggregation, context manager."""
+
+from repro.obs.spans import SpanTracer
+from repro.vm.kernel import Kernel
+from repro.vm.scheduler import FifoScheduler
+from repro.vm.syscalls import Tick, Yield
+
+
+class TestTracerWithoutKernel:
+    def test_spans_record_zero_ticks(self):
+        tracer = SpanTracer()
+        span = tracer.start("run")
+        tracer.end(span)
+        assert span.vm_ticks == 0
+        assert span.clock_ticks == 0
+        assert span.wall_seconds >= 0
+
+    def test_aggregation_by_name(self):
+        tracer = SpanTracer()
+        for _ in range(3):
+            with tracer.span("step"):
+                pass
+        assert tracer.count("step") == 3
+        assert tracer.count("other") == 0
+        assert tracer.wall_seconds("step") >= 0
+
+    def test_keep_spans(self):
+        tracer = SpanTracer(keep_spans=True)
+        with tracer.span("a", monitor="m"):
+            pass
+        (span,) = tracer.finished
+        assert span.name == "a"
+        assert span.labels == {"monitor": "m"}
+        assert span.finished
+        payload = span.to_dict()
+        assert payload["name"] == "a"
+        assert payload["vm_ticks"] == 0
+
+
+class TestTracerWithKernel:
+    def _kernel(self) -> Kernel:
+        kernel = Kernel(scheduler=FifoScheduler())
+
+        def body():
+            yield Yield()
+            yield Tick()
+            yield Yield()
+
+        kernel.spawn(body, name="t")
+        return kernel
+
+    def test_vm_and_clock_ticks(self):
+        kernel = self._kernel()
+        tracer = SpanTracer(keep_spans=True).attach(kernel)
+        span = tracer.start("run")
+        kernel.run()
+        tracer.end(span)
+        assert span.vm_ticks == kernel.time > 0
+        assert span.clock_ticks == kernel.clock_time == 1
+
+    def test_tick_histogram_feeds_registry(self):
+        kernel = self._kernel()
+        tracer = SpanTracer().attach(kernel)
+        with tracer.span("run"):
+            kernel.run()
+        assert tracer.vm_ticks("run") == kernel.time
+        hist = tracer.registry.get("span_vm_ticks")
+        assert hist is not None and hist.count(span="run") == 1

@@ -124,7 +124,11 @@ class TestRunAnalyze:
         main(["run", str(script), "--save-trace", str(trace_path)])
         capsys.readouterr()
         assert main(["contention", str(trace_path)]) == 0
-        assert "acquisitions" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        # routed through the shared table renderer, not the prose form
+        assert "monitor contention" in out
+        assert "| monitor" in out
+        assert "contended" in out
 
     def test_run_with_seed_and_policies(self, tmp_path, capsys):
         script = tmp_path / "t.cts"
@@ -433,6 +437,76 @@ class TestCampaignCommand:
                     "--trace-mode", "none", "--quiet",
                 ]
             )
+
+
+class TestTelemetryCommands:
+    def test_explore_metrics_prints_summary(self, capsys):
+        code = main(
+            ["explore", "pc-bug", "--mode", "random", "--seeds", "0:10",
+             "--metrics"]
+        )
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "metrics:" in out and "kernel events" in out
+        assert "contended monitor " in out
+
+    def test_explore_metrics_out_implies_metrics(self, tmp_path, capsys):
+        from repro.obs import load_metrics_jsonl
+
+        out_path = tmp_path / "m.jsonl"
+        code = main(
+            ["explore", "pc-ok", "--mode", "random", "--seeds", "0:5",
+             "--metrics-out", str(out_path)]
+        )
+        assert code == 0
+        assert f"metrics written to {out_path}" in capsys.readouterr().out
+        registry, header = load_metrics_jsonl(out_path)
+        assert registry.counter("vm_events_total").total > 0
+        assert header["factory"] == "pc-ok"
+
+    def test_campaign_metrics_out(self, tmp_path, capsys):
+        from repro.obs import load_metrics_jsonl
+
+        out_path = tmp_path / "m.jsonl"
+        prom_path = tmp_path / "m.prom"
+        code = main(
+            ["campaign", "pc-bug", "--budget", "20", "--workers", "0",
+             "--metrics-out", str(out_path), "--metrics-prom", str(prom_path),
+             "--quiet"]
+        )
+        assert code == 2
+        out = capsys.readouterr().out
+        assert f"metrics written to {out_path}" in out
+        assert f"prometheus metrics written to {prom_path}" in out
+        registry, _ = load_metrics_jsonl(out_path)
+        assert registry.counter("campaign_runs_total").total > 0
+        assert "# TYPE vm_events_total counter" in prom_path.read_text()
+
+    def test_profile_renders_report(self, capsys):
+        assert main(["profile", "pc-bug", "--runs", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "profile: pc-bug — 5 runs" in out
+        assert "top monitors by contention" in out
+        assert "detector time breakdown" in out
+
+    def test_profile_no_detect_and_metrics_out(self, tmp_path, capsys):
+        from repro.obs import load_metrics_jsonl
+
+        out_path = tmp_path / "m.jsonl"
+        code = main(
+            ["profile", "pc-ok", "--runs", "3", "--no-detect",
+             "--metrics-out", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "detector time breakdown" not in out
+        registry, header = load_metrics_jsonl(out_path)
+        assert registry.histogram("run_wall_seconds").count() == 3
+        assert header["runs"] == 3
+
+    def test_profile_unknown_workload_clean_error(self):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["profile", "no-such", "--runs", "2"])
 
 
 class TestShippedScript:
