@@ -172,6 +172,9 @@ class SymptomTracker:
         # notifies with an empty "woken" list, in emission order
         self._lost: List[Tuple[str, str, Optional[str], Optional[str], Optional[str]]] = []
 
+    def reset(self) -> None:
+        self.__init__()
+
     def on_event(self, event: Event) -> None:
         kind = event.kind
         if kind is EventKind.CALL_BEGIN:

@@ -8,6 +8,7 @@
     python -m repro cofg repro.components:ProducerConsumer [--method receive] [--dot]
     python -m repro check repro.components.faulty:UnsyncCounter
     python -m repro run script.cts [--save-trace run.jsonl] [--verbose]
+    python -m repro run scenario.toml
     python -m repro analyze run.jsonl
     python -m repro contention run.jsonl
     python -m repro explore pc-bug --mode random --seeds 0:100 [--detect] [--metrics]
@@ -17,12 +18,16 @@
     python -m repro profile pc-bug --runs 50
 
 The ``run`` command executes a ConAn-style test script (see
-:mod:`repro.testing.script` for the format); ``analyze`` re-runs every
-trace-based detector over a saved run.  ``explore`` drives the
-single-process schedule explorer over a named workload or any
-``module:function`` program factory; ``campaign`` shards the same
-schedule space across a multiprocessing pool with journaling and resume
-(see :mod:`repro.engine`).
+:mod:`repro.testing.script` for the format) — or, given a ``.toml``
+path, a declarative scenario file (see :func:`repro.run.load_scenario`
+for the schema).  ``analyze`` re-runs every trace-based detector over a
+saved run.  ``explore`` drives the single-process schedule explorer
+over a named workload or any ``module:function`` program factory;
+``campaign`` shards the same schedule space across a multiprocessing
+pool with journaling and resume (see :mod:`repro.engine`).  Both parse
+their flags into one :class:`repro.run.RunConfig` and assemble runs
+through :class:`repro.run.RunExecutor` — the CLI itself never touches
+detectors or sinks directly.
 """
 
 from __future__ import annotations
@@ -118,6 +123,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.script.endswith(".toml"):
+        return _cmd_run_scenario(args)
     from repro.testing.script import parse_script
     from repro.vm.monitor import SelectionPolicy
     from repro.vm.scheduler import FifoScheduler, RandomScheduler
@@ -149,6 +156,98 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         print(f"\ntrace saved to {args.save_trace}")
     return 0 if outcome.passed else 1
+
+
+def _cmd_run_scenario(args: argparse.Namespace) -> int:
+    """Execute a declarative ``scenario.toml``: a ``[run]`` table plus at
+    most one of ``[explore]`` / ``[campaign]``."""
+    from repro.run import RunConfigError, load_scenario
+
+    try:
+        scenario = load_scenario(args.script)
+    except (OSError, RunConfigError) as exc:
+        raise SystemExit(f"error: {exc}")
+    config = scenario.run
+
+    if scenario.campaign is not None:
+        import sys as _sys
+
+        from repro.engine import (
+            CampaignError,
+            CampaignSpec,
+            ProgressTracker,
+            run_campaign,
+        )
+        from repro.engine.journal import JournalError
+
+        params = dict(scenario.campaign)
+        resume = bool(params.pop("resume", False))
+        quiet = bool(params.pop("quiet", False))
+        journal = params.pop("journal", None)
+        if journal is not None:
+            params["journal_path"] = str(journal)
+        spec = CampaignSpec.from_run_config(config, **params)
+        progress = ProgressTracker(
+            total_runs=spec.budget,
+            stream=None if quiet else _sys.stderr,
+        )
+        try:
+            result = run_campaign(spec, resume=resume, progress=progress)
+        except (CampaignError, JournalError) as exc:
+            raise SystemExit(f"error: {exc}")
+        print(result.describe())
+        if spec.metrics_out:
+            print(f"metrics written to {spec.metrics_out}")
+        if spec.metrics_prom:
+            print(f"prometheus metrics written to {spec.metrics_prom}")
+        return 2 if result.failures() else 0
+
+    from repro.run.executor import RunExecutor
+
+    try:
+        executor = RunExecutor(config)
+    except RunConfigError as exc:
+        raise SystemExit(f"error: {exc}")
+
+    if scenario.explore is not None:
+        params = dict(scenario.explore)
+        runs = int(params.get("runs", 200))
+        stop = bool(params.get("stop_on_failure", False))
+        try:
+            if config.scheduler == "systematic":
+                result = executor.explore(
+                    "systematic", max_runs=runs, stop_on_failure=stop
+                )
+            else:
+                seeds_spec = params.get("seeds")
+                seeds = (
+                    _parse_seeds(str(seeds_spec))
+                    if seeds_spec is not None
+                    else list(range(runs))
+                )
+                result = executor.explore(seeds=seeds, stop_on_failure=stop)
+        except RunConfigError as exc:
+            raise SystemExit(f"error: {exc}")
+        print(result.describe())
+        lo, hi = result.failure_rate_interval()
+        print(
+            f"  failure rate: {result.failure_rate():.1%} "
+            f"(95% CI [{lo:.1%}, {hi:.1%}])"
+        )
+        return 0 if not result.failures() else 2
+
+    # no driver table: execute exactly one run as configured
+    try:
+        result = executor.execute()
+    except RunConfigError as exc:
+        raise SystemExit(f"error: {exc}")
+    print(f"{config.workload}: {result.status.value} after {result.steps} steps")
+    if result.stuck_threads:
+        print(f"  stuck threads: {', '.join(result.stuck_threads)}")
+    if executor.pipeline is not None:
+        print()
+        print(executor.pipeline.report(result).describe())
+    return 0 if result.ok else 2
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -245,48 +344,53 @@ def _cmd_suite_run(args: argparse.Namespace) -> int:
 
 def _parse_seeds(text: str) -> List[int]:
     """Parse a seed spec: ``7``, ``0:100`` (half-open), or ``1,5,9``."""
-    if ":" in text:
-        lo_text, hi_text = text.split(":", 1)
-        lo, hi = int(lo_text or 0), int(hi_text)
-        if hi <= lo:
-            raise SystemExit(f"error: empty seed range {text!r}")
-        return list(range(lo, hi))
-    if "," in text:
-        return [int(part) for part in text.split(",") if part.strip()]
-    return [int(text)]
+    from repro.run import RunConfigError, parse_seed_spec
+
+    try:
+        return list(parse_seed_spec(text))
+    except RunConfigError as exc:
+        raise SystemExit(f"error: {exc}")
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
-    from repro.engine.workloads import resolve_factory
-    from repro.testing import explore_pct, explore_random, explore_systematic
-    from repro.vm import Kernel, RunStatus
-    from repro.vm.scheduler import (
-        FifoScheduler,
-        RecordingScheduler,
-        ReplayScheduler,
-    )
+    from repro.run import RunConfig, RunConfigError
+    from repro.run.executor import RunExecutor
 
+    want_metrics = args.metrics or bool(args.metrics_out)
+    decisions: List[int] = []
+    if args.mode == "replay":
+        if args.decisions is None:
+            raise SystemExit("error: --mode replay requires --decisions")
+        try:
+            decisions = [int(d) for d in args.decisions.split(",") if d.strip()]
+        except ValueError:
+            raise SystemExit(
+                f"error: --decisions must be comma-separated integers, "
+                f"got {args.decisions!r}"
+            )
+
+    config = RunConfig(
+        workload=args.factory,
+        component=args.component,
+        scheduler=args.mode,
+        prefix=tuple(decisions),
+        detect=args.detect,
+        metrics=want_metrics,
+        timeout=0.0,
+        max_depth=args.max_depth,
+        branch=args.branch,
+        pct_depth=args.pct_depth,
+        pct_expected_steps=args.pct_steps,
+    )
     try:
-        factory = resolve_factory(args.factory)
-    except ValueError as exc:
+        executor = RunExecutor(config)
+    except RunConfigError as exc:
         raise SystemExit(f"error: {exc}")
 
-    pipeline_factory = None
-    if args.detect:
-        from repro.detect.online import PipelineFactory
-
-        pipeline_factory = PipelineFactory(factory)
-        factory = pipeline_factory
-
-    observed = None
     metrics_registry = None
-    want_metrics = args.metrics or bool(args.metrics_out)
     if want_metrics:
         from repro.obs import MetricsRegistry
-        from repro.obs.sink import ObservedFactory
 
-        observed = ObservedFactory(factory)
-        factory = observed
         metrics_registry = MetricsRegistry()
 
     def _finish_metrics() -> None:
@@ -310,22 +414,18 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             print(f"  metrics written to {args.metrics_out}")
 
     if args.mode == "replay":
-        if args.decisions is None:
-            raise SystemExit("error: --mode replay requires --decisions")
-        from repro.vm.scheduler import ChoiceExhaustedError
+        from repro.vm.scheduler import (
+            ChoiceExhaustedError,
+            FifoScheduler,
+            RecordingScheduler,
+            ReplayScheduler,
+        )
 
-        try:
-            decisions = [int(d) for d in args.decisions.split(",") if d.strip()]
-        except ValueError:
-            raise SystemExit(
-                f"error: --decisions must be comma-separated integers, "
-                f"got {args.decisions!r}"
-            )
         recorder = RecordingScheduler(
             ReplayScheduler(decisions, fallback=FifoScheduler())
         )
         try:
-            result = factory(recorder).run()
+            result = executor.execute(recorder)
         except ChoiceExhaustedError as exc:
             raise SystemExit(
                 f"error: decision sequence does not fit this program: {exc}"
@@ -336,11 +436,11 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         if result.crashed:
             for name, exc in result.crashed.items():
                 print(f"  crashed {name}: {exc!r}")
-        if pipeline_factory is not None and pipeline_factory.pipeline is not None:
+        if executor.pipeline is not None:
             print()
-            print(pipeline_factory.pipeline.report(result).describe())
-        if observed is not None and observed.sink is not None:
-            metrics_registry.merge(observed.sink.collect())
+            print(executor.pipeline.report(result).describe())
+        if executor.sink is not None:
+            metrics_registry.merge(executor.sink.collect())
             _finish_metrics()
         if args.save_trace:
             from repro.vm.serialize import save_trace
@@ -361,40 +461,28 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     class_counts: Counter = Counter()
 
     def on_detect(run) -> None:
-        if observed is not None and observed.sink is not None:
-            metrics_registry.merge(observed.sink.collect())
-        if pipeline_factory is None or pipeline_factory.pipeline is None:
+        if executor.sink is not None:
+            metrics_registry.merge(executor.sink.collect())
+        if executor.pipeline is None:
             return
-        for code in pipeline_factory.pipeline.summary(run.result).classes:
+        for code in executor.pipeline.summary(run.result).classes:
             class_counts[code] += 1
 
     if args.mode == "systematic":
-        result = explore_systematic(
-            factory,
+        result = executor.explore(
+            "systematic",
             max_runs=args.runs,
-            max_depth=args.max_depth,
-            branch=args.branch,
             stop_on_failure=args.stop_on_failure,
             on_run=on_detect,
         )
     else:
         seeds = _parse_seeds(args.seeds) if args.seeds else list(range(args.runs))
-        if args.mode == "random":
-            result = explore_random(
-                factory,
-                seeds=seeds,
-                stop_on_failure=args.stop_on_failure,
-                on_run=on_detect,
-            )
-        else:  # pct
-            result = explore_pct(
-                factory,
-                seeds=seeds,
-                depth=args.pct_depth,
-                expected_steps=args.pct_steps,
-                stop_on_failure=args.stop_on_failure,
-                on_run=on_detect,
-            )
+        result = executor.explore(
+            args.mode,
+            seeds=seeds,
+            stop_on_failure=args.stop_on_failure,
+            on_run=on_detect,
+        )
     print(result.describe())
     if args.detect:
         class_bits = ", ".join(
@@ -426,6 +514,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     spec = CampaignSpec(
         factory=args.factory,
+        component=args.component,
         mode=args.mode,
         budget=args.budget,
         workers=args.workers,
@@ -442,7 +531,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         pct_depth=args.pct_depth,
         pct_expected_steps=args.pct_steps,
         journal_path=args.journal,
-        metrics=args.metrics or bool(args.metrics_out or args.metrics_prom),
+        metrics=args.metrics,  # --metrics-out/--metrics-prom imply it
         metrics_out=args.metrics_out,
         metrics_prom=args.metrics_prom,
     )
@@ -524,8 +613,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("component", help="module:ClassName")
     p_check.set_defaults(func=_cmd_check)
 
-    p_run = sub.add_parser("run", help="execute a ConAn-style test script")
-    p_run.add_argument("script", help="path to the script file")
+    p_run = sub.add_parser(
+        "run",
+        help="execute a ConAn-style test script (.cts) or a declarative "
+        "scenario file (.toml)",
+    )
+    p_run.add_argument("script", help="path to the script or scenario file")
     p_run.add_argument("--seed", type=int, help="random scheduler seed")
     from repro.vm.monitor import SelectionPolicy
 
@@ -587,6 +680,11 @@ def build_parser() -> argparse.ArgumentParser:
         "factory", help="workload name (e.g. pc-bug) or module:function factory"
     )
     p_explore.add_argument(
+        "--component",
+        help="component name to instantiate a workload template with "
+        "(e.g. 'pc' + --component BoundedBuffer)",
+    )
+    p_explore.add_argument(
         "--mode",
         default="systematic",
         choices=["systematic", "random", "pct", "replay"],
@@ -634,6 +732,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_campaign.add_argument(
         "factory", help="workload name (e.g. pc-bug) or module:function factory"
+    )
+    p_campaign.add_argument(
+        "--component",
+        help="component name to instantiate a workload template with "
+        "(e.g. 'pc' + --component BoundedBuffer)",
     )
     p_campaign.add_argument(
         "--mode", default="random", choices=["random", "pct", "systematic"]

@@ -37,3 +37,25 @@ __all__ = [
     "Semaphore",
     "TaskQueue",
 ]
+
+# Register every correct component under its class name so RunConfig can
+# address it as a plain string (repro.components.faulty registers the
+# seeded-fault classes the same way).
+from repro.run.registry import COMPONENTS as _RUN_COMPONENTS  # noqa: E402
+
+for _cls in (
+    Account,
+    BoundedBuffer,
+    CountDownLatch,
+    CyclicBarrier,
+    Exchanger,
+    FairLock,
+    FutureValue,
+    OrderedPair,
+    ProducerConsumer,
+    ReadersWriters,
+    Semaphore,
+    TaskQueue,
+):
+    _RUN_COMPONENTS.add(_cls.__name__, _cls)
+del _cls

@@ -129,3 +129,11 @@ __all__ = [
     "SpuriousWaitProducerConsumer",
     "UnsyncCounter",
 ]
+
+# Register every seeded-fault class under its class name (the same key
+# FAULT_REGISTRY uses) so RunConfig component= can name it.
+from repro.run.registry import COMPONENTS as _RUN_COMPONENTS  # noqa: E402
+
+for _name, _info in FAULT_REGISTRY.items():
+    _RUN_COMPONENTS.add(_name, _info.component)
+del _name, _info

@@ -22,6 +22,8 @@ from repro.vm.trace import CallRecord, Trace
 
 from repro.classify.symptoms import Symptom
 
+from repro.run.registry import register_detector
+
 from .online import OnlineDetector, replay
 
 __all__ = [
@@ -97,6 +99,7 @@ class Violation:
         return f"{self.symptom.value}: {self.expectation.describe()} — {self.detail}"
 
 
+@register_detector("completion")
 class OnlineCompletionChecker(OnlineDetector):
     """Streaming completion-time checking.
 
@@ -115,6 +118,9 @@ class OnlineCompletionChecker(OnlineDetector):
         self._order: List[CallRecord] = []
         self._open_stacks: Dict[str, List[int]] = {}
         self._ticks: List[Tuple[int, Optional[int]]] = []
+
+    def reset(self) -> None:
+        self.__init__(self.expectations)
 
     def on_event(self, event: Event) -> None:
         kind = event.kind

@@ -16,6 +16,8 @@ from repro.report.text import render_table
 from repro.vm.events import Event, EventKind
 from repro.vm.trace import Trace
 
+from repro.run.registry import register_detector
+
 from .online import OnlineDetector, replay
 
 __all__ = [
@@ -133,6 +135,7 @@ class ContentionReport:
         )
 
 
+@register_detector("contention")
 class OnlineContentionProfiler(OnlineDetector):
     """Streaming per-monitor contention statistics.
 
@@ -150,6 +153,9 @@ class OnlineContentionProfiler(OnlineDetector):
         self._pending_request: Dict[Tuple[str, str], int] = {}
         # (thread, monitor) -> wait time, for threads in/returning from wait
         self._pending_wait: Dict[Tuple[str, str], int] = {}
+
+    def reset(self) -> None:
+        self.__init__()
 
     def _profile(self, monitor: str) -> MonitorProfile:
         if monitor not in self.report.monitors:

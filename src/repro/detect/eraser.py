@@ -28,6 +28,8 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 from repro.vm.events import Event, EventKind
 from repro.vm.trace import AccessRecord, Trace
 
+from repro.run.registry import register_detector
+
 from .online import OnlineDetector, replay
 
 __all__ = [
@@ -154,6 +156,7 @@ class LocksetDetector:
         return info.lockset if info else None
 
 
+@register_detector("lockset")
 class OnlineLocksetDetector(OnlineDetector):
     """Streaming Eraser over raw events.
 
@@ -167,6 +170,9 @@ class OnlineLocksetDetector(OnlineDetector):
     def __init__(self) -> None:
         self.detector = LocksetDetector()
         self._held: Dict[str, List[str]] = {}
+
+    def reset(self) -> None:
+        self.__init__()
 
     def on_event(self, event: Event) -> None:
         stack = self._held.setdefault(event.thread, [])

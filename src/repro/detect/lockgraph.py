@@ -19,6 +19,8 @@ import networkx as nx
 from repro.vm.events import Event, EventKind
 from repro.vm.trace import Trace
 
+from repro.run.registry import register_detector
+
 from .online import OnlineDetector, replay
 
 __all__ = [
@@ -60,6 +62,7 @@ class PotentialDeadlock:
         )
 
 
+@register_detector("lockgraph")
 class OnlineLockGraphDetector(OnlineDetector):
     """Streaming lock-order-graph construction.
 
@@ -75,6 +78,9 @@ class OnlineLockGraphDetector(OnlineDetector):
         self.graph = nx.DiGraph()
         self.edges: List[LockOrderEdge] = []
         self._held: Dict[str, List[str]] = {}
+
+    def reset(self) -> None:
+        self.__init__()
 
     def on_event(self, event: Event) -> None:
         stack = self._held.setdefault(event.thread, [])

@@ -80,6 +80,14 @@ class OnlineDetector:
     def finish(self) -> Any:
         raise NotImplementedError
 
+    def reset(self) -> None:
+        """Return to the just-constructed state so the instance can be
+        reused for another run (the executor resets instead of
+        reallocating)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support reset()"
+        )
+
     def abort_reason(self) -> Optional[str]:
         """A reason to end the run early, or None to keep going."""
         return None
@@ -227,6 +235,18 @@ class DetectorPipeline:
         """Subscribe to a kernel's event bus; returns self for chaining."""
         self._kernel = kernel
         kernel.subscribe(self.on_event)
+        return self
+
+    def reset(self) -> "DetectorPipeline":
+        """Reset every detector and the symptom tracker for the next run
+        (same observable behaviour as constructing a fresh pipeline, minus
+        the per-run allocation); returns self for chaining."""
+        for detector in self.detectors:
+            detector.reset()
+        self.symptoms.reset()
+        self.aborted = None
+        self.events_seen = 0
+        self._kernel = None
         return self
 
     def on_event(self, event: Event) -> None:

@@ -27,6 +27,8 @@ from typing import Dict, List, Set, Tuple
 from repro.vm.events import Event, EventKind
 from repro.vm.trace import Trace
 
+from repro.run.registry import register_detector
+
 from .online import OnlineDetector, replay
 
 __all__ = ["StarvationReport", "OnlineStarvationDetector", "analyze_starvation"]
@@ -54,6 +56,7 @@ class StarvationReport:
         )
 
 
+@register_detector("starvation")
 class OnlineStarvationDetector(OnlineDetector):
     """Streaming bypass counting per (thread, monitor).
 
@@ -75,6 +78,9 @@ class OnlineStarvationDetector(OnlineDetector):
         self._wait_sets: Dict[str, Dict[str, int]] = {}
         self._lock_bypasses: Dict[Tuple[str, str], int] = {}
         self._notify_bypasses: Dict[Tuple[str, str], int] = {}
+
+    def reset(self) -> None:
+        self.__init__(self.bypass_threshold, self.include_resolved)
 
     def on_event(self, event: Event) -> None:
         monitor = event.monitor

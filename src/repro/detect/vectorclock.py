@@ -30,6 +30,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.vm.events import Event, EventKind
 from repro.vm.trace import Trace
 
+from repro.run.registry import register_detector
+
 from .online import OnlineDetector, replay
 
 __all__ = ["VectorClock", "HbRace", "OnlineHbDetector", "detect_races_hb"]
@@ -107,6 +109,7 @@ class _Epoch:
     reads: Dict[str, Tuple[VectorClock, int]] = field(default_factory=dict)
 
 
+@register_detector("hb")
 class OnlineHbDetector(OnlineDetector):
     """Streaming vector-clock race detection (FastTrack-style)."""
 
@@ -119,6 +122,9 @@ class OnlineHbDetector(OnlineDetector):
         self._notify_vc: Dict[Tuple[str, str], VectorClock] = {}  # (monitor, woken)
         self._fields: Dict[Tuple[str, str], _Epoch] = {}
         self.races: List[HbRace] = []
+
+    def reset(self) -> None:
+        self.__init__(self.max_reports)
 
     def _vc_of(self, thread: str) -> VectorClock:
         if thread not in self._thread_vc:

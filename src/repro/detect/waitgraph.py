@@ -17,6 +17,8 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.vm.events import Event, EventKind
 from repro.vm.trace import Trace
 
+from repro.run.registry import register_detector
+
 from .online import OnlineDetector, replay
 
 __all__ = [
@@ -66,6 +68,7 @@ def _cycle_of(state: WaitForState) -> List[str]:
     return []
 
 
+@register_detector("waitgraph")
 class OnlineWaitGraphDetector(OnlineDetector):
     """Streaming wait-for-graph maintenance with live cycle detection.
 
@@ -86,6 +89,9 @@ class OnlineWaitGraphDetector(OnlineDetector):
         self._hold_count: Dict[Tuple[str, str], int] = {}
         #: first blocked-on cycle seen while streaming ([] until then)
         self.live_cycle: List[str] = []
+
+    def reset(self) -> None:
+        self.__init__()
 
     def on_event(self, event: Event) -> None:
         state = self.state

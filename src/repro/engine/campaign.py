@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs.metrics import Counter as MetricsCounter
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.run.config import RunConfig, RunConfigError
 from repro.testing.explorer import RunSummary, wilson_interval
 from repro.vm.kernel import RunStatus
 
@@ -39,7 +40,6 @@ from .journal import CampaignJournal
 from .progress import ProgressTracker
 from .shards import Shard, plan_seed_shards, plan_systematic_shards
 from .worker import WorkerTask, execute_shard, worker_main
-from .workloads import resolve_factory
 
 __all__ = [
     "CampaignError",
@@ -97,6 +97,14 @@ class CampaignSpec:
     metrics_out: Optional[str] = None
     #: write the merged campaign registry here as Prometheus text
     metrics_prom: Optional[str] = None
+    #: component registry name, for template workloads (``factory="pc"``)
+    component: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        # Asking for a metrics export implies collecting metrics: the old
+        # behaviour (error without --metrics) made the flag pair a trap.
+        if (self.metrics_out or self.metrics_prom) and not self.metrics:
+            object.__setattr__(self, "metrics", True)
 
     def validate(self) -> None:
         if self.mode not in _MODES:
@@ -105,33 +113,18 @@ class CampaignSpec:
             raise CampaignError(f"goal must be one of {_GOALS}, got {self.goal!r}")
         if self.goal == "coverage" and not self.coverage:
             raise CampaignError("goal 'coverage' requires a coverage component")
-        if self.trace_mode not in _TRACE_MODES:
-            raise CampaignError(
-                f"trace_mode must be one of {_TRACE_MODES}, got {self.trace_mode!r}"
-            )
-        if self.trace_mode != "full" and not self.detect:
-            raise CampaignError(
-                "trace_mode 'none' without detect observes nothing"
-            )
-        if self.trace_mode != "full" and self.coverage:
-            raise CampaignError(
-                "coverage tracking reads the stored trace; use trace_mode 'full'"
-            )
-        if (self.metrics_out or self.metrics_prom) and not self.metrics:
-            raise CampaignError(
-                "metrics_out/metrics_prom require metrics=True "
-                "(nothing would be collected)"
-            )
         if self.budget <= 0:
             raise CampaignError(f"budget must be positive, got {self.budget}")
         if self.shard_size <= 0:
             raise CampaignError(f"shard_size must be positive, got {self.shard_size}")
         if self.workers < 0:
             raise CampaignError(f"workers must be >= 0, got {self.workers}")
+        # Everything run-shaped (workload/component/detector names,
+        # trace_mode, coverage coupling) is the run layer's business.
         try:
-            resolve_factory(self.factory)  # fail fast on unknown factories
-        except ValueError as exc:
-            raise CampaignError(str(exc))
+            self.run_config().validate()
+        except RunConfigError as exc:
+            raise CampaignError(str(exc)) from None
 
     def fingerprint(self) -> str:
         """Stable hash of the schedule-space-defining fields."""
@@ -155,23 +148,58 @@ class CampaignSpec:
             "pct_depth": self.pct_depth,
             "pct_expected_steps": self.pct_expected_steps,
         }
+        if self.component is not None:
+            # only fingerprinted when set, so pre-existing journals (from
+            # before template workloads) still resume cleanly
+            space["component"] = self.component
         raw = json.dumps(space, sort_keys=True)
         return hashlib.sha256(raw.encode()).hexdigest()
 
-    def worker_task(self, shard: Shard) -> WorkerTask:
-        return WorkerTask(
-            shard=shard,
-            factory_spec=self.factory,
-            run_timeout=self.run_timeout,
+    def run_config(self) -> RunConfig:
+        """The run-layer view of this campaign: how every run in every
+        shard is assembled (shipped to workers inside each WorkerTask)."""
+        return RunConfig(
+            workload=self.factory,
+            component=self.component,
+            scheduler=self.mode,
+            detect=self.detect,
+            trace_mode=self.trace_mode,
+            metrics=self.metrics,
+            timeout=self.run_timeout,
+            coverage=self.coverage,
             max_depth=self.max_depth,
             branch=self.branch,
             pct_depth=self.pct_depth,
             pct_expected_steps=self.pct_expected_steps,
+        )
+
+    @classmethod
+    def from_run_config(cls, config: RunConfig, **kwargs: Any) -> "CampaignSpec":
+        """Build a campaign over a :class:`RunConfig` (the scenario-file
+        path); ``kwargs`` are the campaign-level fields (budget, workers,
+        goal, journal_path, ...)."""
+        mode = config.scheduler if config.scheduler in _MODES else "random"
+        return cls(
+            factory=config.workload,
+            component=config.component,
+            mode=mode,
+            detect=bool(config.detect),
+            trace_mode=config.trace_mode,
+            metrics=config.metrics,
+            run_timeout=config.timeout,
+            coverage=config.coverage,
+            max_depth=config.max_depth,
+            branch=config.branch,
+            pct_depth=config.pct_depth,
+            pct_expected_steps=config.pct_expected_steps,
+            **kwargs,
+        )
+
+    def worker_task(self, shard: Shard) -> WorkerTask:
+        return WorkerTask(
+            shard=shard,
+            config=self.run_config(),
             stop_on_failure=(self.goal == "first-failure"),
-            coverage_spec=self.coverage,
-            detect=self.detect,
-            trace_mode=self.trace_mode,
-            metrics=self.metrics,
         )
 
 
@@ -186,25 +214,29 @@ class ReplayArtifact:
     factory: str
     pct_depth: int = 3
     pct_expected_steps: int = 200
+    component: Optional[str] = None
 
     def command(self) -> str:
         """The ``repro explore`` invocation that reproduces this failure
         deterministically (seed replay for random/PCT, exact
         decision-index replay via ReplayScheduler otherwise)."""
+        target = self.factory
+        if self.component:
+            target += f" --component {self.component}"
         if self.mode == "random" and self.seed is not None:
             return (
-                f"python -m repro explore {self.factory} "
+                f"python -m repro explore {target} "
                 f"--mode random --seeds {self.seed}"
             )
         if self.mode == "pct" and self.seed is not None:
             return (
-                f"python -m repro explore {self.factory} --mode pct "
+                f"python -m repro explore {target} --mode pct "
                 f"--seeds {self.seed} --pct-depth {self.pct_depth} "
                 f"--pct-steps {self.pct_expected_steps}"
             )
         decisions = ",".join(str(d) for d in self.decisions)
         return (
-            f"python -m repro explore {self.factory} "
+            f"python -m repro explore {target} "
             f"--mode replay --decisions {decisions}"
         )
 
@@ -283,6 +315,7 @@ class CampaignResult:
                 factory=self.spec.factory,
                 pct_depth=self.spec.pct_depth,
                 pct_expected_steps=self.spec.pct_expected_steps,
+                component=self.spec.component,
             )
         return list(artifacts.values())
 
@@ -479,7 +512,9 @@ def _plan(spec: CampaignSpec):
             spec.mode, spec.budget, spec.shard_size, spec.seed_start
         )
         return shards, [], False
-    factory = resolve_factory(spec.factory)
+    # build_factory (not bare resolve_factory): template workloads need
+    # their component paired in before the planner can run them
+    factory = spec.run_config().build_factory()
     n_shards = max(1, spec.budget // spec.shard_size)
     plan = plan_systematic_shards(
         factory,

@@ -1,76 +1,49 @@
 """Campaign worker: executes one shard, streaming compact summaries.
 
 Runs in a child process (or inline, for ``workers=0`` debugging).  The
-worker rebuilds the program from the factory *spec string* — nothing
-unpicklable crosses the process boundary — then drives the matching
-explorer over its shard's seeds or DFS prefixes, posting one
-:class:`~repro.testing.explorer.RunSummary` message per completed run and
-a final ``done`` message.  The orchestrator treats a missing ``done`` as
-a crashed/hung worker and requeues the shard.
+worker receives a picklable :class:`~repro.run.config.RunConfig` —
+nothing unpicklable crosses the process boundary — builds **one**
+:class:`~repro.run.executor.RunExecutor` from it, and drives the
+matching explorer over its shard's seeds or DFS prefixes, posting one
+:class:`~repro.testing.explorer.RunSummary` message per completed run
+and a final ``done`` message.  The orchestrator treats a missing
+``done`` as a crashed/hung worker and requeues the shard.
 
+The executor assembles the detector pipeline / instrumentation sink once
+per shard and resets them between runs (the old per-run reconstruction
+was pure allocation overhead — bench Ext-J measures the reduction).
 Per-run wall-clock timeouts use ``SIGALRM`` where available (child
-processes run in their main thread, so the signal contract holds).  The
-timeout exception derives from ``BaseException`` on purpose: the kernel's
-run loop catches ``Exception`` from thread bodies (a crashed thread is a
-*result*, not an error), and a timeout must cut through that to abort the
-whole run.
+processes run in their main thread, so the signal contract holds); see
+:func:`repro.run.executor.timed_runner`.
 """
 
 from __future__ import annotations
 
-import signal
-import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Optional
 
-from repro.detect.online import PipelineFactory
-from repro.obs.sink import ObservedFactory
-from repro.testing.explorer import (
-    ExplorationRun,
-    RunSummary,
-    explore_pct,
-    explore_random,
-    explore_systematic,
+from repro.run.config import RunConfig
+from repro.run.executor import (  # noqa: F401 - re-exported for backcompat
+    RunExecutor,
+    RunTimeoutInterrupt,
+    timed_runner as _timed_runner,
 )
-from repro.vm.kernel import Kernel, RunResult, RunStatus
+from repro.testing.explorer import ExplorationRun, RunSummary
 
 from .shards import Shard
-from .workloads import resolve_factory
 
 __all__ = ["WorkerTask", "ShardOutcome", "execute_shard", "worker_main"]
 
 
-class RunTimeoutInterrupt(BaseException):
-    """Raised by the SIGALRM handler to abort a wedged run.
-
-    BaseException so the kernel's per-thread ``except Exception`` cannot
-    swallow it and mislabel the timeout as a thread crash.
-    """
-
-
 @dataclass(frozen=True)
 class WorkerTask:
-    """Everything a worker needs to execute one shard, all picklable."""
+    """Everything a worker needs to execute one shard, all picklable:
+    the shard itself plus the :class:`RunConfig` describing how every
+    run in it is assembled."""
 
     shard: Shard
-    factory_spec: str
-    run_timeout: float = 10.0
-    max_depth: int = 400
-    branch: str = "shallow"
-    pct_depth: int = 3
-    pct_expected_steps: int = 200
+    config: RunConfig
     stop_on_failure: bool = False
-    coverage_spec: Optional[str] = None  # "module:Class" for CoFG tracking
-    #: run the streaming detector pipeline on every run, shipping a
-    #: DetectionSummary dict inside each RunSummary
-    detect: bool = False
-    #: kernel trace retention ("full" | "none"); "none" requires detect
-    #: to still observe anything, and is incompatible with coverage_spec
-    #: (the CoFG tracker reads the stored trace)
-    trace_mode: str = "full"
-    #: attach an instrumentation sink to every run, shipping a
-    #: MetricsSnapshot dict inside each RunSummary
-    metrics: bool = False
 
 
 @dataclass
@@ -80,75 +53,6 @@ class ShardOutcome:
     shard_id: str
     summaries: List[RunSummary] = field(default_factory=list)
     exhausted: bool = False
-
-
-def _timed_runner(timeout: float) -> Callable[[Kernel], RunResult]:
-    """A kernel runner that aborts after ``timeout`` wall-clock seconds,
-    returning a TIMEOUT result instead of hanging the shard.  Falls back
-    to plain ``Kernel.run`` where SIGALRM is unavailable (non-POSIX) —
-    the orchestrator's shard deadline still bounds those."""
-    if timeout <= 0 or not hasattr(signal, "SIGALRM"):
-        return lambda kernel: kernel.run()
-
-    def run(kernel: Kernel) -> RunResult:
-        def _on_alarm(signum, frame):
-            raise RunTimeoutInterrupt()
-
-        try:
-            previous = signal.signal(signal.SIGALRM, _on_alarm)
-        except ValueError:  # not the main thread (inline mode under test)
-            return kernel.run()
-        signal.setitimer(signal.ITIMER_REAL, timeout)
-        try:
-            return kernel.run()
-        except RunTimeoutInterrupt:
-            live = [t.name for t in kernel.threads.values() if t.is_live()]
-            return RunResult(
-                status=RunStatus.TIMEOUT,
-                trace=kernel.trace,
-                steps=kernel.steps,
-                stuck_threads=live,
-                schedule_log=list(kernel.schedule_log),
-            )
-        finally:
-            signal.setitimer(signal.ITIMER_REAL, 0.0)
-            signal.signal(signal.SIGALRM, previous)
-
-    return run
-
-
-def _coverage_extractor(
-    coverage_spec: Optional[str],
-) -> Optional[Callable[[Any], List[Tuple[str, str, str, int]]]]:
-    """Build a trace -> per-arc hit count extractor from a component spec
-    (CoFGs are built once per shard, in the worker)."""
-    if not coverage_spec:
-        return None
-    from repro.analysis import build_all_cofgs
-    from repro.coverage.tracker import CoverageTracker
-
-    if ":" in coverage_spec:
-        module_name, class_name = coverage_spec.split(":", 1)
-    elif "." in coverage_spec:
-        module_name, class_name = coverage_spec.rsplit(".", 1)
-    else:
-        raise ValueError(f"coverage spec {coverage_spec!r} must be module:Class")
-    import importlib
-
-    cls = getattr(importlib.import_module(module_name), class_name)
-    cofgs = build_all_cofgs(cls)
-
-    def extract(trace) -> List[Tuple[str, str, str, int]]:
-        tracker = CoverageTracker(cofgs)
-        tracker.feed(trace)
-        hits: List[Tuple[str, str, str, int]] = []
-        for method, coverage in tracker.methods.items():
-            for (src, dst), count in coverage.hits.items():
-                if count:
-                    hits.append((method, src, dst, count))
-        return hits
-
-    return extract
 
 
 def execute_shard(
@@ -161,88 +65,33 @@ def execute_shard(
     streaming hook: the process worker posts to the result queue, inline
     mode feeds the orchestrator's aggregator directly).
     """
-    factory = resolve_factory(task.factory_spec)
-    if task.trace_mode != "full" and task.coverage_spec:
-        raise ValueError(
-            "coverage tracking reads the stored trace; use trace_mode='full'"
-        )
-    pipeline_factory: Optional[PipelineFactory] = None
-    if task.detect:
-        pipeline_factory = PipelineFactory(factory, trace_mode=task.trace_mode)
-        factory = pipeline_factory
-    elif task.trace_mode != "full":
-        raise ValueError("trace_mode='none' without detect observes nothing")
-    observed: Optional[ObservedFactory] = None
-    if task.metrics:
-        # Outermost wrapper: builds the (possibly pipeline-attached)
-        # kernel, then installs a fresh sink on it.
-        observed = ObservedFactory(factory)
-        factory = observed
-    runner = _timed_runner(task.run_timeout)
-    if observed is not None:
-        base_runner = runner
-
-        def runner(kernel: Kernel) -> RunResult:  # noqa: F811 - deliberate wrap
-            run_started = time.perf_counter()
-            result = base_runner(kernel)
-            sink = observed.sink
-            if sink is not None:
-                sink.registry.histogram(
-                    "run_wall_seconds", "wall-clock duration per run by status"
-                ).observe(
-                    time.perf_counter() - run_started, status=result.status.value
-                )
-            return result
-
-    extract = _coverage_extractor(task.coverage_spec)
+    executor = RunExecutor(task.config)
     outcome = ShardOutcome(shard_id=task.shard.shard_id)
 
     def on_run(run: ExplorationRun) -> None:
-        arc_hits = extract(run.result.trace) if extract is not None else ()
-        detection = None
-        if pipeline_factory is not None and pipeline_factory.pipeline is not None:
-            detection = pipeline_factory.pipeline.summary(run.result).to_dict()
-        metrics = None
-        if observed is not None and observed.sink is not None:
-            metrics = observed.sink.snapshot().to_dict()
-        summary = run.summary(arc_hits=arc_hits, detection=detection, metrics=metrics)
+        summary = executor.summarize(run)
         outcome.summaries.append(summary)
         if emit is not None:
             emit(summary)
 
     shard = task.shard
     if shard.mode == "systematic":
-        result = explore_systematic(
-            factory,
-            max_runs=shard.max_runs,
-            max_depth=task.max_depth,
-            branch=task.branch,
+        result = executor.explore(
+            "systematic",
             roots=[list(p) for p in shard.prefixes],
+            max_runs=shard.max_runs,
             stop_on_failure=task.stop_on_failure,
             on_run=on_run,
             keep_runs=False,
-            runner=runner,
         )
         outcome.exhausted = result.exhausted
-    elif shard.mode == "random":
-        explore_random(
-            factory,
+    elif shard.mode in ("random", "pct"):
+        executor.explore(
+            shard.mode,
             seeds=shard.seeds,
             stop_on_failure=task.stop_on_failure,
             on_run=on_run,
             keep_runs=False,
-            runner=runner,
-        )
-    elif shard.mode == "pct":
-        explore_pct(
-            factory,
-            seeds=shard.seeds,
-            depth=task.pct_depth,
-            expected_steps=task.pct_expected_steps,
-            stop_on_failure=task.stop_on_failure,
-            on_run=on_run,
-            keep_runs=False,
-            runner=runner,
         )
     else:
         raise ValueError(f"unknown shard mode {shard.mode!r}")

@@ -17,10 +17,12 @@ from __future__ import annotations
 import importlib
 from typing import Dict
 
+from repro.run.registry import WORKLOADS as _REGISTRY
+from repro.run.registry import register_workload
 from repro.testing.explorer import ProgramFactory
 from repro.vm import Acquire, Kernel, Release, Yield
 
-__all__ = ["WORKLOADS", "resolve_factory", "workload_names"]
+__all__ = ["WORKLOADS", "pc_template", "resolve_factory", "workload_names"]
 
 
 def _pc_workload(component_cls) -> ProgramFactory:
@@ -46,6 +48,18 @@ def _pc_workload(component_cls) -> ProgramFactory:
     return factory
 
 
+@register_workload("pc")
+def pc_template(component_cls) -> ProgramFactory:
+    """Workload *template*: the Ext-B producer-consumer shape over any
+    registered component (``RunConfig(workload="pc", component=...)``)."""
+    return _pc_workload(component_cls)
+
+
+#: marks "pc" as a template: it takes a component class, not a scheduler
+pc_template.needs_component = True
+
+
+@register_workload("pc-ok")
 def pc_ok(scheduler) -> Kernel:
     """Correct producer-consumer (should complete under every schedule)."""
     from repro.components import ProducerConsumer
@@ -53,6 +67,7 @@ def pc_ok(scheduler) -> Kernel:
     return _pc_workload(ProducerConsumer)(scheduler)
 
 
+@register_workload("pc-bug")
 def pc_bug(scheduler) -> Kernel:
     """The bug-seeded producer-consumer campaign workload: ``notify``
     instead of ``notifyAll`` loses wakeups under some schedules (FF-T5)."""
@@ -61,6 +76,7 @@ def pc_bug(scheduler) -> Kernel:
     return _pc_workload(SingleNotifyProducerConsumer)(scheduler)
 
 
+@register_workload("pc-no-notify")
 def pc_no_notify(scheduler) -> Kernel:
     """Producer-consumer whose send never notifies (FF-T5, deterministic
     once a consumer waits)."""
@@ -69,6 +85,7 @@ def pc_no_notify(scheduler) -> Kernel:
     return _pc_workload(NoNotifyProducerConsumer)(scheduler)
 
 
+@register_workload("deadlock-pair")
 def deadlock_pair(scheduler) -> Kernel:
     """Two opposite-direction transfers over unordered account locks
     (FF-T2/FF-T4 deadlock on some schedules)."""
@@ -91,6 +108,7 @@ def deadlock_pair(scheduler) -> Kernel:
     return kernel
 
 
+@register_workload("racing-locks")
 def racing_locks(scheduler) -> Kernel:
     """Two bare monitors taken in opposite orders — the smallest workload
     whose schedule tree mixes deadlocks and completions."""
@@ -110,6 +128,9 @@ def racing_locks(scheduler) -> Kernel:
     return kernel
 
 
+#: Backwards-compatible dict view of the *directly runnable* workloads
+#: (templates like ``"pc"`` live only in the registry — they need a
+#: component before they are a ``ProgramFactory``).
 WORKLOADS: Dict[str, ProgramFactory] = {
     "pc-ok": pc_ok,
     "pc-bug": pc_bug,
@@ -120,13 +141,18 @@ WORKLOADS: Dict[str, ProgramFactory] = {
 
 
 def workload_names() -> list:
-    return sorted(WORKLOADS)
+    return _REGISTRY.names()
 
 
 def resolve_factory(spec: str) -> ProgramFactory:
-    """Resolve a factory spec: registry name or ``module:function``."""
-    if spec in WORKLOADS:
-        return WORKLOADS[spec]
+    """Resolve a factory spec: registry name or ``module:function``.
+
+    Registry names may resolve to a workload *template* (marked with
+    ``needs_component``); callers that need a runnable factory go through
+    ``RunConfig.build_factory``, which pairs templates with a component.
+    """
+    if spec in _REGISTRY:
+        return _REGISTRY.get(spec)
     if ":" not in spec:
         raise ValueError(
             f"unknown workload {spec!r} (known: {', '.join(workload_names())}; "

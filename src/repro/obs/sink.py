@@ -108,6 +108,38 @@ class InstrumentationSink:
             self.tracer.attach(kernel)
         return self
 
+    def reset(self) -> "InstrumentationSink":
+        """Return to the just-constructed state for the next run.
+
+        The handler closures bind the state dicts (and the tracer) as
+        locals, so the dicts are cleared *in place*; only a tracer forces
+        a handler rebuild.  The registry is rebound fresh — collect()
+        reads it through the attribute, and the previous run's snapshot
+        stays valid in the old registry object.
+        """
+        self.registry = MetricsRegistry()
+        self.events_seen = 0
+        self._kernel = None
+        self._wall_start = None
+        self._seq_start = 0
+        self._collected = False
+        for state in (
+            self._entry_depth,
+            self._entry_peak,
+            self._wait_depth,
+            self._wait_peak,
+            self._open_holds,
+            self._hold_ticks,
+            self._contended_ticks,
+            self._acquisitions,
+            self._lost_notifies,
+        ):
+            state.clear()
+        if self.tracer is not None:
+            self.tracer = SpanTracer()
+            self._close_hold, self._handlers = self._build_handlers()
+        return self
+
     # -- the hot path (standalone form for feeding a sink without a
     # kernel; install() wires the handlers kind-filtered instead) ----------
 

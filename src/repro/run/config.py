@@ -1,0 +1,480 @@
+"""RunConfig: the declarative, serializable description of one run setup.
+
+A :class:`RunConfig` names every ingredient of a run — workload (and
+optionally the component a workload *template* is instantiated with),
+scheduler, seed / decision prefix, detector set, trace retention,
+metrics, per-run timeout — as plain strings and numbers resolved through
+the :mod:`repro.run.registry` registries.  That makes one object the
+single currency of run assembly everywhere:
+
+* the CLI parses flags into a ``RunConfig`` (or loads one from a
+  ``scenario.toml``);
+* the campaign engine pickles it across the worker process boundary
+  (it replaces the old ``WorkerTask`` parallel field set);
+* :class:`~repro.run.executor.RunExecutor` turns it into kernels.
+
+Serialization: native pickle (plain frozen dataclass), JSON
+(:meth:`to_json` / :meth:`from_json`), and TOML (:meth:`to_toml` /
+:meth:`from_toml`; reading uses the stdlib ``tomllib``, Python 3.11+).
+All three round-trip to an equal config, and :meth:`from_dict` rejects
+unknown keys so a typoed scenario file fails loudly instead of silently
+running defaults.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .registry import (
+    COMPONENTS,
+    DETECTORS,
+    SCHEDULERS,
+    UnknownNameError,
+    load_builtins,
+)
+
+try:  # Python 3.11+
+    import tomllib as _tomllib
+except ModuleNotFoundError:  # pragma: no cover - 3.10 fallback path
+    _tomllib = None  # type: ignore[assignment]
+
+__all__ = [
+    "DETECTOR_ORDER",
+    "RunConfig",
+    "RunConfigError",
+    "Scenario",
+    "load_scenario",
+    "normalize_detect",
+    "parse_seed_spec",
+]
+
+#: Canonical (report) order of the built-in detectors; a config's
+#: ``detect`` tuple is normalized to this order so equal detector *sets*
+#: compare, pickle, and fingerprint identically.
+DETECTOR_ORDER: Tuple[str, ...] = (
+    "lockset",
+    "hb",
+    "lockgraph",
+    "waitgraph",
+    "starvation",
+    "contention",
+    "completion",
+)
+
+#: Valid kernel trace-retention modes (mirrors ``Kernel.TRACE_MODES``).
+TRACE_MODES: Tuple[str, ...] = ("full", "none")
+
+_BRANCHES: Tuple[str, ...] = ("shallow", "deep")
+
+
+class RunConfigError(ValueError):
+    """A run configuration is malformed or names unknown ingredients."""
+
+
+def normalize_detect(
+    value: Union[bool, str, Sequence[str], None],
+) -> Tuple[str, ...]:
+    """Coerce any spelling of "which detectors" to a canonical tuple.
+
+    ``True`` / ``"all"`` mean every built-in detector; ``False`` /
+    ``None`` / ``()`` mean detection off; a name or sequence of names is
+    deduplicated and sorted into :data:`DETECTOR_ORDER` (names outside
+    the built-in set keep a stable sorted tail).  Unknown names are *not*
+    rejected here — :meth:`RunConfig.validate` does that, with the
+    registry's full known-name list in the error.
+    """
+    if value is True or value == "all":
+        return DETECTOR_ORDER
+    if not value:
+        return ()
+    names = [value] if isinstance(value, str) else [str(v) for v in value]
+    unique = list(dict.fromkeys(names))
+    known = [name for name in DETECTOR_ORDER if name in unique]
+    extra = sorted(name for name in unique if name not in DETECTOR_ORDER)
+    return tuple(known + extra)
+
+
+def parse_seed_spec(value: Union[int, str, Sequence[int]]) -> List[int]:
+    """Parse a seed spec: ``7``, ``"0:100"`` (half-open), ``"1,5,9"``,
+    or an explicit integer list."""
+    if isinstance(value, bool):
+        raise RunConfigError(f"seed spec must be int/str/list, got {value!r}")
+    if isinstance(value, int):
+        return [value]
+    if isinstance(value, (list, tuple)):
+        try:
+            return [int(v) for v in value]
+        except (TypeError, ValueError):
+            raise RunConfigError(f"seed list {value!r} must hold integers") from None
+    text = str(value)
+    try:
+        if ":" in text:
+            lo_text, hi_text = text.split(":", 1)
+            lo, hi = int(lo_text or 0), int(hi_text)
+            if hi <= lo:
+                raise RunConfigError(f"empty seed range {text!r}")
+            return list(range(lo, hi))
+        if "," in text:
+            return [int(part) for part in text.split(",") if part.strip()]
+        return [int(text)]
+    except RunConfigError:
+        raise
+    except ValueError:
+        raise RunConfigError(
+            f"seed spec {text!r} must be an int, 'lo:hi', or comma-separated ints"
+        ) from None
+
+
+def _resolve_workload_entry(spec: str) -> Callable[..., Any]:
+    """Resolve a workload spec (registry name or ``module:function``) to
+    its registered entry, wrapping resolution failures as config errors."""
+    load_builtins()
+    from repro.engine.workloads import resolve_factory
+
+    try:
+        return resolve_factory(spec)
+    except ValueError as exc:
+        raise RunConfigError(str(exc)) from None
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything that defines how one run (or one shard of runs) is
+    assembled.  Frozen, hashable-by-parts, and picklable."""
+
+    #: workload registry name (``"pc-bug"``) or ``module:function``
+    workload: str
+    #: component registry name, required by *template* workloads
+    #: (``workload="pc", component="SingleNotifyProducerConsumer"``)
+    component: Optional[str] = None
+    #: scheduler registry name, or ``"systematic"`` for DFS enumeration
+    scheduler: str = "random"
+    #: seed for seeded schedulers (random/PCT); None = caller supplies
+    seed: Optional[int] = None
+    #: decision prefix: replay decisions, or the DFS subtree root
+    prefix: Tuple[int, ...] = ()
+    #: detector names to stream every run through (empty = detection off)
+    detect: Tuple[str, ...] = ()
+    #: kernel trace retention; ``"none"`` requires a non-empty detect set
+    trace_mode: str = "full"
+    #: attach the instrumentation sink to every run
+    metrics: bool = False
+    #: per-run wall-clock timeout in seconds (0 disables the alarm)
+    timeout: float = 10.0
+    #: ``module:Class`` whose CoFG arc coverage to extract per run
+    coverage: Optional[str] = None
+    #: systematic mode: deepest decision index to branch on
+    max_depth: int = 400
+    #: systematic mode: ``"shallow"`` or ``"deep"`` branch order
+    branch: str = "shallow"
+    #: PCT bug depth ``d``
+    pct_depth: int = 3
+    #: PCT expected step budget ``k``
+    pct_expected_steps: int = 200
+
+    def __post_init__(self) -> None:
+        # Coerce sequence/bool spellings (JSON lists, detect=True) so a
+        # config is canonical however it was built.
+        object.__setattr__(self, "prefix", tuple(int(d) for d in self.prefix))
+        object.__setattr__(self, "detect", normalize_detect(self.detect))
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> "RunConfig":
+        """Check every name against its registry and every coupling rule;
+        raises :class:`RunConfigError` with the known-name list on a miss.
+        Returns self for chaining."""
+        load_builtins()
+        if self.trace_mode not in TRACE_MODES:
+            raise RunConfigError(
+                f"trace_mode must be one of {TRACE_MODES}, got {self.trace_mode!r}"
+            )
+        if self.branch not in _BRANCHES:
+            raise RunConfigError(
+                f"branch must be 'shallow' or 'deep', got {self.branch!r}"
+            )
+        if self.timeout < 0:
+            raise RunConfigError(f"timeout must be >= 0, got {self.timeout}")
+        if self.max_depth < 1:
+            raise RunConfigError(f"max_depth must be >= 1, got {self.max_depth}")
+        if self.pct_depth < 1 or self.pct_expected_steps < 1:
+            raise RunConfigError(
+                f"pct_depth/pct_expected_steps must be >= 1, got "
+                f"{self.pct_depth}/{self.pct_expected_steps}"
+            )
+        if self.scheduler != "systematic" and self.scheduler not in SCHEDULERS:
+            known = sorted(SCHEDULERS.names() + ["systematic"])
+            raise RunConfigError(
+                f"unknown scheduler {self.scheduler!r} (known: {', '.join(known)})"
+            )
+        for name in self.detect:
+            if name not in DETECTORS:
+                raise RunConfigError(
+                    f"unknown detector {name!r} "
+                    f"(known: {', '.join(DETECTORS.names())})"
+                )
+        if self.trace_mode != "full" and not self.detect:
+            raise RunConfigError("trace_mode 'none' without detect observes nothing")
+        if self.trace_mode != "full" and self.coverage:
+            raise RunConfigError(
+                "coverage tracking reads the stored trace; use trace_mode 'full'"
+            )
+        if self.component is not None and self.component not in COMPONENTS:
+            raise RunConfigError(
+                f"unknown component {self.component!r} "
+                f"(known: {', '.join(COMPONENTS.names())})"
+            )
+        entry = _resolve_workload_entry(self.workload)
+        if getattr(entry, "needs_component", False):
+            if not self.component:
+                raise RunConfigError(
+                    f"workload {self.workload!r} is a template: "
+                    f"set component= to instantiate it"
+                )
+        elif self.component:
+            raise RunConfigError(
+                f"workload {self.workload!r} does not take a component"
+            )
+        return self
+
+    # -- assembly ----------------------------------------------------------
+
+    def build_factory(self) -> Callable[..., Any]:
+        """Resolve the workload (instantiating a template with the named
+        component) to a ``ProgramFactory``."""
+        entry = _resolve_workload_entry(self.workload)
+        if getattr(entry, "needs_component", False):
+            if not self.component:
+                raise RunConfigError(
+                    f"workload {self.workload!r} is a template: "
+                    f"set component= to instantiate it"
+                )
+            try:
+                component_cls = COMPONENTS.get(self.component)
+            except UnknownNameError as exc:
+                raise RunConfigError(str(exc)) from None
+            factory: Callable[..., Any] = entry(component_cls)
+            if not callable(factory):
+                raise RunConfigError(
+                    f"workload template {self.workload!r} did not return a factory"
+                )
+            return factory
+        if self.component:
+            raise RunConfigError(
+                f"workload {self.workload!r} does not take a component"
+            )
+        return entry
+
+    def make_scheduler(self, seed: Optional[int] = None) -> Any:
+        """Build one scheduler instance (``seed`` overrides the config's).
+
+        Builders receive the uniform keyword set ``prefix`` /
+        ``pct_depth`` / ``pct_expected_steps`` and ignore what they don't
+        need, so this never special-cases scheduler names.
+        """
+        load_builtins()
+        if self.scheduler == "systematic":
+            raise RunConfigError(
+                "scheduler 'systematic' enumerates a schedule tree; "
+                "drive it through RunExecutor.explore()"
+            )
+        try:
+            builder = SCHEDULERS.get(self.scheduler)
+        except UnknownNameError as exc:
+            raise RunConfigError(str(exc)) from None
+        return builder(
+            seed if seed is not None else self.seed,
+            prefix=self.prefix,
+            pct_depth=self.pct_depth,
+            pct_expected_steps=self.pct_expected_steps,
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data projection (None-valued fields omitted); the inverse
+        of :meth:`from_dict`."""
+        payload: Dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if value is None:
+                continue
+            if isinstance(value, tuple):
+                value = list(value)
+            payload[spec.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(
+        cls, payload: Dict[str, Any], *, source: str = "run config"
+    ) -> "RunConfig":
+        """Build from plain data, rejecting unknown keys loudly."""
+        if not isinstance(payload, dict):
+            raise RunConfigError(f"{source} must be a table/object, got {payload!r}")
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise RunConfigError(
+                f"{source} has unknown key(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        if "workload" not in payload:
+            raise RunConfigError(f"{source} needs a 'workload' key")
+        try:
+            return cls(**payload)
+        except (TypeError, ValueError) as exc:
+            if isinstance(exc, RunConfigError):
+                raise
+            raise RunConfigError(f"{source} is malformed: {exc}") from None
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunConfig":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise RunConfigError(f"cannot parse run config JSON: {exc}") from None
+        return cls.from_dict(payload, source="run config JSON")
+
+    def to_toml(self) -> str:
+        """Emit the config as a ``[run]`` TOML table (the scenario-file
+        schema; see docs/formats.md)."""
+        lines = ["[run]"]
+        for key, value in self.to_dict().items():
+            lines.append(f"{key} = {_toml_value(value)}")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_toml(cls, text: str) -> "RunConfig":
+        """Parse a TOML document holding either a ``[run]`` table or the
+        bare key set at top level (requires Python 3.11+)."""
+        data = _parse_toml(text, source="run config TOML")
+        table = data.get("run", data)
+        if not isinstance(table, dict):
+            raise RunConfigError("run config TOML [run] must be a table")
+        return cls.from_dict(dict(table), source="run config TOML")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunConfig":
+        """Load a config file, dispatching on suffix (.json vs .toml)."""
+        path = Path(path)
+        text = path.read_text()
+        if path.suffix == ".json":
+            return cls.from_json(text)
+        return cls.from_toml(text)
+
+
+# -- scenario files --------------------------------------------------------
+
+#: keys allowed in a scenario's ``[explore]`` table
+_EXPLORE_KEYS = frozenset({"runs", "seeds", "stop_on_failure"})
+#: keys allowed in a scenario's ``[campaign]`` table
+_CAMPAIGN_KEYS = frozenset(
+    {
+        "budget",
+        "workers",
+        "shard_size",
+        "seed_start",
+        "goal",
+        "journal",
+        "resume",
+        "max_retries",
+        "metrics_out",
+        "metrics_prom",
+        "quiet",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A parsed ``scenario.toml``: the run config plus (at most) one
+    driver table saying how many schedules to push through it."""
+
+    run: RunConfig
+    #: ``[explore]`` table: single-process exploration parameters
+    explore: Optional[Dict[str, Any]] = None
+    #: ``[campaign]`` table: parallel campaign parameters
+    campaign: Optional[Dict[str, Any]] = None
+    source: str = field(default="scenario", compare=False)
+
+
+def _parse_toml(text: str, *, source: str) -> Dict[str, Any]:
+    if _tomllib is None:  # pragma: no cover - Python 3.10 only
+        raise RunConfigError(
+            f"parsing {source} needs the stdlib 'tomllib' (Python 3.11+)"
+        )
+    try:
+        return _tomllib.loads(text)
+    except _tomllib.TOMLDecodeError as exc:
+        raise RunConfigError(f"cannot parse {source}: {exc}") from None
+
+
+def _check_keys(
+    table: Dict[str, Any], allowed: frozenset[str], *, source: str
+) -> Dict[str, Any]:
+    unknown = sorted(set(table) - allowed)
+    if unknown:
+        raise RunConfigError(
+            f"{source} has unknown key(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(allowed))})"
+        )
+    return dict(table)
+
+
+def load_scenario(path: Union[str, Path]) -> Scenario:
+    """Load and validate a ``scenario.toml``.
+
+    Schema: a required ``[run]`` table (the :class:`RunConfig` fields)
+    plus at most one of ``[explore]`` / ``[campaign]``; no driver table
+    means "execute exactly one run".
+    """
+    path = Path(path)
+    data = _parse_toml(path.read_text(), source=f"scenario {path}")
+    known_tables = {"run", "explore", "campaign"}
+    unknown = sorted(set(data) - known_tables)
+    if unknown:
+        raise RunConfigError(
+            f"scenario {path} has unknown table(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known_tables))})"
+        )
+    if "run" not in data:
+        raise RunConfigError(f"scenario {path} needs a [run] table")
+    run = RunConfig.from_dict(dict(data["run"]), source=f"scenario {path} [run]")
+    explore = data.get("explore")
+    campaign = data.get("campaign")
+    if explore is not None and campaign is not None:
+        raise RunConfigError(
+            f"scenario {path} cannot drive both [explore] and [campaign]"
+        )
+    if explore is not None:
+        explore = _check_keys(
+            explore, _EXPLORE_KEYS, source=f"scenario {path} [explore]"
+        )
+    if campaign is not None:
+        campaign = _check_keys(
+            campaign, _CAMPAIGN_KEYS, source=f"scenario {path} [campaign]"
+        )
+    run.validate()
+    return Scenario(run=run, explore=explore, campaign=campaign, source=str(path))
+
+
+# -- minimal TOML emission (stdlib has no writer) --------------------------
+
+
+def _toml_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        # JSON string escaping is a valid TOML basic string.
+        return json.dumps(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_value(v) for v in value) + "]"
+    raise RunConfigError(f"cannot serialize {value!r} to TOML")

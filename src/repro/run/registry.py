@@ -1,0 +1,172 @@
+"""Decorator-based registries for declarative run assembly.
+
+Every ingredient of a run — the component under test, the workload
+(program factory) that drives it, the scheduler that orders it, and the
+detectors that watch it — registers itself here under a stable name, so
+a :class:`~repro.run.config.RunConfig` can name its parts as plain
+strings and be rebuilt identically in another process (or loaded from a
+scenario file on disk).
+
+The four registries:
+
+* :data:`COMPONENTS` — monitor-component classes
+  (``"ProducerConsumer"``, the seeded-fault classes, ...), registered by
+  :mod:`repro.components` / :mod:`repro.components.faulty`;
+* :data:`WORKLOADS` — program factories and component-parameterizable
+  workload templates, registered by :mod:`repro.engine.workloads`;
+* :data:`SCHEDULERS` — scheduler builders (``(seed, **params) ->
+  Scheduler``), registered by :mod:`repro.vm.scheduler` and
+  :mod:`repro.vm.pct`;
+* :data:`DETECTORS` — online-detector factories, registered by the
+  concrete modules under :mod:`repro.detect`.
+
+This module deliberately imports nothing from the rest of ``repro`` —
+it sits below every layer that registers into it, so there are no import
+cycles.  :func:`load_builtins` imports the self-registering modules on
+demand (name resolution calls it lazily, at run-assembly time).
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Callable, Dict, Generic, List, Tuple, TypeVar
+
+T = TypeVar("T")
+
+__all__ = [
+    "COMPONENTS",
+    "DETECTORS",
+    "Registry",
+    "SCHEDULERS",
+    "UnknownNameError",
+    "WORKLOADS",
+    "load_builtins",
+    "register_component",
+    "register_detector",
+    "register_scheduler",
+    "register_workload",
+]
+
+
+class UnknownNameError(KeyError):
+    """A name was looked up in a registry that has no entry for it."""
+
+    def __init__(self, kind: str, name: str, known: List[str]) -> None:
+        self.kind = kind
+        self.name = name
+        self.known = known
+        hint = ", ".join(known) if known else "none registered"
+        super().__init__(f"unknown {kind} {name!r} (known: {hint})")
+
+    def __str__(self) -> str:
+        # KeyError's __str__ repr-quotes its argument; this error *is* the
+        # user-facing message, so return it verbatim.
+        return str(self.args[0])
+
+
+class Registry(Generic[T]):
+    """A named, decorator-populated mapping of run ingredients.
+
+    Usage::
+
+        @SCHEDULERS.register("random")
+        def build_random(seed=None):
+            return RandomScheduler(seed or 0)
+
+        SCHEDULERS.get("random")(seed=7)
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, T] = {}
+
+    def register(self, name: str, *, replace: bool = False) -> Callable[[T], T]:
+        """Decorator form: register the decorated object under ``name``."""
+
+        def decorate(obj: T) -> T:
+            self.add(name, obj, replace=replace)
+            return obj
+
+        return decorate
+
+    def add(self, name: str, obj: T, *, replace: bool = False) -> T:
+        """Imperative form of :meth:`register`; returns ``obj``.
+
+        Re-adding the *same* object under the same name is a no-op (module
+        re-imports are idempotent); binding a different object to a taken
+        name requires ``replace=True``.
+        """
+        existing = self._entries.get(name)
+        if existing is not None and existing is not obj and not replace:
+            raise ValueError(
+                f"{self.kind} {name!r} is already registered "
+                f"(pass replace=True to override)"
+            )
+        self._entries[name] = obj
+        return obj
+
+    def get(self, name: str) -> T:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownNameError(self.kind, name, self.names()) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def items(self) -> List[Tuple[str, T]]:
+        return sorted(self._entries.items())
+
+
+#: Monitor-component classes by name.
+COMPONENTS: Registry[type] = Registry("component")
+#: Program factories / workload templates by name.
+WORKLOADS: Registry[Callable[..., Any]] = Registry("workload")
+#: Scheduler builders by name: ``builder(seed=None, **params) -> Scheduler``.
+SCHEDULERS: Registry[Callable[..., Any]] = Registry("scheduler")
+#: Online-detector factories by name: ``factory() -> OnlineDetector``.
+DETECTORS: Registry[Callable[..., Any]] = Registry("detector")
+
+register_component = COMPONENTS.register
+register_workload = WORKLOADS.register
+register_scheduler = SCHEDULERS.register
+register_detector = DETECTORS.register
+
+#: Modules whose import populates the registries with the built-ins.
+_BUILTIN_MODULES: Tuple[str, ...] = (
+    "repro.components",
+    "repro.components.faulty",
+    "repro.vm.scheduler",
+    "repro.vm.pct",
+    "repro.detect.eraser",
+    "repro.detect.vectorclock",
+    "repro.detect.lockgraph",
+    "repro.detect.waitgraph",
+    "repro.detect.starvation",
+    "repro.detect.contention",
+    "repro.detect.completion",
+    "repro.engine.workloads",
+)
+
+_builtins_loaded = False
+
+
+def load_builtins() -> None:
+    """Import every self-registering built-in module (idempotent).
+
+    Name resolution (:meth:`repro.run.config.RunConfig.validate` and the
+    executor) calls this lazily, so merely importing :mod:`repro.run`
+    stays cheap and cycle-free.
+    """
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)

@@ -73,6 +73,21 @@ def _default_runner(kernel: Kernel) -> RunResult:
     return kernel.run()
 
 
+def _resolve_runner(
+    factory: ProgramFactory, runner: Optional[KernelRunner]
+) -> KernelRunner:
+    """Pick the runner for a factory: an explicit ``runner`` wins, then a
+    ``runner`` attribute the factory carries (this is how passing a
+    :class:`repro.run.executor.RunExecutor` as the factory gives every
+    explorer its timeout/metrics-matched runner), then ``Kernel.run``."""
+    if runner is not None:
+        return runner
+    attached = getattr(factory, "runner", None)
+    if callable(attached):
+        return attached
+    return _default_runner
+
+
 def wilson_interval(failures: int, n: int, z: float = 1.96) -> Tuple[float, float]:
     """Wilson score interval for a binomial proportion ``failures / n``.
 
@@ -349,7 +364,7 @@ def explore_systematic(
     roots: Optional[Sequence[Sequence[int]]] = None,
     on_run: Optional[Callable[[ExplorationRun], None]] = None,
     keep_runs: bool = True,
-    runner: KernelRunner = _default_runner,
+    runner: Optional[KernelRunner] = None,
 ) -> ExplorationResult:
     """Systematic enumeration of the schedule tree.
 
@@ -372,6 +387,7 @@ def explore_systematic(
     """
     if branch not in ("shallow", "deep"):
         raise ValueError(f"branch must be 'shallow' or 'deep', got {branch!r}")
+    runner = _resolve_runner(factory, runner)
     result = ExplorationResult()
     stack: List[List[int]] = (
         [list(root) for root in reversed(list(roots))] if roots is not None else [[]]
@@ -416,8 +432,9 @@ def _explore_seeded(
     stop_on_failure: bool,
     on_run: Optional[Callable[[ExplorationRun], None]],
     keep_runs: bool,
-    runner: KernelRunner,
+    runner: Optional[KernelRunner],
 ) -> ExplorationResult:
+    runner = _resolve_runner(factory, runner)
     result = ExplorationResult()
     for seed in seeds:
         recorder = RecordingScheduler(make_scheduler(seed))
@@ -443,7 +460,7 @@ def explore_random(
     stop_on_failure: bool = False,
     on_run: Optional[Callable[[ExplorationRun], None]] = None,
     keep_runs: bool = True,
-    runner: KernelRunner = _default_runner,
+    runner: Optional[KernelRunner] = None,
 ) -> ExplorationResult:
     """One run per seed under uniform random scheduling."""
     return _explore_seeded(
@@ -465,7 +482,7 @@ def explore_pct(
     stop_on_failure: bool = False,
     on_run: Optional[Callable[[ExplorationRun], None]] = None,
     keep_runs: bool = True,
-    runner: KernelRunner = _default_runner,
+    runner: Optional[KernelRunner] = None,
 ) -> ExplorationResult:
     """One PCT trial per seed (random priorities, ``depth-1`` demotion
     points drawn over ``expected_steps``; see :mod:`repro.vm.pct`)."""

@@ -87,3 +87,15 @@ class PCTScheduler(Scheduler):
             self._priorities[chosen] = self._floor  # demote below everyone
         self._step += 1
         return best_index
+
+
+# -- registry hookup --------------------------------------------------------
+
+from repro.run.registry import register_scheduler  # noqa: E402
+
+
+@register_scheduler("pct")
+def _build_pct(
+    seed=None, *, pct_depth: int = 3, pct_expected_steps: int = 200, **_params
+) -> Scheduler:
+    return PCTScheduler(seed, depth=pct_depth, expected_steps=pct_expected_steps)

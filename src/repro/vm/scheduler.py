@@ -214,3 +214,30 @@ class RecordingScheduler(Scheduler):
 
     def decision_indices(self) -> List[int]:
         return [d.chosen for d in self.log]
+
+
+# -- registry hookup (names usable in RunConfig.scheduler) ------------------
+# Imports sit at the bottom so repro.run.registry (which imports nothing
+# from repro) never participates in a cycle with this module.
+
+from repro.run.registry import register_scheduler  # noqa: E402
+
+
+@register_scheduler("fifo")
+def _build_fifo(seed=None, **_params) -> Scheduler:
+    return FifoScheduler()
+
+
+@register_scheduler("round-robin")
+def _build_round_robin(seed=None, **_params) -> Scheduler:
+    return RoundRobinScheduler()
+
+
+@register_scheduler("random")
+def _build_random(seed=None, **_params) -> Scheduler:
+    return RandomScheduler(seed)
+
+
+@register_scheduler("replay")
+def _build_replay(seed=None, *, prefix=(), **_params) -> Scheduler:
+    return ReplayScheduler(list(prefix), fallback=FifoScheduler())

@@ -254,11 +254,15 @@ class TestJournalAndResume:
         assert len(CampaignJournal(journal_path).load().shards) == 4
 
 class TestCampaignMetrics:
-    def test_metrics_out_requires_metrics(self):
-        with pytest.raises(CampaignError, match="metrics"):
-            CampaignSpec(
-                factory="pc-ok", metrics_out="/tmp/m.jsonl"
-            ).validate()
+    def test_metrics_out_implies_metrics(self):
+        spec = CampaignSpec(factory="pc-ok", metrics_out="/tmp/m.jsonl")
+        spec.validate()
+        assert spec.metrics is True
+
+    def test_metrics_prom_implies_metrics(self):
+        spec = CampaignSpec(factory="pc-ok", metrics_prom="/tmp/m.prom")
+        spec.validate()
+        assert spec.metrics is True
 
     def test_fingerprint_includes_metrics(self):
         base = CampaignSpec(factory="pc-bug", budget=100)

@@ -6,6 +6,13 @@ import pytest
 from repro.engine import CampaignError, CampaignSpec, ProgressTracker, run_campaign
 from repro.engine.shards import Shard
 from repro.engine.worker import WorkerTask, execute_shard
+from repro.run import RunConfig, RunConfigError
+
+
+def run_config(**kwargs):
+    defaults = dict(workload="pc-bug")
+    defaults.update(kwargs)
+    return RunConfig(**defaults)
 
 
 def random_shard(seeds=(0, 1, 2, 3)):
@@ -54,14 +61,14 @@ class TestSpecValidation:
     def test_worker_task_carries_detection(self):
         spec = CampaignSpec(factory="pc-bug", detect=True, trace_mode="none")
         task = spec.worker_task(random_shard())
-        assert task.detect
-        assert task.trace_mode == "none"
+        assert task.config.detect
+        assert task.config.trace_mode == "none"
 
 
 class TestWorkerDetection:
     def test_summaries_carry_detection(self):
         task = WorkerTask(
-            shard=random_shard(), factory_spec="pc-bug", detect=True
+            shard=random_shard(), config=run_config(detect=True)
         )
         outcome = execute_shard(task)
         assert outcome.summaries
@@ -73,7 +80,7 @@ class TestWorkerDetection:
 
     def test_detection_survives_dict_round_trip(self):
         task = WorkerTask(
-            shard=random_shard(), factory_spec="pc-bug", detect=True
+            shard=random_shard(), config=run_config(detect=True)
         )
         outcome = execute_shard(task)
         from repro.testing.explorer import RunSummary
@@ -85,29 +92,29 @@ class TestWorkerDetection:
 
     def test_no_detect_leaves_detection_none(self):
         outcome = execute_shard(
-            WorkerTask(shard=random_shard(), factory_spec="pc-bug")
+            WorkerTask(shard=random_shard(), config=run_config())
         )
         assert all(s.detection is None for s in outcome.summaries)
 
     def test_trace_none_without_detect_rejected(self):
-        with pytest.raises(ValueError, match="observes nothing"):
+        with pytest.raises(RunConfigError, match="observes nothing"):
             execute_shard(
                 WorkerTask(
                     shard=random_shard(),
-                    factory_spec="pc-bug",
-                    trace_mode="none",
+                    config=run_config(trace_mode="none"),
                 )
             )
 
     def test_trace_none_with_coverage_rejected(self):
-        with pytest.raises(ValueError, match="coverage"):
+        with pytest.raises(RunConfigError, match="coverage"):
             execute_shard(
                 WorkerTask(
                     shard=random_shard(),
-                    factory_spec="pc-bug",
-                    detect=True,
-                    trace_mode="none",
-                    coverage_spec="repro.components:ProducerConsumer",
+                    config=run_config(
+                        detect=True,
+                        trace_mode="none",
+                        coverage="repro.components:ProducerConsumer",
+                    ),
                 )
             )
 

@@ -10,7 +10,14 @@ from repro.engine.worker import (
     execute_shard,
     worker_main,
 )
+from repro.run import RunConfig
 from repro.vm import Kernel, RandomScheduler, RunStatus, Tick
+
+
+def run_config(**kwargs):
+    defaults = dict(workload="pc-ok")
+    defaults.update(kwargs)
+    return RunConfig(**defaults)
 
 
 def spin_factory(scheduler):
@@ -71,6 +78,34 @@ class TestTimedRunner:
         _timed_runner(0.2)(spin_factory(RandomScheduler(seed=0)))
         assert signal.getitimer(signal.ITIMER_REAL)[0] == 0.0
 
+    def test_previous_handler_restored(self):
+        # A timeout in one run must not leave the runner's SIGALRM
+        # handler (or a live alarm) behind to fire into the next run.
+        import signal
+
+        sentinel = []
+
+        def ours(signum, frame):
+            sentinel.append(signum)
+
+        previous = signal.signal(signal.SIGALRM, ours)
+        try:
+            _timed_runner(0.2)(spin_factory(RandomScheduler(seed=0)))
+            assert signal.getsignal(signal.SIGALRM) is ours
+            signal.raise_signal(signal.SIGALRM)
+            assert sentinel  # our handler is back in place and live
+        finally:
+            signal.signal(signal.SIGALRM, previous)
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+
+    def test_handler_restored_on_completion(self):
+        import signal
+
+        previous = signal.getsignal(signal.SIGALRM)
+        _timed_runner(10.0)(_quick_kernel())
+        assert signal.getsignal(signal.SIGALRM) is previous
+        assert signal.getitimer(signal.ITIMER_REAL)[0] == 0.0
+
 
 def _quick_kernel():
     kernel = Kernel(scheduler=RandomScheduler(seed=0))
@@ -84,7 +119,7 @@ def _quick_kernel():
 
 class TestExecuteShard:
     def test_random_shard_summaries(self):
-        task = WorkerTask(shard=random_shard((5, 6, 7)), factory_spec="pc-ok")
+        task = WorkerTask(shard=random_shard((5, 6, 7)), config=run_config())
         streamed = []
         outcome = execute_shard(task, emit=streamed.append)
         assert [s.seed for s in outcome.summaries] == [5, 6, 7]
@@ -94,8 +129,9 @@ class TestExecuteShard:
     def test_timeout_shard_reports_timeout_status(self):
         task = WorkerTask(
             shard=random_shard((0,)),
-            factory_spec=f"{__name__}:spin_factory",
-            run_timeout=0.2,
+            config=run_config(
+                workload=f"{__name__}:spin_factory", timeout=0.2
+            ),
         )
         outcome = execute_shard(task)
         assert [s.status for s in outcome.summaries] == ["timeout"]
@@ -107,7 +143,9 @@ class TestExecuteShard:
             prefixes=((),),
             max_runs=10_000,
         )
-        task = WorkerTask(shard=shard, factory_spec="racing-locks")
+        task = WorkerTask(
+            shard=shard, config=run_config(workload="racing-locks")
+        )
         outcome = execute_shard(task)
         assert outcome.exhausted
         assert any(s.status == "deadlock" for s in outcome.summaries)
@@ -115,8 +153,7 @@ class TestExecuteShard:
     def test_coverage_hits_attached(self):
         task = WorkerTask(
             shard=random_shard((0, 1)),
-            factory_spec="pc-ok",
-            coverage_spec="repro.components:ProducerConsumer",
+            config=run_config(coverage="repro.components:ProducerConsumer"),
         )
         outcome = execute_shard(task)
         assert all(s.arc_hits for s in outcome.summaries)
@@ -126,13 +163,12 @@ class TestExecuteShard:
     def test_unknown_mode_rejected(self):
         shard = Shard(shard_id="x", mode="bogus", max_runs=1)
         with pytest.raises(ValueError, match="unknown shard mode"):
-            execute_shard(WorkerTask(shard=shard, factory_spec="pc-ok"))
+            execute_shard(WorkerTask(shard=shard, config=run_config()))
 
     def test_bad_coverage_spec_rejected(self):
         task = WorkerTask(
             shard=random_shard((0,)),
-            factory_spec="pc-ok",
-            coverage_spec="nodots",
+            config=run_config(coverage="nodots"),
         )
         with pytest.raises(ValueError, match="module:Class"):
             execute_shard(task)
@@ -141,7 +177,7 @@ class TestExecuteShard:
 class TestWorkerMain:
     def test_message_protocol(self):
         queue = FakeQueue()
-        task = WorkerTask(shard=random_shard((0, 1)), factory_spec="pc-ok")
+        task = WorkerTask(shard=random_shard((0, 1)), config=run_config())
         worker_main(task, queue)
         kinds = [m[0] for m in queue.messages]
         assert kinds == ["run", "run", "done"]
@@ -152,6 +188,6 @@ class TestWorkerMain:
     def test_failure_reported_not_raised(self):
         queue = FakeQueue()
         shard = Shard(shard_id="x", mode="bogus", max_runs=1)
-        worker_main(WorkerTask(shard=shard, factory_spec="pc-ok"), queue)
+        worker_main(WorkerTask(shard=shard, config=run_config()), queue)
         assert queue.messages[-1][0] == "fail"
         assert "bogus" in queue.messages[-1][2]

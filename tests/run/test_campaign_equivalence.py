@@ -1,0 +1,84 @@
+"""Campaign-from-RunConfig equivalence: a CampaignSpec built through
+RunConfig must journal byte-for-byte what the directly-built spec
+journals, and resume must reproduce identical aggregates."""
+
+from repro.engine import CampaignSpec, run_campaign
+from repro.run import RunConfig
+
+
+def detect_config():
+    return RunConfig(workload="pc-bug", scheduler="random", detect=True)
+
+
+CAMPAIGN_KW = dict(budget=30, workers=0, shard_size=10)
+
+
+class TestSpecEquivalence:
+    def test_from_run_config_round_trips_through_run_config(self):
+        direct = CampaignSpec(
+            factory="pc-bug", mode="random", detect=True, **CAMPAIGN_KW
+        )
+        rebuilt = CampaignSpec.from_run_config(direct.run_config(), **CAMPAIGN_KW)
+        assert rebuilt == direct
+
+    def test_fingerprints_match(self):
+        direct = CampaignSpec(
+            factory="pc-bug", mode="random", detect=True, **CAMPAIGN_KW
+        )
+        rebuilt = CampaignSpec.from_run_config(detect_config(), **CAMPAIGN_KW)
+        assert rebuilt.fingerprint() == direct.fingerprint()
+
+    def test_template_workload_round_trips(self):
+        config = RunConfig(
+            workload="pc", component="SingleNotifyProducerConsumer"
+        )
+        spec = CampaignSpec.from_run_config(config, **CAMPAIGN_KW)
+        spec.validate()
+        assert spec.run_config().component == config.component
+
+
+class TestJournalEquivalence:
+    def test_journal_bytes_identical_direct_vs_from_run_config(self, tmp_path):
+        direct_journal = tmp_path / "direct.jsonl"
+        rebuilt_journal = tmp_path / "rebuilt.jsonl"
+        direct = CampaignSpec(
+            factory="pc-bug",
+            mode="random",
+            detect=True,
+            journal_path=str(direct_journal),
+            **CAMPAIGN_KW,
+        )
+        rebuilt = CampaignSpec.from_run_config(
+            detect_config(), journal_path=str(rebuilt_journal), **CAMPAIGN_KW
+        )
+        first = run_campaign(direct)
+        second = run_campaign(rebuilt)
+        assert first.class_counts == second.class_counts
+        assert direct_journal.read_bytes() == rebuilt_journal.read_bytes()
+
+    def test_resume_leaves_journal_bytes_unchanged(self, tmp_path):
+        journal = tmp_path / "camp.jsonl"
+        spec = CampaignSpec.from_run_config(
+            detect_config(), journal_path=str(journal), **CAMPAIGN_KW
+        )
+        first = run_campaign(spec)
+        before = journal.read_bytes()
+        resumed = run_campaign(spec, resume=True)
+        assert journal.read_bytes() == before
+        assert resumed.shards_resumed == first.shards_total
+        assert resumed.class_counts == first.class_counts
+
+    def test_resume_reproduces_merged_metrics(self, tmp_path):
+        journal = tmp_path / "camp.jsonl"
+        config = RunConfig(
+            workload="pc-bug", scheduler="random", detect=True, metrics=True
+        )
+        spec = CampaignSpec.from_run_config(
+            config, journal_path=str(journal), **CAMPAIGN_KW
+        )
+        first = run_campaign(spec)
+        resumed = run_campaign(spec, resume=True)
+        assert first.metrics is not None and resumed.metrics is not None
+        # both registries are merged from the very same journaled
+        # snapshots, so every series — names, labels, values — must agree
+        assert resumed.metrics.to_dict() == first.metrics.to_dict()

@@ -1,0 +1,116 @@
+"""Tests for the run-assembly registries."""
+
+import pytest
+
+from repro.run.registry import (
+    COMPONENTS,
+    DETECTORS,
+    SCHEDULERS,
+    WORKLOADS,
+    Registry,
+    UnknownNameError,
+    load_builtins,
+)
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        reg: Registry = Registry("widget")
+
+        @reg.register("thing")
+        def make_thing():
+            return 42
+
+        assert "thing" in reg
+        assert len(reg) == 1
+        assert reg.get("thing") is make_thing
+        assert reg.names() == ["thing"]
+
+    def test_names_sorted(self):
+        reg: Registry = Registry("widget")
+        reg.add("zeta", object())
+        reg.add("alpha", object())
+        assert reg.names() == ["alpha", "zeta"]
+
+    def test_same_object_reregistration_is_noop(self):
+        reg: Registry = Registry("widget")
+        obj = object()
+        reg.add("x", obj)
+        reg.add("x", obj)  # no error
+        assert reg.get("x") is obj
+
+    def test_conflicting_registration_rejected(self):
+        reg: Registry = Registry("widget")
+        reg.add("x", object())
+        with pytest.raises(ValueError, match="already registered"):
+            reg.add("x", object())
+
+    def test_replace_flag(self):
+        reg: Registry = Registry("widget")
+        reg.add("x", object())
+        new = object()
+        reg.add("x", new, replace=True)
+        assert reg.get("x") is new
+
+    def test_unknown_name_error(self):
+        reg: Registry = Registry("widget")
+        reg.add("alpha", object())
+        with pytest.raises(UnknownNameError) as info:
+            reg.get("beta")
+        assert isinstance(info.value, KeyError)
+        message = str(info.value)
+        assert "unknown widget 'beta'" in message
+        assert "alpha" in message
+
+    def test_items_iterates_pairs(self):
+        reg: Registry = Registry("widget")
+        obj = object()
+        reg.add("x", obj)
+        assert dict(reg.items()) == {"x": obj}
+
+
+class TestBuiltins:
+    def test_load_builtins_populates_all_four(self):
+        load_builtins()
+        assert "ProducerConsumer" in COMPONENTS
+        assert "SingleNotifyProducerConsumer" in COMPONENTS
+        for name in ("pc", "pc-ok", "pc-bug", "deadlock-pair", "racing-locks"):
+            assert name in WORKLOADS
+        for name in ("fifo", "round-robin", "random", "pct", "replay"):
+            assert name in SCHEDULERS
+        for name in (
+            "lockset",
+            "hb",
+            "lockgraph",
+            "waitgraph",
+            "starvation",
+            "contention",
+            "completion",
+        ):
+            assert name in DETECTORS
+
+    def test_load_builtins_idempotent(self):
+        load_builtins()
+        before = (len(COMPONENTS), len(WORKLOADS), len(SCHEDULERS), len(DETECTORS))
+        load_builtins()
+        after = (len(COMPONENTS), len(WORKLOADS), len(SCHEDULERS), len(DETECTORS))
+        assert before == after
+
+    def test_pc_template_marked(self):
+        load_builtins()
+        assert getattr(WORKLOADS.get("pc"), "needs_component", False)
+        assert not getattr(WORKLOADS.get("pc-ok"), "needs_component", False)
+
+    def test_scheduler_builders_accept_seed_and_params(self):
+        load_builtins()
+        for name in ("fifo", "round-robin", "random", "pct", "replay"):
+            scheduler = SCHEDULERS.get(name)(
+                7, prefix=(0, 1), pct_depth=2, pct_expected_steps=50
+            )
+            assert scheduler is not None
+
+    def test_detector_factories_build_and_reset(self):
+        load_builtins()
+        for name in DETECTORS.names():
+            detector = DETECTORS.get(name)()
+            detector.reset()  # every registered detector supports reuse

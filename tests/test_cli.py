@@ -509,6 +509,74 @@ class TestTelemetryCommands:
             main(["profile", "no-such", "--runs", "2"])
 
 
+class TestScenarioRun:
+    def _write(self, tmp_path, text):
+        import pytest as _pytest
+
+        _pytest.importorskip("tomllib")
+        path = tmp_path / "scenario.toml"
+        path.write_text(text)
+        return str(path)
+
+    def test_single_run_scenario(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, '[run]\nworkload = "pc-ok"\nscheduler = "fifo"\n'
+        )
+        assert main(["run", path]) == 0
+        assert "pc-ok: completed" in capsys.readouterr().out
+
+    def test_template_scenario(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            '[run]\nworkload = "pc"\ncomponent = "ProducerConsumer"\n'
+            'scheduler = "fifo"\n',
+        )
+        assert main(["run", path]) == 0
+
+    def test_explore_scenario(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            '[run]\nworkload = "pc-bug"\nscheduler = "random"\n'
+            '[explore]\nruns = 30\nseeds = "0:30"\n',
+        )
+        assert main(["run", path]) == 2
+        out = capsys.readouterr().out
+        assert "explored 30 schedules" in out
+        assert "failure rate" in out
+
+    def test_campaign_scenario(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            '[run]\nworkload = "pc-bug"\nscheduler = "random"\ndetect = true\n'
+            "[campaign]\nbudget = 30\nworkers = 0\nquiet = true\n",
+        )
+        assert main(["run", path]) == 2
+        out = capsys.readouterr().out
+        assert "failure classes:" in out
+
+    def test_campaign_scenario_journal_resume(self, tmp_path, capsys):
+        journal = tmp_path / "camp.jsonl"
+        path = self._write(
+            tmp_path,
+            '[run]\nworkload = "pc-ok"\nscheduler = "random"\n'
+            f'[campaign]\nbudget = 10\nworkers = 0\nquiet = true\n'
+            f'journal = "{journal}"\nresume = true\n',
+        )
+        assert main(["run", path]) == 0
+        capsys.readouterr()
+        assert main(["run", path]) == 0  # resume = true skips journaled work
+        assert "resumed" in capsys.readouterr().out
+
+    def test_bad_scenario_clean_error(self, tmp_path):
+        path = self._write(tmp_path, '[run]\nworkload = "no-such"\n')
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["run", path])
+
+    def test_missing_scenario_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["run", str(tmp_path / "nope.toml")])
+
+
 class TestShippedScript:
     def test_examples_script_passes(self, capsys):
         import pathlib
