@@ -1,0 +1,57 @@
+"""Bench Ext-K: corpus-scale detection rates.
+
+The mutation corpus turns Table 1's detection column into a measured
+quantity: generate every labeled mutant of the bounded buffer and the
+readers-writers monitor, sweep each through the full detector set over
+a fixed seed budget, and report per-class precision/recall against the
+injected ground truth.  The bench times corpus *generation* (the AST
+pipeline: site discovery, mutation, digesting — the part that scales
+with component count), asserts the detection-rate floor the corpus is
+expected to hold, and writes the rendered report for EXPERIMENTS.md.
+
+Structural expectations (deterministic — fixed seeds, no wall-clock):
+
+* every control (baseline or ``dup_notify``) stays clean;
+* the statically-caught classes (EF-T1, FF-T1) have perfect recall;
+* EF-T5 (the ``wait_if`` mutants, via the reentry detector) has
+  perfect recall;
+* the overall catch rate clears 80% — the known survivors are the
+  near-equivalent single-sided ``notify_single`` mutants.
+"""
+
+from conftest import write_result
+
+from repro.corpus import (
+    build_report,
+    generate_corpus,
+    load_corpus,
+    sweep_corpus,
+)
+
+COMPONENTS = ["bounded_buffer", "readers_writers"]
+SEEDS = 8
+
+
+def test_corpus_detection_rates(benchmark, results_dir, tmp_path):
+    records = benchmark(generate_corpus, COMPONENTS)
+    assert len(records) >= 50
+    faulty = [r for r in records if not r.is_control]
+    assert len(faulty) >= 40
+
+    load_corpus(records)
+    results = sweep_corpus(records, str(tmp_path / "sweep"), seeds=SEEDS)
+    report = build_report(results)
+
+    assert not report.noisy_controls, [r.variant_id for r in report.noisy_controls]
+    for code in ("EF-T1", "EF-T5", "FF-T1"):
+        assert report.stats[code].recall == 1.0, code
+    assert report.catch_rate() >= 0.8
+    assert all(
+        "notify_single" in "+".join(r.operators) for r in report.missed
+    ), "an unexpected operator class survived the sweep"
+
+    write_result(
+        results_dir,
+        "extK_corpus_rates.txt",
+        f"seeds per variant: {SEEDS}\n" + report.describe(),
+    )

@@ -65,7 +65,14 @@ CANDIDATES: Dict[Symptom, Tuple[FailureClass, ...]] = {
     Symptom.UNNECESSARY_SYNC: (FailureClass.EF_T1,),
     Symptom.PERMANENTLY_BLOCKED: (FailureClass.FF_T2, FailureClass.FF_T4),
     Symptom.DEADLOCK_CYCLE: (FailureClass.FF_T4, FailureClass.FF_T2),
-    Symptom.PERMANENTLY_WAITING: (FailureClass.FF_T5, FailureClass.EF_T3),
+    # FF-T2 "way 2": a waiter whose guard never clears because other
+    # threads repeatedly (re)acquire the lock it needs — the paper's
+    # starvation case also ends "permanently suspended" (§5.2.1)
+    Symptom.PERMANENTLY_WAITING: (
+        FailureClass.FF_T5,
+        FailureClass.EF_T3,
+        FailureClass.FF_T2,
+    ),
     Symptom.NEVER_COMPLETES: (FailureClass.FF_T4,),
     Symptom.COMPLETED_EARLY: (
         FailureClass.FF_T3,
@@ -171,9 +178,20 @@ class SymptomTracker:
         self._waits: Dict[Optional[str], Set[str]] = {}
         # notifies with an empty "woken" list, in emission order
         self._lost: List[Tuple[str, str, Optional[str], Optional[str], Optional[str]]] = []
+        # thread -> component monitors released while a call on that
+        # component is still open (cleared on reacquire / call end)
+        self._released: Dict[str, Set[str]] = {}
+        # (thread, component, method) triples that accessed component
+        # state after such a release — the EF-T4 premature-release signal
+        self._premature: Dict[Tuple[str, str, str], None] = {}
 
     def reset(self) -> None:
         self.__init__()
+
+    def _in_open_call(self, thread: str, component: Optional[str]) -> bool:
+        return any(
+            comp == component for comp, _ in self._open_calls.get(thread, ())
+        )
 
     def on_event(self, event: Event) -> None:
         kind = event.kind
@@ -184,9 +202,39 @@ class SymptomTracker:
         elif kind is EventKind.CALL_END:
             stack = self._open_calls.get(event.thread)
             if stack:
-                stack.pop()
+                component, _ = stack.pop()
+                self._released.get(event.thread, set()).discard(component)
         elif kind is EventKind.MONITOR_WAIT:
             self._waits.setdefault(event.monitor, set()).add(event.thread)
+        elif kind is EventKind.MONITOR_RELEASE:
+            # The full (non-reentrant) release of a monitor whose component
+            # still has an open call on this thread: the critical section
+            # is no longer protected.  Normal method exits look the same
+            # (the wrapper releases just before CALL_END) but perform no
+            # further component access, so they never flag.
+            if not event.detail.get("reentrant") and not event.detail.get(
+                "abandoned"
+            ):
+                if event.monitor and self._in_open_call(
+                    event.thread, event.monitor
+                ):
+                    self._released.setdefault(event.thread, set()).add(
+                        event.monitor
+                    )
+        elif kind is EventKind.MONITOR_ACQUIRE:
+            if event.monitor:
+                self._released.get(event.thread, set()).discard(event.monitor)
+        elif kind in (EventKind.READ, EventKind.WRITE):
+            if event.component and event.component in self._released.get(
+                event.thread, ()
+            ):
+                self._premature.setdefault(
+                    (
+                        event.thread,
+                        event.component,
+                        event.method or "?",
+                    )
+                )
         elif kind in (EventKind.NOTIFY, EventKind.NOTIFY_ALL):
             if not event.detail.get("woken"):
                 self._lost.append(
@@ -242,6 +290,19 @@ class SymptomTracker:
                 for t in threads
             )
         }
+        for thread, component, method in self._premature:
+            observations.append(
+                (
+                    Symptom.PREMATURE_RELEASE,
+                    {
+                        "thread": thread,
+                        "component": component,
+                        "method": method,
+                        "detail": f"{component}.{method} accessed shared state "
+                        f"after releasing the monitor mid-call",
+                    },
+                )
+            )
         for thread, kind_value, monitor, component, method in self._lost:
             if monitor in waiting_monitors:
                 observations.append(

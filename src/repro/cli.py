@@ -16,6 +16,10 @@
         --journal camp.jsonl [--resume] [--detect --trace-mode none] \\
         [--metrics-out metrics.jsonl]
     python -m repro profile pc-bug --runs 50
+    python -m repro registry list [components|workloads|schedulers|detectors]
+    python -m repro corpus generate --components bounded_buffer,readers_writers
+    python -m repro corpus sweep --manifest corpus.jsonl --out sweep/ [--resume]
+    python -m repro corpus report --results sweep/results.jsonl [--json]
 
 The ``run`` command executes a ConAn-style test script (see
 :mod:`repro.testing.script` for the format) — or, given a ``.toml``
@@ -551,6 +555,117 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 2 if result.failures() else 0
 
 
+def _cmd_registry_list(args: argparse.Namespace) -> int:
+    from repro.run.registry import (
+        COMPONENTS,
+        DETECTORS,
+        SCHEDULERS,
+        WORKLOADS,
+        load_builtins,
+    )
+
+    load_builtins()
+    registries = {
+        "components": COMPONENTS,
+        "workloads": WORKLOADS,
+        "schedulers": SCHEDULERS,
+        "detectors": DETECTORS,
+    }
+    kinds = [args.kind] if args.kind else list(registries)
+    for kind in kinds:
+        names = registries[kind].names()
+        if args.kind:
+            for name in names:
+                print(name)
+        else:
+            print(f"{kind} ({len(names)}):")
+            for name in names:
+                print(f"  {name}")
+    return 0
+
+
+def _cmd_corpus_generate(args: argparse.Namespace) -> int:
+    from repro.corpus import CorpusError, generate_corpus, write_manifest
+
+    components = [c.strip() for c in args.components.split(",") if c.strip()]
+    if not components:
+        raise SystemExit("error: --components needs at least one name")
+    try:
+        records = generate_corpus(components, pair_cap=args.pair_cap)
+    except CorpusError as exc:
+        raise SystemExit(f"error: {exc}")
+    write_manifest(records, args.out)
+    faulty = sum(1 for r in records if not r.is_control)
+    print(
+        f"wrote {len(records)} variants ({faulty} faulty, "
+        f"{len(records) - faulty} controls) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_corpus_sweep(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.corpus import (
+        CorpusError,
+        SweepResult,
+        build_report,
+        load_corpus,
+        read_manifest,
+        sweep_corpus,
+        write_results,
+    )
+    from repro.engine import CampaignError
+    from repro.engine.journal import JournalError
+
+    try:
+        records = read_manifest(args.manifest)
+        load_corpus(records)
+    except (OSError, CorpusError) as exc:
+        raise SystemExit(f"error: {exc}")
+
+    def on_variant(result: SweepResult) -> None:
+        if args.quiet:
+            return
+        mark = "." if result.is_control else ("+" if result.caught else "!")
+        detected = ", ".join(result.detected) or "clean"
+        print(f"  [{mark}] {result.variant_id}: {detected}", file=sys.stderr)
+
+    try:
+        results = sweep_corpus(
+            records,
+            args.out,
+            seeds=args.seeds,
+            resume=args.resume,
+            timeout=args.timeout,
+            on_variant=on_variant,
+        )
+    except (CorpusError, CampaignError, JournalError) as exc:
+        raise SystemExit(f"error: {exc}")
+    results_path = os.path.join(args.out, "results.jsonl")
+    write_results(results, results_path, seeds=args.seeds)
+    print(f"results written to {results_path}")
+    print()
+    print(build_report(results).describe())
+    return 0
+
+
+def _cmd_corpus_report(args: argparse.Namespace) -> int:
+    from repro.corpus import CorpusError, build_report, read_results
+
+    try:
+        report = build_report(read_results(args.results))
+    except (OSError, CorpusError) as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.describe())
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.engine.workloads import resolve_factory
     from repro.obs import profile_workload
@@ -805,6 +920,86 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress live progress on stderr"
     )
     p_campaign.set_defaults(func=_cmd_campaign)
+
+    p_registry = sub.add_parser(
+        "registry", help="inspect the run-assembly registries"
+    )
+    registry_sub = p_registry.add_subparsers(dest="registry_command", required=True)
+    p_reg_list = registry_sub.add_parser(
+        "list",
+        help="list registered names (all four registries, or one kind)",
+    )
+    p_reg_list.add_argument(
+        "kind",
+        nargs="?",
+        choices=["components", "workloads", "schedulers", "detectors"],
+        help="restrict to one registry (bare names, one per line)",
+    )
+    p_reg_list.set_defaults(func=_cmd_registry_list)
+
+    p_corpus = sub.add_parser(
+        "corpus",
+        help="mutation-based component corpus: generate labeled variants, "
+        "sweep them through detection campaigns, report per-class rates",
+    )
+    corpus_sub = p_corpus.add_subparsers(dest="corpus_command", required=True)
+
+    p_cgen = corpus_sub.add_parser(
+        "generate", help="generate a labeled variant corpus manifest"
+    )
+    p_cgen.add_argument(
+        "--components",
+        required=True,
+        help="comma-separated component names (e.g. bounded_buffer,readers_writers)",
+    )
+    p_cgen.add_argument(
+        "--out", default="corpus.jsonl", help="manifest path (JSONL)"
+    )
+    p_cgen.add_argument(
+        "--pair-cap",
+        type=int,
+        default=20,
+        help="max second-order (paired-operator) variants per component",
+    )
+    p_cgen.set_defaults(func=_cmd_corpus_generate)
+
+    p_csweep = corpus_sub.add_parser(
+        "sweep",
+        help="run one detection campaign per manifest variant "
+        "(resumable; journals live under --out)",
+    )
+    p_csweep.add_argument("--manifest", required=True, help="corpus manifest path")
+    p_csweep.add_argument(
+        "--out", required=True, help="sweep directory (journals + results.jsonl)"
+    )
+    p_csweep.add_argument(
+        "--seeds", type=int, default=40, help="random schedules per variant"
+    )
+    p_csweep.add_argument(
+        "--timeout", type=float, default=10.0, help="per-run wall-clock seconds"
+    )
+    p_csweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip variants/shards already journaled under --out",
+    )
+    p_csweep.add_argument(
+        "--quiet", action="store_true", help="suppress per-variant progress"
+    )
+    p_csweep.set_defaults(func=_cmd_corpus_sweep)
+
+    p_creport = corpus_sub.add_parser(
+        "report",
+        help="per-failure-class precision/recall and confusion table "
+        "from sweep results",
+    )
+    p_creport.add_argument(
+        "--results", required=True, help="results.jsonl from a sweep"
+    )
+    p_creport.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    p_creport.set_defaults(func=_cmd_corpus_report)
 
     p_profile = sub.add_parser(
         "profile",

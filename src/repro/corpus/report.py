@@ -1,0 +1,188 @@
+"""Corpus report: detection rates against the mutation ground truth.
+
+Joins sweep results with their manifest labels to answer the evaluation
+question the corpus exists for: *when a known failure class is injected,
+do the detectors find it — and do they cry wolf when nothing is wrong?*
+
+Per failure class, over the non-control variants:
+
+* **TP** — variants expecting the class where it was detected;
+* **FN** — variants expecting the class where it was not;
+* **FP** — variants (including controls) where the class was detected
+  without being expected;
+
+precision = TP / (TP + FP), recall = TP / (TP + FN).  The confusion
+table counts, for every expected-label row (``control`` for baselines
+and benign mutations), how often each class was detected — the honest
+view of conflations like a ``lock_shuffle`` deadlock classifying as
+FF-T4 where the registry's exemplar says FF-T2 (both are right: Table 1
+lists the deadlock cycle under both).
+
+Everything is computed from the deterministic sweep results, so the
+rendered report is byte-stable across resumes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from .sweep import SweepResult
+
+__all__ = ["ClassStats", "CorpusReport", "build_report"]
+
+
+@dataclass(frozen=True)
+class ClassStats:
+    """Detection accuracy for one failure class over the corpus."""
+
+    code: str
+    tp: int
+    fn: int
+    fp: int
+
+    @property
+    def precision(self) -> float:
+        total = self.tp + self.fp
+        return self.tp / total if total else 1.0
+
+    @property
+    def recall(self) -> float:
+        total = self.tp + self.fn
+        return self.tp / total if total else 1.0
+
+
+@dataclass
+class CorpusReport:
+    """Per-class accuracy plus the expected-vs-detected confusion table."""
+
+    results: List[SweepResult]
+    stats: Dict[str, ClassStats] = field(default_factory=dict)
+    #: expected-label row ("+"-joined classes, or "control") ->
+    #: Counter of detected class codes; "(clean)" counts no-finding runs
+    confusion: Dict[str, Counter[str]] = field(default_factory=dict)
+
+    @property
+    def variants(self) -> int:
+        return len(self.results)
+
+    @property
+    def faulty(self) -> List[SweepResult]:
+        return [r for r in self.results if not r.is_control]
+
+    @property
+    def controls(self) -> List[SweepResult]:
+        return [r for r in self.results if r.is_control]
+
+    @property
+    def caught(self) -> List[SweepResult]:
+        return [r for r in self.faulty if r.caught]
+
+    @property
+    def missed(self) -> List[SweepResult]:
+        return [r for r in self.faulty if not r.caught]
+
+    @property
+    def noisy_controls(self) -> List[SweepResult]:
+        """Controls where any class was detected (false alarms)."""
+        return [r for r in self.controls if r.detected]
+
+    def catch_rate(self) -> float:
+        return len(self.caught) / len(self.faulty) if self.faulty else 1.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "variants": self.variants,
+            "faulty": len(self.faulty),
+            "controls": len(self.controls),
+            "caught": len(self.caught),
+            "catch_rate": round(self.catch_rate(), 4),
+            "classes": {
+                code: {
+                    "tp": s.tp,
+                    "fn": s.fn,
+                    "fp": s.fp,
+                    "precision": round(s.precision, 4),
+                    "recall": round(s.recall, 4),
+                }
+                for code, s in sorted(self.stats.items())
+            },
+            "confusion": {
+                row: dict(sorted(counts.items()))
+                for row, counts in sorted(self.confusion.items())
+            },
+            "missed": [r.variant_id for r in self.missed],
+            "noisy_controls": [r.variant_id for r in self.noisy_controls],
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"corpus report: {self.variants} variants "
+            f"({len(self.faulty)} faulty, {len(self.controls)} controls)",
+            f"  caught: {len(self.caught)}/{len(self.faulty)} faulty variants "
+            f"({self.catch_rate():.0%}) detected as an expected class",
+        ]
+        if self.stats:
+            lines.append("  per-class detection:")
+            lines.append(
+                "    class   precision  recall   (tp/fn/fp)"
+            )
+            for code in sorted(self.stats):
+                s = self.stats[code]
+                lines.append(
+                    f"    {code:<7} {s.precision:>8.0%} {s.recall:>7.0%}"
+                    f"   ({s.tp}/{s.fn}/{s.fp})"
+                )
+        lines.append("  confusion (expected -> detected):")
+        for row in sorted(self.confusion):
+            counts = self.confusion[row]
+            bits = ", ".join(
+                f"{code}: {n}" for code, n in sorted(counts.items())
+            )
+            lines.append(f"    {row:<24} {bits or '-'}")
+        if self.missed:
+            lines.append("  missed variants:")
+            lines.extend(
+                f"    {r.variant_id} (expected {', '.join(r.expected)}; "
+                f"detected {', '.join(r.detected) or 'nothing'})"
+                for r in self.missed
+            )
+        if self.noisy_controls:
+            lines.append("  noisy controls (false alarms):")
+            lines.extend(
+                f"    {r.variant_id} (detected {', '.join(r.detected)})"
+                for r in self.noisy_controls
+            )
+        else:
+            lines.append("  controls: all clean")
+        return "\n".join(lines)
+
+
+def build_report(results: List[SweepResult]) -> CorpusReport:
+    """Fold sweep results into per-class stats and the confusion table."""
+    report = CorpusReport(results=list(results))
+    codes = sorted(
+        {c for r in results for c in r.expected}
+        | {c for r in results for c in r.detected}
+    )
+    for code in codes:
+        tp = fn = fp = 0
+        for r in results:
+            expected = code in r.expected
+            detected = code in r.detected
+            if expected and detected:
+                tp += 1
+            elif expected:
+                fn += 1
+            elif detected:
+                fp += 1
+        report.stats[code] = ClassStats(code=code, tp=tp, fn=fn, fp=fp)
+    for r in results:
+        row = "+".join(r.expected) if r.expected else "control"
+        counts = report.confusion.setdefault(row, Counter())
+        if r.detected:
+            counts.update(r.detected)
+        else:
+            counts["(clean)"] += 1
+    return report

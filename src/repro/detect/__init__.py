@@ -54,6 +54,7 @@ from .lockgraph import (
     build_lock_graph,
     detect_lock_cycles,
 )
+from .reentry import OnlineReentryDetector, ReentryFinding, detect_reentry
 from .report import DetectionReport, analyze_run, assemble_report, dedupe_hb_races
 from .starvation import OnlineStarvationDetector, StarvationReport, analyze_starvation
 from .vectorclock import HbRace, OnlineHbDetector, VectorClock, detect_races_hb
@@ -82,11 +83,13 @@ __all__ = [
     "OnlineHbDetector",
     "OnlineLockGraphDetector",
     "OnlineLocksetDetector",
+    "OnlineReentryDetector",
     "OnlineStarvationDetector",
     "OnlineWaitGraphDetector",
     "PipelineFactory",
     "PotentialDeadlock",
     "RaceReport",
+    "ReentryFinding",
     "StarvationReport",
     "VectorClock",
     "Violation",
@@ -101,6 +104,7 @@ __all__ = [
     "detect_lock_cycles",
     "detect_races",
     "detect_races_hb",
+    "detect_reentry",
     "profile_contention",
     "find_deadlock_cycle",
     "reconstruct_final_state",

@@ -141,6 +141,7 @@ class DetectionSummary:
     deadlock_cycle: Tuple[str, ...] = ()
     starvation: int = 0
     completion_violations: int = 0
+    reentry: int = 0
     #: primary failure-class codes (e.g. ``"FF-T4"``), diagnosis order
     classes: Tuple[str, ...] = ()
     #: the early-abort reason when the pipeline stopped the run
@@ -155,6 +156,7 @@ class DetectionSummary:
             or self.deadlock_cycle
             or self.starvation
             or self.completion_violations
+            or self.reentry
             or self.classes
         )
 
@@ -169,6 +171,7 @@ class DetectionSummary:
             deadlock_cycle=tuple(report.deadlock_cycle),
             starvation=len(report.starvation),
             completion_violations=len(report.completion_violations),
+            reentry=len(report.reentry),
             classes=tuple(c.code for c in report.classes_detected()),
             aborted=aborted,
         )
@@ -181,6 +184,7 @@ class DetectionSummary:
             "deadlock_cycle": list(self.deadlock_cycle),
             "starvation": self.starvation,
             "completion_violations": self.completion_violations,
+            "reentry": self.reentry,
             "classes": list(self.classes),
             "aborted": self.aborted,
         }
@@ -194,6 +198,7 @@ class DetectionSummary:
             deadlock_cycle=tuple(data.get("deadlock_cycle", ())),
             starvation=int(data.get("starvation", 0)),
             completion_violations=int(data.get("completion_violations", 0)),
+            reentry=int(data.get("reentry", 0)),
             classes=tuple(data.get("classes", ())),
             aborted=data.get("aborted"),
         )
@@ -287,6 +292,7 @@ class DetectorPipeline:
             completion_violations=found.get("completion", []),
             observations=self.symptoms.observations(result),
             contention=found.get("contention"),
+            reentry=found.get("reentry", []),
         )
 
     def summary(self, result: "RunResult") -> DetectionSummary:

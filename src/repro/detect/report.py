@@ -33,6 +33,7 @@ from .completion import Expectation, Violation, check_completion_times
 from .contention import ContentionReport, profile_contention
 from .eraser import RaceReport, detect_races
 from .lockgraph import PotentialDeadlock, detect_lock_cycles
+from .reentry import ReentryFinding
 from .starvation import StarvationReport, analyze_starvation
 from .vectorclock import HbRace, detect_races_hb
 from .waitgraph import find_deadlock_cycle
@@ -50,6 +51,7 @@ class DetectionReport:
     deadlock_cycle: List[str] = field(default_factory=list)
     starvation: List[StarvationReport] = field(default_factory=list)
     completion_violations: List[Violation] = field(default_factory=list)
+    reentry: List[ReentryFinding] = field(default_factory=list)
     #: measurement, not a failure finding — excluded from ``clean``
     contention: Optional[ContentionReport] = None
     classification: ClassificationReport = field(
@@ -65,6 +67,7 @@ class DetectionReport:
             and not self.deadlock_cycle
             and not self.starvation
             and not self.completion_violations
+            and not self.reentry
             and self.classification.clean
         )
 
@@ -93,6 +96,9 @@ class DetectionReport:
         if self.completion_violations:
             lines.append("completion-time violations:")
             lines.extend(f"  {v}" for v in self.completion_violations)
+        if self.reentry:
+            lines.append("premature re-entries:")
+            lines.extend(f"  {r}" for r in self.reentry)
         lines.append("classification:")
         lines.append(
             "\n".join(f"  {f}" for f in self.classification.failures)
@@ -131,6 +137,7 @@ def assemble_report(
     completion_violations: Sequence[Violation],
     observations: Sequence[Tuple[Symptom, Dict[str, Any]]],
     contention: Optional[ContentionReport] = None,
+    reentry: Sequence[ReentryFinding] = (),
 ) -> DetectionReport:
     """Fold detector findings plus VM-level observations into one
     classified :class:`DetectionReport`.
@@ -193,6 +200,19 @@ def assemble_report(
                 },
             )
         )
+    for finding in reentry:
+        observations.append(
+            (
+                Symptom.PREMATURE_REENTRY,
+                {
+                    "thread": finding.thread,
+                    "component": finding.component,
+                    "method": finding.method,
+                    "detail": f"{finding.kind} after wake without re-checking "
+                    f"guard ({', '.join(finding.guard) or 'unguarded'})",
+                },
+            )
+        )
 
     return DetectionReport(
         races=list(races),
@@ -201,6 +221,7 @@ def assemble_report(
         deadlock_cycle=list(deadlock_cycle),
         starvation=list(starvation),
         completion_violations=list(completion_violations),
+        reentry=list(reentry),
         contention=contention,
         classification=classify_symptoms(observations),
     )

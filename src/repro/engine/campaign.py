@@ -32,7 +32,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs.metrics import Counter as MetricsCounter
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
-from repro.run.config import RunConfig, RunConfigError
+from repro.run.config import DETECTOR_ORDER, RunConfig, RunConfigError
 from repro.testing.explorer import RunSummary, wilson_interval
 from repro.vm.kernel import RunStatus
 
@@ -81,6 +81,10 @@ class CampaignSpec:
     coverage: Optional[str] = None  # "module:Class" whose CoFG arcs to track
     #: run the streaming detector pipeline on every run
     detect: bool = False
+    #: explicit detector names for the pipeline (overrides the default
+    #: set when non-empty; implies ``detect``) — how corpus sweeps opt
+    #: into the ``"reentry"`` detector without changing ``"all"``
+    detectors: Tuple[str, ...] = ()
     #: kernel trace retention ("full" | "none"); "none" requires detect
     trace_mode: str = "full"
     #: attach an instrumentation sink to every run (per-run
@@ -105,6 +109,8 @@ class CampaignSpec:
         # behaviour (error without --metrics) made the flag pair a trap.
         if (self.metrics_out or self.metrics_prom) and not self.metrics:
             object.__setattr__(self, "metrics", True)
+        if self.detectors and not self.detect:
+            object.__setattr__(self, "detect", True)
 
     def validate(self) -> None:
         if self.mode not in _MODES:
@@ -152,6 +158,9 @@ class CampaignSpec:
             # only fingerprinted when set, so pre-existing journals (from
             # before template workloads) still resume cleanly
             space["component"] = self.component
+        if self.detectors:
+            # same backwards-compatible pattern as component above
+            space["detectors"] = list(self.detectors)
         raw = json.dumps(space, sort_keys=True)
         return hashlib.sha256(raw.encode()).hexdigest()
 
@@ -162,7 +171,7 @@ class CampaignSpec:
             workload=self.factory,
             component=self.component,
             scheduler=self.mode,
-            detect=self.detect,
+            detect=self.detectors if self.detectors else self.detect,
             trace_mode=self.trace_mode,
             metrics=self.metrics,
             timeout=self.run_timeout,
@@ -179,11 +188,20 @@ class CampaignSpec:
         path); ``kwargs`` are the campaign-level fields (budget, workers,
         goal, journal_path, ...)."""
         mode = config.scheduler if config.scheduler in _MODES else "random"
+        # A custom detector set (anything but off / the full default set)
+        # must survive the round trip; the default set stays spelled as
+        # ``detect=True`` so existing journals keep their fingerprint.
+        custom = (
+            config.detect
+            if config.detect and set(config.detect) != set(DETECTOR_ORDER)
+            else ()
+        )
         return cls(
             factory=config.workload,
             component=config.component,
             mode=mode,
             detect=bool(config.detect),
+            detectors=custom,
             trace_mode=config.trace_mode,
             metrics=config.metrics,
             run_timeout=config.timeout,

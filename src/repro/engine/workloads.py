@@ -18,11 +18,19 @@ import importlib
 from typing import Dict
 
 from repro.run.registry import WORKLOADS as _REGISTRY
-from repro.run.registry import register_workload
+from repro.run.registry import close_matches, register_workload
 from repro.testing.explorer import ProgramFactory
 from repro.vm import Acquire, Kernel, Release, Yield
 
-__all__ = ["WORKLOADS", "pc_template", "resolve_factory", "workload_names"]
+__all__ = [
+    "WORKLOADS",
+    "buffer_template",
+    "pair_template",
+    "pc_template",
+    "resolve_factory",
+    "rw_template",
+    "workload_names",
+]
 
 
 def _pc_workload(component_cls) -> ProgramFactory:
@@ -57,6 +65,97 @@ def pc_template(component_cls) -> ProgramFactory:
 
 #: marks "pc" as a template: it takes a component class, not a scheduler
 pc_template.needs_component = True
+
+
+@register_workload("buffer")
+def buffer_template(component_cls) -> ProgramFactory:
+    """Bounded-buffer shape over any ``put``/``get`` component: a
+    capacity-1 buffer squeezed by 3 consumers and 3 queued puts, so both
+    the full-buffer and the empty-buffer waits are exercised often."""
+
+    def factory(scheduler) -> Kernel:
+        kernel = Kernel(scheduler=scheduler)
+        buf = kernel.register(component_cls(1))
+
+        def consumer():
+            yield from buf.get()
+
+        def producer(items):
+            for item in items:
+                yield from buf.put(item)
+
+        for i in range(3):
+            kernel.spawn(consumer, name=f"c{i}")
+        kernel.spawn(producer, ["a", "b"], name="p1")
+        kernel.spawn(producer, ["c"], name="p2")
+        return kernel
+
+    return factory
+
+
+buffer_template.needs_component = True
+
+
+@register_workload("rw")
+def rw_template(component_cls) -> ProgramFactory:
+    """Readers-writers shape over any ``start_read``/``end_read`` /
+    ``start_write``/``end_write`` component: 2 readers overlapping with
+    2 writers, so both the reader and the writer waits are exercised."""
+
+    def factory(scheduler) -> Kernel:
+        kernel = Kernel(scheduler=scheduler)
+        rw = kernel.register(component_cls())
+
+        def reader():
+            yield from rw.start_read()
+            yield Yield()
+            yield from rw.end_read()
+
+        def writer():
+            yield from rw.start_write()
+            yield Yield()
+            yield from rw.end_write()
+
+        for i in range(2):
+            kernel.spawn(reader, name=f"r{i}")
+        for i in range(2):
+            kernel.spawn(writer, name=f"w{i}")
+        return kernel
+
+    return factory
+
+
+rw_template.needs_component = True
+
+
+@register_workload("pair")
+def pair_template(component_cls) -> ProgramFactory:
+    """Nested-lock shape over any ``transfer(source, target, amount)``
+    component: two opposite-direction transfers between two accounts —
+    the schedule space where lock-order discipline matters."""
+
+    def factory(scheduler) -> Kernel:
+        from repro.components import Account
+
+        kernel = Kernel(scheduler=scheduler)
+        a = kernel.register(Account(10), name="A")
+        b = kernel.register(Account(10), name="B")
+        pair = kernel.register(component_cls())
+
+        def t1():
+            yield from pair.transfer(a, b, 1)
+
+        def t2():
+            yield from pair.transfer(b, a, 1)
+
+        kernel.spawn(t1, name="t1")
+        kernel.spawn(t2, name="t2")
+        return kernel
+
+    return factory
+
+
+pair_template.needs_component = True
 
 
 @register_workload("pc-ok")
@@ -154,8 +253,11 @@ def resolve_factory(spec: str) -> ProgramFactory:
     if spec in _REGISTRY:
         return _REGISTRY.get(spec)
     if ":" not in spec:
+        names = workload_names()
+        near = close_matches(spec, names)
+        nearest = f"did you mean {', '.join(near)}? " if near else ""
         raise ValueError(
-            f"unknown workload {spec!r} (known: {', '.join(workload_names())}; "
+            f"unknown workload {spec!r} ({nearest}known: {', '.join(names)}; "
             f"or give module:function)"
         )
     module_name, func_name = spec.split(":", 1)

@@ -208,13 +208,12 @@ class RunConfig:
         if self.scheduler != "systematic" and self.scheduler not in SCHEDULERS:
             known = sorted(SCHEDULERS.names() + ["systematic"])
             raise RunConfigError(
-                f"unknown scheduler {self.scheduler!r} (known: {', '.join(known)})"
+                str(UnknownNameError("scheduler", self.scheduler, known))
             )
         for name in self.detect:
             if name not in DETECTORS:
                 raise RunConfigError(
-                    f"unknown detector {name!r} "
-                    f"(known: {', '.join(DETECTORS.names())})"
+                    str(UnknownNameError("detector", name, DETECTORS.names()))
                 )
         if self.trace_mode != "full" and not self.detect:
             raise RunConfigError("trace_mode 'none' without detect observes nothing")
@@ -224,8 +223,11 @@ class RunConfig:
             )
         if self.component is not None and self.component not in COMPONENTS:
             raise RunConfigError(
-                f"unknown component {self.component!r} "
-                f"(known: {', '.join(COMPONENTS.names())})"
+                str(
+                    UnknownNameError(
+                        "component", self.component, COMPONENTS.names()
+                    )
+                )
             )
         entry = _resolve_workload_entry(self.workload)
         if getattr(entry, "needs_component", False):

@@ -28,8 +28,9 @@ demand (name resolution calls it lazily, at run-assembly time).
 
 from __future__ import annotations
 
+import difflib
 import importlib
-from typing import Any, Callable, Dict, Generic, List, Tuple, TypeVar
+from typing import Any, Callable, Dict, Generic, List, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 
@@ -40,12 +41,18 @@ __all__ = [
     "SCHEDULERS",
     "UnknownNameError",
     "WORKLOADS",
+    "close_matches",
     "load_builtins",
     "register_component",
     "register_detector",
     "register_scheduler",
     "register_workload",
 ]
+
+
+def close_matches(name: str, known: Sequence[str], limit: int = 3) -> List[str]:
+    """The registered names nearest to a mistyped one (difflib ratio)."""
+    return difflib.get_close_matches(name, list(known), n=limit, cutoff=0.5)
 
 
 class UnknownNameError(KeyError):
@@ -55,8 +62,14 @@ class UnknownNameError(KeyError):
         self.kind = kind
         self.name = name
         self.known = known
+        self.suggestions = close_matches(name, known)
         hint = ", ".join(known) if known else "none registered"
-        super().__init__(f"unknown {kind} {name!r} (known: {hint})")
+        nearest = (
+            f"did you mean {', '.join(self.suggestions)}? "
+            if self.suggestions
+            else ""
+        )
+        super().__init__(f"unknown {kind} {name!r} ({nearest}known: {hint})")
 
     def __str__(self) -> str:
         # KeyError's __str__ repr-quotes its argument; this error *is* the
@@ -151,6 +164,7 @@ _BUILTIN_MODULES: Tuple[str, ...] = (
     "repro.detect.starvation",
     "repro.detect.contention",
     "repro.detect.completion",
+    "repro.detect.reentry",
     "repro.engine.workloads",
 )
 

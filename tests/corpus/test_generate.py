@@ -1,0 +1,166 @@
+"""Tests for corpus generation, manifests, and variant loading."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.analysis import check_component
+from repro.corpus import (
+    CorpusError,
+    compile_variant,
+    generate_corpus,
+    load_corpus,
+    read_manifest,
+    resolve_component_name,
+    write_manifest,
+)
+from repro.run.registry import COMPONENTS, WORKLOADS, load_builtins
+from repro.vm.scheduler import RandomScheduler
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(["bounded_buffer", "readers_writers"])
+
+
+class TestGenerate:
+    def test_acceptance_floor(self, corpus):
+        """The issue's bar: >= 50 distinct labeled variants."""
+        assert len(corpus) >= 50
+        ids = [r.variant_id for r in corpus]
+        assert len(ids) == len(set(ids))
+        digests = [r.digest for r in corpus]
+        assert len(digests) == len(set(digests))
+
+    def test_baseline_controls_present(self, corpus):
+        baselines = [r for r in corpus if r.variant_id.endswith("~baseline")]
+        assert {r.parent for r in baselines} == {"BoundedBuffer", "ReadersWriters"}
+        assert all(r.is_control and not r.operators for r in baselines)
+
+    def test_faulty_variants_carry_labels(self, corpus):
+        faulty = [r for r in corpus if not r.is_control]
+        assert len(faulty) >= 40
+        assert all(r.expected for r in faulty)
+        # dup_notify-only variants are controls, never labeled faulty
+        for r in corpus:
+            if r.operators and all(
+                label.startswith("dup_notify") for label in r.operators
+            ):
+                assert r.is_control
+
+    def test_deterministic(self, corpus):
+        assert generate_corpus(["bounded_buffer", "readers_writers"]) == corpus
+
+    def test_pair_cap_respected(self):
+        capped = generate_corpus(["bounded_buffer"], pair_cap=2)
+        pairs = [r for r in capped if len(r.operators) == 2]
+        assert len(pairs) == 2
+
+    def test_unknown_component_suggests(self):
+        with pytest.raises(CorpusError, match="did you mean"):
+            generate_corpus(["BoundedBufer"])
+
+    def test_component_without_driver_rejected(self):
+        with pytest.raises(CorpusError, match="no sweep workload"):
+            generate_corpus(["Account"])
+
+    def test_empty_request_rejected(self):
+        with pytest.raises(CorpusError, match="nothing to generate"):
+            generate_corpus([])
+
+
+class TestResolveName:
+    def test_snake_case(self):
+        assert resolve_component_name("bounded_buffer") == "BoundedBuffer"
+        assert resolve_component_name("readers_writers") == "ReadersWriters"
+
+    def test_exact_name_passes_through(self):
+        assert resolve_component_name("BoundedBuffer") == "BoundedBuffer"
+
+    def test_unknown_name_lists_suggestions(self):
+        with pytest.raises(CorpusError, match="did you mean.*BoundedBuffer"):
+            resolve_component_name("BoundedBufferr")
+
+
+class TestManifest:
+    def test_roundtrip(self, corpus, tmp_path):
+        path = str(tmp_path / "corpus.jsonl")
+        write_manifest(corpus, path)
+        assert read_manifest(path) == corpus
+        header = json.loads(open(path).readline())
+        assert header["schema"] == "repro-corpus-manifest"
+        assert header["version"] == 1
+        assert header["variants"] == len(corpus)
+        assert header["components"] == ["BoundedBuffer", "ReadersWriters"]
+
+    def test_byte_identical_across_runs(self, corpus, tmp_path):
+        a, b = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        write_manifest(corpus, a)
+        write_manifest(generate_corpus(["bounded_buffer", "readers_writers"]), b)
+        assert open(a, "rb").read() == open(b, "rb").read()
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "bogus.jsonl"
+        path.write_text(json.dumps({"schema": "something-else"}) + "\n")
+        with pytest.raises(CorpusError, match="not a corpus manifest"):
+            read_manifest(str(path))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(CorpusError, match="empty"):
+            read_manifest(str(path))
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps({"schema": "repro-corpus-manifest", "version": 99}) + "\n"
+        )
+        with pytest.raises(CorpusError, match="newer"):
+            read_manifest(str(path))
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "short.jsonl"
+        path.write_text(
+            json.dumps({"schema": "repro-corpus-manifest", "version": 1})
+            + "\n"
+            + json.dumps({"variant_id": "X~baseline"})
+            + "\n"
+        )
+        with pytest.raises(CorpusError, match="missing field"):
+            read_manifest(str(path))
+
+
+class TestLoad:
+    def test_digest_mismatch_rejected(self, corpus):
+        load_builtins()
+        record = next(r for r in corpus if r.operators)
+        tampered = dataclasses.replace(record, digest="0" * 64)
+        with pytest.raises(CorpusError, match="regenerate the manifest"):
+            compile_variant(COMPONENTS.get(record.parent), tampered)
+
+    def test_load_registers_and_variant_runs(self, corpus):
+        record = next(
+            r for r in corpus if r.operators == ("wait_if@put#0",)
+        )
+        loaded = load_corpus([record])
+        cls = loaded[record.variant_id]
+        assert COMPONENTS.get(record.variant_id) is cls
+        assert cls.__name__ == record.class_name
+        assert cls.__corpus_variant__ == record.variant_id
+        factory = WORKLOADS.get(record.workload)(cls)
+        result = factory(RandomScheduler(0)).run()
+        assert result.steps > 0
+
+    def test_static_checks_read_variant_source(self, corpus):
+        """unsync variants must be visible to the T1 static analysis —
+        the linecache plumbing behind exec'd classes."""
+        record = next(
+            r for r in corpus if r.operators == ("unsync@size#0",)
+        )
+        loaded = load_corpus([record], register=False)
+        codes = {
+            f.failure_class.code for f in check_component(loaded[record.variant_id])
+        }
+        assert "FF-T1" in codes

@@ -1,0 +1,94 @@
+"""Tests for the premature-reentry detector (the dynamic face of EF-T5)."""
+
+from repro.components import BoundedBuffer, ProducerConsumer
+from repro.components.faulty import IfGuardProducerConsumer
+from repro.detect import OnlineReentryDetector, detect_reentry
+from repro.run.registry import DETECTORS, load_builtins
+from repro.vm import Kernel
+from repro.vm.scheduler import RandomScheduler
+
+
+def _pc_kernel(cls, scheduler, trace_mode="none") -> Kernel:
+    kernel = Kernel(scheduler=scheduler, max_steps=3000, trace_mode=trace_mode)
+    pc = kernel.register(cls())
+
+    def consumer():
+        yield from pc.receive()
+
+    def producer(payload):
+        yield from pc.send(payload)
+
+    for i in range(3):
+        kernel.spawn(consumer, name=f"c{i}")
+    kernel.spawn(producer, "ab", name="p1")
+    kernel.spawn(producer, "c", name="p2")
+    return kernel
+
+
+def _buffer_kernel(cls, scheduler) -> Kernel:
+    kernel = Kernel(scheduler=scheduler, max_steps=3000, trace_mode="none")
+    buf = kernel.register(cls(1))
+
+    def consumer():
+        yield from buf.get()
+
+    def producer(items):
+        for item in items:
+            yield from buf.put(item)
+
+    for i in range(3):
+        kernel.spawn(consumer, name=f"c{i}")
+    kernel.spawn(producer, ["a", "b"], name="p1")
+    kernel.spawn(producer, ["c"], name="p2")
+    return kernel
+
+
+def _findings(build, cls, seeds):
+    detector = OnlineReentryDetector()
+    for seed in range(seeds):
+        detector.reset()
+        kernel = build(cls, RandomScheduler(seed))
+        kernel.subscribe(detector.on_event)
+        kernel.run()
+        yield detector.finish()
+
+
+class TestIfGuardFlagged:
+    def test_if_guard_mutant_flagged_within_seed_budget(self):
+        for findings in _findings(_pc_kernel, IfGuardProducerConsumer, 40):
+            if findings:
+                finding = findings[0]
+                assert finding.component == "IfGuardProducerConsumer"
+                assert finding.kind in (
+                    "premature-write",
+                    "premature-exit",
+                    "crash-after-wake",
+                )
+                return
+        raise AssertionError("IfGuardProducerConsumer never flagged in 40 seeds")
+
+
+class TestNoFalsePositives:
+    def test_correct_producer_consumer_clean(self):
+        for findings in _findings(_pc_kernel, ProducerConsumer, 30):
+            assert findings == []
+
+    def test_correct_bounded_buffer_clean(self):
+        for findings in _findings(_buffer_kernel, BoundedBuffer, 30):
+            assert findings == []
+
+
+class TestPlumbing:
+    def test_registered_by_name(self):
+        load_builtins()
+        assert DETECTORS.get("reentry") is OnlineReentryDetector
+
+    def test_batch_form_matches_online(self):
+        for seed in range(10):
+            detector = OnlineReentryDetector()
+            kernel = _pc_kernel(
+                IfGuardProducerConsumer, RandomScheduler(seed), trace_mode="full"
+            )
+            kernel.subscribe(detector.on_event)
+            result = kernel.run()
+            assert detect_reentry(result.trace) == detector.finish()

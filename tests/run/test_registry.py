@@ -114,3 +114,59 @@ class TestBuiltins:
         for name in DETECTORS.names():
             detector = DETECTORS.get(name)()
             detector.reset()  # every registered detector supports reuse
+
+
+class TestCloseMatchSuggestions:
+    """Every registry kind's unknown-name error proposes the nearest
+    valid spelling — a typo should cost one glance, not a docs trip."""
+
+    def test_component_typo_suggests(self):
+        from repro.run.config import RunConfig, RunConfigError
+
+        config = RunConfig(workload="pc", component="ProducerConsumr")
+        with pytest.raises(RunConfigError) as info:
+            config.validate()
+        message = str(info.value)
+        assert "unknown component" in message
+        assert "did you mean" in message and "ProducerConsumer" in message
+
+    def test_workload_typo_suggests(self):
+        from repro.run.config import RunConfig, RunConfigError
+
+        with pytest.raises(RunConfigError) as info:
+            RunConfig(workload="pc-bg").validate()
+        message = str(info.value)
+        assert "unknown workload" in message
+        assert "did you mean" in message and "pc-bug" in message
+
+    def test_scheduler_typo_suggests(self):
+        from repro.run.config import RunConfig, RunConfigError
+
+        with pytest.raises(RunConfigError) as info:
+            RunConfig(workload="pc-ok", scheduler="randm").validate()
+        message = str(info.value)
+        assert "unknown scheduler" in message
+        assert "did you mean" in message and "random" in message
+
+    def test_detector_typo_suggests(self):
+        from repro.run.config import RunConfig, RunConfigError
+
+        with pytest.raises(RunConfigError) as info:
+            RunConfig(workload="pc-ok", detect=("lockst",)).validate()
+        message = str(info.value)
+        assert "unknown detector" in message
+        assert "did you mean" in message and "lockset" in message
+
+    def test_scenario_typo_suggests(self, tmp_path):
+        from repro.run.config import RunConfigError, load_scenario
+
+        scenario = tmp_path / "scenario.toml"
+        scenario.write_text('[run]\nworkload = "deadlock-par"\n')
+        with pytest.raises(RunConfigError, match="did you mean.*deadlock-pair"):
+            load_scenario(str(scenario))
+
+    def test_suggestions_attribute_on_raw_error(self):
+        load_builtins()
+        with pytest.raises(UnknownNameError) as info:
+            COMPONENTS.get("BoundedBufer")
+        assert "BoundedBuffer" in info.value.suggestions

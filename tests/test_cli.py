@@ -588,3 +588,124 @@ class TestShippedScript:
         )
         assert main(["run", str(script)]) == 0
         assert "PASS" in capsys.readouterr().out
+
+
+class TestRegistryList:
+    def test_single_kind_bare_names(self, capsys):
+        assert main(["registry", "list", "detectors"]) == 0
+        names = capsys.readouterr().out.split()
+        assert "lockset" in names and "reentry" in names
+        assert names == sorted(names)
+
+    def test_components_listed(self, capsys):
+        assert main(["registry", "list", "components"]) == 0
+        out = capsys.readouterr().out
+        assert "BoundedBuffer" in out and "ProducerConsumer" in out
+
+    def test_all_kinds_grouped(self, capsys):
+        assert main(["registry", "list"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("components (", "workloads (", "schedulers (", "detectors ("):
+            assert kind in out
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["registry", "list", "gizmos"])
+
+
+class TestCorpusCLI:
+    def test_generate_sweep_report(self, capsys, tmp_path):
+        from repro.corpus import read_manifest, write_manifest
+
+        manifest = str(tmp_path / "corpus.jsonl")
+        assert (
+            main(
+                [
+                    "corpus",
+                    "generate",
+                    "--components",
+                    "bounded_buffer,readers_writers",
+                    "--out",
+                    manifest,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "wrote" in out and "faulty" in out and "controls" in out
+        records = read_manifest(manifest)
+        assert len(records) >= 50  # the issue's acceptance floor
+
+        # sweep a hand-trimmed slice so the CLI path stays fast
+        subset = [
+            r
+            for r in records
+            if r.parent == "BoundedBuffer"
+            and r.operators in ((), ("wait_if@put#0",), ("unsync@size#0",))
+        ]
+        assert len(subset) == 3
+        write_manifest(subset, manifest)
+        sweep_dir = str(tmp_path / "sweep")
+        assert (
+            main(
+                [
+                    "corpus",
+                    "sweep",
+                    "--manifest",
+                    manifest,
+                    "--out",
+                    sweep_dir,
+                    "--seeds",
+                    "6",
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "results written to" in out
+        assert "corpus report: 3 variants (2 faulty, 1 controls)" in out
+
+        results = str(tmp_path / "sweep" / "results.jsonl")
+        assert main(["corpus", "report", "--results", results]) == 0
+        assert "corpus report:" in capsys.readouterr().out
+
+        assert main(["corpus", "report", "--results", results, "--json"]) == 0
+        import json
+
+        data = json.loads(capsys.readouterr().out)
+        assert data["variants"] == 3 and data["controls"] == 1
+
+    def test_generate_unknown_component_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown component"):
+            main(
+                [
+                    "corpus",
+                    "generate",
+                    "--components",
+                    "bounded_bufer",
+                    "--out",
+                    str(tmp_path / "c.jsonl"),
+                ]
+            )
+
+    def test_sweep_rejects_non_manifest(self, tmp_path):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text('{"schema": "something"}\n')
+        with pytest.raises(SystemExit, match="not a corpus manifest"):
+            main(
+                [
+                    "corpus",
+                    "sweep",
+                    "--manifest",
+                    str(bogus),
+                    "--out",
+                    str(tmp_path / "sweep"),
+                ]
+            )
+
+    def test_report_missing_file_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="error"):
+            main(
+                ["corpus", "report", "--results", str(tmp_path / "none.jsonl")]
+            )
