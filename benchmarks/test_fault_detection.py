@@ -1,0 +1,126 @@
+"""Bench Ext-L: environment-fault detection (interrupts, timed waits,
+spurious wakeups).
+
+The deterministic fault layer (``repro.faults``) turns the JVM's
+environmental liberties into injectable, replayable events.  This bench
+measures what that buys: each environment-deviation exemplar is swept
+over a fixed seed budget under the fault plan that exercises its defect,
+and the documented class (EV-INT / EV-TMO / EV-SPU) must be implicated —
+while the correct counterpart under the *same* plan and workload stays
+completely clean.  The bench times one faulted detection sweep (kernel +
+injector + full pipeline per seed) and writes the detection matrix for
+EXPERIMENTS.md.
+
+Structural expectations (deterministic — fixed seeds, fixed plans):
+
+* every faulty exemplar is flagged with its documented class within the
+  seed budget (EV-INT additionally by the static interrupt-swallowing
+  check alone, with zero schedules);
+* ``ProducerConsumer`` under the same three plans yields zero
+  environment-deviation findings across every seed — fault injection
+  does not convict correct while-guard code.
+"""
+
+from conftest import write_result
+
+from repro.analysis import check_component
+from repro.components import ProducerConsumer
+from repro.components.faulty import (
+    FAULT_REGISTRY,
+    InterruptSwallowingProducerConsumer,
+    SpuriousUnguardedProducerConsumer,
+    TimeoutReturnProducerConsumer,
+)
+from repro.detect.online import DetectorPipeline, default_detectors
+from repro.faults import FaultInjector
+from repro.faults.templates import INTERRUPT_CONSUMER, SPURIOUS_FIRST_WAIT
+from repro.vm import Kernel
+from repro.vm.scheduler import RandomScheduler
+
+SEEDS = 40
+
+#: exemplar class -> (plan or None, documented code).  TimeoutReturn
+#: needs no plan: its timed wait expires naturally on virtual time.
+MATRIX = [
+    (InterruptSwallowingProducerConsumer, INTERRUPT_CONSUMER, "EV-INT"),
+    (TimeoutReturnProducerConsumer, None, "EV-TMO"),
+    (SpuriousUnguardedProducerConsumer, SPURIOUS_FIRST_WAIT, "EV-SPU"),
+]
+
+ENV_CODES = {"EV-INT", "EV-TMO", "EV-SPU"}
+
+
+def _kernel(cls, seed, plan):
+    kernel = Kernel(scheduler=RandomScheduler(seed), max_steps=3000)
+    if plan is not None:
+        kernel.fault_injector = FaultInjector(plan)
+    pc = kernel.register(cls())
+
+    def consumer():
+        yield from pc.receive()
+
+    def producer(payload):
+        yield from pc.send(payload)
+
+    for i in range(3):
+        kernel.spawn(consumer, name=f"c{i}")
+    kernel.spawn(producer, "ab", name="p1")
+    kernel.spawn(producer, "c", name="p2")
+    return kernel
+
+
+def _sweep(cls, plan, seeds=SEEDS):
+    """Seeds whose run implicates each failure-class code."""
+    pipeline = DetectorPipeline(default_detectors())
+    hits = {}
+    for seed in range(seeds):
+        kernel = _kernel(cls, seed, plan)
+        pipeline.reset().attach(kernel)
+        report = pipeline.report(kernel.run())
+        for failure in report.classification.failures:
+            for candidate in failure.candidates:
+                hits.setdefault(candidate.code, set()).add(seed)
+    return hits
+
+
+def test_environment_fault_detection(benchmark, results_dir):
+    lines = [
+        f"seeds per exemplar: {SEEDS}",
+        "",
+        f"{'component':<38} {'plan':<20} {'class':<7} "
+        f"{'dynamic':<9} {'static':<7} correct-counterpart",
+    ]
+
+    # time one representative faulted sweep end to end
+    benchmark(
+        _sweep, SpuriousUnguardedProducerConsumer, SPURIOUS_FIRST_WAIT, 10
+    )
+
+    for cls, plan, code in MATRIX:
+        assert FAULT_REGISTRY[cls.__name__].seeded_class.code == code
+
+        hits = _sweep(cls, plan)
+        dynamic = len(hits.get(code, ()))
+        assert dynamic > 0, f"{cls.__name__}: {code} never implicated"
+
+        static_codes = {f.failure_class.code for f in check_component(cls)}
+        if code == "EV-INT":
+            assert code in static_codes, "the swallowed interrupt is static"
+
+        control_hits = _sweep(ProducerConsumer, plan)
+        control_env = {c: s for c, s in control_hits.items() if c in ENV_CODES}
+        assert not control_env, (
+            f"correct ProducerConsumer under {plan.name if plan else 'no plan'} "
+            f"implicated {sorted(control_env)}"
+        )
+
+        lines.append(
+            f"{cls.__name__:<38} "
+            f"{(plan.name if plan else '(natural expiry)'):<20} "
+            f"{code:<7} {dynamic}/{SEEDS:<7} "
+            f"{'yes' if code in static_codes else 'no':<7} clean"
+        )
+
+    write_result(
+        results_dir, "extL_fault_detection.txt", "\n".join(lines)
+    )

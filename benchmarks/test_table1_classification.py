@@ -28,7 +28,11 @@ def test_table1_regeneration(benchmark, results_dir):
     assert len(rows) == 10, "one row per transition x deviation"
     assert sum(len(r.entries) for r in rows) == 11, "11 printed rows"
     classes = {r.failure_class for r in rows}
-    assert classes == set(FailureClass)
+    # the EV-* environment extension is not part of the printed table
+    paper_classes = {
+        c for c in FailureClass if c.mode is not FailureMode.ENVIRONMENTAL_FIRING
+    }
+    assert classes == paper_classes
 
     ff_rows = [r for r in rows if r.item.mode is FailureMode.FAILURE_TO_FIRE]
     ef_rows = [r for r in rows if r.item.mode is FailureMode.ERRONEOUS_FIRING]

@@ -10,6 +10,14 @@ deviations, and they are indeed statically visible in component source:
 * **EF-T1** (unnecessary synchronization): a ``@synchronized`` method that
   touches no shared instance state and neither waits nor notifies — the
   lock buys nothing and only costs contention.
+
+One environment-deviation class is statically visible the same way:
+
+* **EV-INT** (swallowed interrupt): an ``except InterruptedError`` (or
+  bare ``except``) handler that neither re-raises nor propagates the
+  exception — the classic Java anti-pattern of catching
+  ``InterruptedException`` with an empty body, which silently discards
+  cancellation requests.
 """
 
 from __future__ import annotations
@@ -24,7 +32,12 @@ from repro.vm.api import MonitorComponent
 from .astscan import method_source_ast, scan_method
 from .builder import component_methods
 
-__all__ = ["StaticFinding", "check_component", "shared_accesses"]
+__all__ = [
+    "StaticFinding",
+    "check_component",
+    "interrupt_swallowing_handlers",
+    "shared_accesses",
+]
 
 
 @dataclass(frozen=True)
@@ -61,10 +74,46 @@ def shared_accesses(method) -> Tuple[List[str], List[str]]:
     return reads, writes
 
 
+def _handler_swallows(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body can complete without re-raising."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return False
+    return True
+
+
+def _catches_interrupt(handler: ast.ExceptHandler) -> bool:
+    """True when the handler matches ``InterruptedError`` (directly, via a
+    tuple, or as a bare/over-broad ``except``)."""
+    broad = ("BaseException", "Exception", "InterruptedError")
+
+    def matches(expr: ast.expr) -> bool:
+        return isinstance(expr, ast.Name) and expr.id in broad
+
+    if handler.type is None:  # bare except
+        return True
+    if isinstance(handler.type, ast.Tuple):
+        return any(matches(e) for e in handler.type.elts)
+    return matches(handler.type)
+
+
+def interrupt_swallowing_handlers(method) -> List[int]:
+    """Line numbers of ``except`` handlers in ``method`` that catch
+    ``InterruptedError`` and can complete without re-raising it."""
+    func, _ = method_source_ast(method)
+    lines: List[int] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.ExceptHandler):
+            if _catches_interrupt(node) and _handler_swallows(node):
+                lines.append(node.lineno)
+    return lines
+
+
 def check_component(
     component: Type[MonitorComponent] | MonitorComponent,
 ) -> List[StaticFinding]:
-    """Run the FF-T1 / EF-T1 static checks on every declared method."""
+    """Run the FF-T1 / EF-T1 / EV-INT static checks on every declared
+    method."""
     cls = component if isinstance(component, type) else type(component)
     findings: List[StaticFinding] = []
     for name in component_methods(cls):
@@ -73,6 +122,19 @@ def check_component(
         reads, writes = shared_accesses(method)
         scan = scan_method(method)
         has_sync_statements = bool(scan.nodes)
+        for line in interrupt_swallowing_handlers(method):
+            findings.append(
+                StaticFinding(
+                    component=cls.__name__,
+                    method=name,
+                    failure_class=FailureClass.EV_INT,
+                    detail=(
+                        f"except handler at line {line} catches "
+                        f"InterruptedError without re-raising: the "
+                        f"cancellation request is silently discarded"
+                    ),
+                )
+            )
         if not synchronized and (reads or writes):
             accessed = sorted(set(reads + writes))
             findings.append(

@@ -15,10 +15,12 @@ from .symptoms import (
     ClassificationReport,
     ObservedFailure,
     Symptom,
+    SymptomTracker,
     classify_symptoms,
     symptoms_from_run,
 )
 from .taxonomy import (
+    ENVIRONMENT_ENTRIES,
     TABLE1_ENTRIES,
     ClassificationEntry,
     DetectionTechnique,
@@ -31,6 +33,7 @@ from .taxonomy import (
 __all__ = [
     "AnalysisRow",
     "CANDIDATES",
+    "ENVIRONMENT_ENTRIES",
     "ClassificationEntry",
     "ClassificationReport",
     "DetectionTechnique",
@@ -39,6 +42,7 @@ __all__ = [
     "FailureMode",
     "ObservedFailure",
     "Symptom",
+    "SymptomTracker",
     "TABLE1_ENTRIES",
     "classify_symptoms",
     "derive_table1",

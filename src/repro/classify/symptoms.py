@@ -56,6 +56,9 @@ class Symptom(enum.Enum):
     LOST_NOTIFICATION = "notify delivered to an empty wait set"
     PREMATURE_REENTRY = "thread re-entered critical section prematurely"
     PREMATURE_RELEASE = "lock released before the critical section ended"
+    SWALLOWED_INTERRUPT = "interrupt delivered but silently discarded"
+    UNGUARDED_WAKEUP = "spurious wake-up trusted without re-checking the guard"
+    TIMEOUT_AS_SUCCESS = "wait timeout treated as successful completion"
 
 
 #: Symptom -> candidate failure classes, most likely first.  Derived from
@@ -83,6 +86,11 @@ CANDIDATES: Dict[Symptom, Tuple[FailureClass, ...]] = {
     Symptom.LOST_NOTIFICATION: (FailureClass.FF_T5,),
     Symptom.PREMATURE_REENTRY: (FailureClass.EF_T5,),
     Symptom.PREMATURE_RELEASE: (FailureClass.EF_T4,),
+    # Environment-deviation symptoms (the EV extension rows): a wake the
+    # environment caused, mishandled by the component.
+    Symptom.SWALLOWED_INTERRUPT: (FailureClass.EV_INT,),
+    Symptom.UNGUARDED_WAKEUP: (FailureClass.EV_SPU, FailureClass.EF_T5),
+    Symptom.TIMEOUT_AS_SUCCESS: (FailureClass.EV_TMO,),
 }
 
 
@@ -184,6 +192,21 @@ class SymptomTracker:
         # (thread, component, method) triples that accessed component
         # state after such a release — the EF-T4 premature-release signal
         self._premature: Dict[Tuple[str, str, str], None] = {}
+        # -- environment-deviation state (EV rows) --
+        # monitor -> notifies emitted on it so far (running count)
+        self._notify_counts: Dict[Optional[str], int] = {}
+        # (monitor, thread) -> notifies *that thread* emitted on the monitor
+        self._notifies_by: Dict[Tuple[Optional[str], str], int] = {}
+        # thread -> (monitor, others' notify count at wait entry)
+        self._wait_marks: Dict[str, Tuple[Optional[str], int]] = {}
+        # thread -> an InterruptedError was (or will be, on reacquisition)
+        # delivered during its current open call
+        self._interrupt_pending: Dict[str, None] = {}
+        # thread -> ("spurious" | "timeout", monitor, others' notify count
+        # at wait entry): woke without a notify and has not re-waited since
+        self._suspect_wakes: Dict[str, Tuple[str, Optional[str], int]] = {}
+        # recorded environment-deviation findings, in emission order
+        self._env_findings: List[Tuple[Symptom, Dict[str, Any]]] = []
 
     def reset(self) -> None:
         self.__init__()
@@ -204,8 +227,25 @@ class SymptomTracker:
             if stack:
                 component, _ = stack.pop()
                 self._released.get(event.thread, set()).discard(component)
+            self._close_env_markers(event)
         elif kind is EventKind.MONITOR_WAIT:
             self._waits.setdefault(event.monitor, set()).add(event.thread)
+            # Entering a wait means the guard was (re-)checked and found
+            # false — a prior suspect wake was handled correctly.
+            self._suspect_wakes.pop(event.thread, None)
+            self._wait_marks[event.thread] = (
+                event.monitor,
+                self._others_notifies(event.monitor, event.thread),
+            )
+        elif kind is EventKind.MONITOR_NOTIFIED:
+            self._on_wake(event)
+        elif kind is EventKind.INTERRUPT:
+            # Delivery is certain only for a waiting/blocked target (the
+            # kernel injects InterruptedError at the resumption point); a
+            # runnable target merely gets its flag set, which a component
+            # that never waits again is allowed to ignore.
+            if event.detail.get("thread_state") in ("waiting", "blocked"):
+                self._interrupt_pending.setdefault(event.thread)
         elif kind is EventKind.MONITOR_RELEASE:
             # The full (non-reentrant) release of a monitor whose component
             # still has an open call on this thread: the critical section
@@ -236,6 +276,11 @@ class SymptomTracker:
                     )
                 )
         elif kind in (EventKind.NOTIFY, EventKind.NOTIFY_ALL):
+            self._notify_counts[event.monitor] = (
+                self._notify_counts.get(event.monitor, 0) + 1
+            )
+            by_key = (event.monitor, event.thread)
+            self._notifies_by[by_key] = self._notifies_by.get(by_key, 0) + 1
             if not event.detail.get("woken"):
                 self._lost.append(
                     (
@@ -247,9 +292,85 @@ class SymptomTracker:
                     )
                 )
 
+    def _others_notifies(self, monitor: Optional[str], thread: str) -> int:
+        """Notifies emitted on ``monitor`` by threads other than ``thread``."""
+        return self._notify_counts.get(monitor, 0) - self._notifies_by.get(
+            (monitor, thread), 0
+        )
+
+    def _on_wake(self, event: Event) -> None:
+        """MONITOR_NOTIFIED: arm environment-deviation markers by reason."""
+        reason = event.detail.get("reason")
+        if reason == "interrupt":
+            self._interrupt_pending.setdefault(event.thread)
+            self._wait_marks.pop(event.thread, None)
+            return
+        if reason in ("spurious", "timeout"):
+            mark = self._wait_marks.pop(event.thread, None)
+            if mark is not None:
+                monitor, others_then = mark
+                self._suspect_wakes[event.thread] = (reason, monitor, others_then)
+            return
+        self._wait_marks.pop(event.thread, None)
+
+    def _close_env_markers(self, event: Event) -> None:
+        """CALL_END: judge any armed environment markers for this thread.
+
+        A call end carrying ``interrupted=True`` is the *correct* response
+        to interruption (the error propagated), so it discharges both
+        markers without a finding.
+        """
+        thread = event.thread
+        interrupted_exit = bool(event.detail.get("interrupted"))
+        if self._interrupt_pending.pop(thread, -1) != -1 and not interrupted_exit:
+            self._env_findings.append(
+                (
+                    Symptom.SWALLOWED_INTERRUPT,
+                    {
+                        "thread": thread,
+                        "component": event.component,
+                        "method": event.method,
+                        "detail": f"{event.component}.{event.method} completed "
+                        f"normally although an interrupt was delivered",
+                    },
+                )
+            )
+        suspect = self._suspect_wakes.pop(thread, None)
+        if suspect is not None and not interrupted_exit:
+            reason, monitor, others_then = suspect
+            if self._others_notifies(monitor, thread) != others_then:
+                # Some other thread notified this monitor between the wait
+                # entry and the call end — the guard may legitimately have
+                # become true, so the completion is not evidence of a bug.
+                return
+            symptom = (
+                Symptom.TIMEOUT_AS_SUCCESS
+                if reason == "timeout"
+                else Symptom.UNGUARDED_WAKEUP
+            )
+            how = (
+                "its timed wait expired"
+                if reason == "timeout"
+                else "it was woken spuriously"
+            )
+            self._env_findings.append(
+                (
+                    symptom,
+                    {
+                        "thread": thread,
+                        "component": event.component,
+                        "method": event.method,
+                        "detail": f"{event.component}.{event.method} completed "
+                        f"after {how} on {monitor} with no notify in between",
+                    },
+                )
+            )
+
     def observations(self, result: RunResult) -> List[Tuple[Symptom, Dict[str, Any]]]:
         """The VM-level symptoms, given the run outcome for final states."""
-        observations: List[Tuple[Symptom, Dict[str, Any]]] = []
+        observations: List[Tuple[Symptom, Dict[str, Any]]] = list(
+            self._env_findings
+        )
         if result.status is RunStatus.STEP_LIMIT:
             observations.append(
                 (

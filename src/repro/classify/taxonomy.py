@@ -20,20 +20,32 @@ __all__ = [
     "DetectionTechnique",
     "ClassificationEntry",
     "TABLE1_ENTRIES",
+    "ENVIRONMENT_ENTRIES",
     "entries_for",
     "entry_count",
 ]
 
 
 class FailureMode(enum.Enum):
-    """The two HAZOP deviations applied to every transition."""
+    """The HAZOP deviations applied to every transition.
+
+    The paper analyzes the first two for every transition.  The third is
+    the extension guide-word for T5: the transition fires because of the
+    *environment* (interrupt, timeout, spurious wakeup) rather than a
+    notification — the wait-exit modes Java permits that the paper's
+    testing notes keep circling.
+    """
 
     FAILURE_TO_FIRE = "Failure to fire"
     ERRONEOUS_FIRING = "Erroneous firing"
+    ENVIRONMENTAL_FIRING = "Environmental firing"
 
 
 class FailureClass(enum.Enum):
-    """The ten concurrency failure classes of Table 1."""
+    """The ten concurrency failure classes of Table 1, plus the three
+    environment-deviation classes of the T5 extension (``EV-*``): a wait
+    that returns by interrupt, timeout, or spurious wakeup, mishandled by
+    the component."""
 
     FF_T1 = ("T1", FailureMode.FAILURE_TO_FIRE)
     EF_T1 = ("T1", FailureMode.ERRONEOUS_FIRING)
@@ -45,14 +57,24 @@ class FailureClass(enum.Enum):
     EF_T4 = ("T4", FailureMode.ERRONEOUS_FIRING)
     FF_T5 = ("T5", FailureMode.FAILURE_TO_FIRE)
     EF_T5 = ("T5", FailureMode.ERRONEOUS_FIRING)
+    # Environment-deviation extension (T5 fired by the environment).
+    EV_INT = ("T5", FailureMode.ENVIRONMENTAL_FIRING, "EV-INT")
+    EV_TMO = ("T5", FailureMode.ENVIRONMENTAL_FIRING, "EV-TMO")
+    EV_SPU = ("T5", FailureMode.ENVIRONMENTAL_FIRING, "EV-SPU")
 
-    def __init__(self, transition: str, mode: FailureMode) -> None:
+    def __init__(
+        self, transition: str, mode: FailureMode, code: Optional[str] = None
+    ) -> None:
         self.transition = transition
         self.mode = mode
+        self._code = code
 
     @property
     def code(self) -> str:
-        """The paper's short code, e.g. ``"FF-T1"``."""
+        """The paper's short code, e.g. ``"FF-T1"`` (``"EV-*"`` for the
+        environment extension)."""
+        if self._code is not None:
+            return self._code
         prefix = "FF" if self.mode is FailureMode.FAILURE_TO_FIRE else "EF"
         return f"{prefix}-{self.transition}"
 
@@ -235,9 +257,78 @@ TABLE1_ENTRIES: List[ClassificationEntry] = [
 ]
 
 
+#: The environment-deviation extension rows: T5 fired by the environment
+#: instead of a notification, with the component mishandling the exit.
+#: These are *not* rows of the printed Table 1 — they extend it with the
+#: wait-exit modes (interrupt / timeout / spurious wakeup) the paper's
+#: testing notes and the JLS both name.
+ENVIRONMENT_ENTRIES: List[ClassificationEntry] = [
+    ClassificationEntry(
+        failure_class=FailureClass.EV_INT,
+        cause=(
+            "The wait exits by thread interruption and the component "
+            "swallows the InterruptedException instead of propagating or "
+            "re-asserting it"
+        ),
+        conditions="The environment (or another thread) interrupts a waiter",
+        consequences=(
+            "The interrupt is lost: the call completes as if nothing "
+            "happened and cancellation never takes effect"
+        ),
+        testing_notes=(
+            "Static analysis of the exception handler; dynamic analysis of "
+            "interrupted calls that complete normally"
+        ),
+        techniques=(
+            DetectionTechnique.STATIC_ANALYSIS,
+            DetectionTechnique.STATIC_AND_DYNAMIC,
+        ),
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.EV_TMO,
+        cause=(
+            "A timed wait expires and the component treats the timeout "
+            "return as success without re-checking the guard"
+        ),
+        conditions="A timed wait expires before any notification arrives",
+        consequences=(
+            "The call returns a result computed from an unsatisfied guard "
+            "(wrong value, or shared state accessed in an invalid state)"
+        ),
+        testing_notes=(
+            "Dynamic analysis: a timeout-exited wait followed by normal "
+            "completion with no intervening notification"
+        ),
+        techniques=(DetectionTechnique.STATIC_AND_DYNAMIC,),
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.EV_SPU,
+        cause=(
+            "A spurious wakeup returns from the wait and the component "
+            "proceeds without re-checking the guard (if-guard instead of a "
+            "wait loop)"
+        ),
+        conditions="The JVM performs a permitted spurious wakeup",
+        consequences=(
+            "Thread re-enters the critical section with the guard violated"
+        ),
+        testing_notes=(
+            "Dynamic analysis under spurious-wakeup injection: a spurious "
+            "wake followed by completion with no re-wait and no notification"
+        ),
+        techniques=(DetectionTechnique.STATIC_AND_DYNAMIC,),
+    ),
+]
+
+
 def entries_for(failure_class: FailureClass) -> List[ClassificationEntry]:
-    """All Table-1 rows of one failure class (FF-T4 has two)."""
-    return [e for e in TABLE1_ENTRIES if e.failure_class is failure_class]
+    """All rows of one failure class, searching Table 1 and the
+    environment extension (FF-T4 has two Table-1 rows)."""
+    return [
+        e
+        for e in TABLE1_ENTRIES + ENVIRONMENT_ENTRIES
+        if e.failure_class is failure_class
+    ]
 
 
 def entry_count() -> Dict[str, int]:

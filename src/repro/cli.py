@@ -16,7 +16,7 @@
         --journal camp.jsonl [--resume] [--detect --trace-mode none] \\
         [--metrics-out metrics.jsonl]
     python -m repro profile pc-bug --runs 50
-    python -m repro registry list [components|workloads|schedulers|detectors]
+    python -m repro registry list [components|workloads|schedulers|detectors|faults]
     python -m repro corpus generate --components bounded_buffer,readers_writers
     python -m repro corpus sweep --manifest corpus.jsonl --out sweep/ [--resume]
     python -m repro corpus report --results sweep/results.jsonl [--json]
@@ -64,6 +64,23 @@ def _resolve_component(spec: str) -> Type[MonitorComponent]:
     except AttributeError:
         raise SystemExit(f"error: {module_name!r} has no class {class_name!r}")
     return cls
+
+
+def _resolve_faults(spec: Optional[str]):
+    """Resolve a ``--faults`` value: a registered plan name (coerced later
+    by the run layer, with did-you-mean on typos) or a path to a
+    fault-plan JSON file."""
+    if spec is None:
+        return None
+    path = Path(spec)
+    if path.suffix == ".json" or path.exists():
+        from repro.faults.plan import FaultPlan
+
+        try:
+            return FaultPlan.from_json(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"error: --faults {spec!r}: {exc}")
+    return spec
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -373,20 +390,22 @@ def _cmd_explore(args: argparse.Namespace) -> int:
                 f"got {args.decisions!r}"
             )
 
-    config = RunConfig(
-        workload=args.factory,
-        component=args.component,
-        scheduler=args.mode,
-        prefix=tuple(decisions),
-        detect=args.detect,
-        metrics=want_metrics,
-        timeout=0.0,
-        max_depth=args.max_depth,
-        branch=args.branch,
-        pct_depth=args.pct_depth,
-        pct_expected_steps=args.pct_steps,
-    )
     try:
+        config = RunConfig(
+            workload=args.factory,
+            component=args.component,
+            scheduler=args.mode,
+            prefix=tuple(decisions),
+            detect=args.detect,
+            metrics=want_metrics,
+            timeout=0.0,
+            max_depth=args.max_depth,
+            branch=args.branch,
+            pct_depth=args.pct_depth,
+            pct_expected_steps=args.pct_steps,
+            spurious_rate=args.spurious_rate,
+            faults=_resolve_faults(args.faults),
+        )
         executor = RunExecutor(config)
     except RunConfigError as exc:
         raise SystemExit(f"error: {exc}")
@@ -516,29 +535,34 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.engine import CampaignError, CampaignSpec, ProgressTracker, run_campaign
     from repro.engine.journal import JournalError
 
-    spec = CampaignSpec(
-        factory=args.factory,
-        component=args.component,
-        mode=args.mode,
-        budget=args.budget,
-        workers=args.workers,
-        shard_size=args.shard_size,
-        seed_start=args.seed_start,
-        goal=args.goal,
-        coverage=args.coverage,
-        detect=args.detect,
-        trace_mode=args.trace_mode,
-        run_timeout=args.timeout,
-        max_retries=args.retries,
-        max_depth=args.max_depth,
-        branch=args.branch,
-        pct_depth=args.pct_depth,
-        pct_expected_steps=args.pct_steps,
-        journal_path=args.journal,
-        metrics=args.metrics,  # --metrics-out/--metrics-prom imply it
-        metrics_out=args.metrics_out,
-        metrics_prom=args.metrics_prom,
-    )
+    try:
+        spec = CampaignSpec(
+            factory=args.factory,
+            component=args.component,
+            mode=args.mode,
+            budget=args.budget,
+            workers=args.workers,
+            shard_size=args.shard_size,
+            seed_start=args.seed_start,
+            goal=args.goal,
+            coverage=args.coverage,
+            detect=args.detect,
+            trace_mode=args.trace_mode,
+            run_timeout=args.timeout,
+            max_retries=args.retries,
+            max_depth=args.max_depth,
+            branch=args.branch,
+            pct_depth=args.pct_depth,
+            pct_expected_steps=args.pct_steps,
+            journal_path=args.journal,
+            metrics=args.metrics,  # --metrics-out/--metrics-prom imply it
+            metrics_out=args.metrics_out,
+            metrics_prom=args.metrics_prom,
+            spurious_rate=args.spurious_rate,
+            faults=_resolve_faults(args.faults),
+        )
+    except CampaignError as exc:
+        raise SystemExit(f"error: {exc}")
     progress = ProgressTracker(
         total_runs=args.budget,
         stream=None if args.quiet else _sys.stderr,
@@ -559,6 +583,7 @@ def _cmd_registry_list(args: argparse.Namespace) -> int:
     from repro.run.registry import (
         COMPONENTS,
         DETECTORS,
+        FAULTS,
         SCHEDULERS,
         WORKLOADS,
         load_builtins,
@@ -570,6 +595,7 @@ def _cmd_registry_list(args: argparse.Namespace) -> int:
         "workloads": WORKLOADS,
         "schedulers": SCHEDULERS,
         "detectors": DETECTORS,
+        "faults": FAULTS,
     }
     kinds = [args.kind] if args.kind else list(registries)
     for kind in kinds:
@@ -833,6 +859,19 @@ def build_parser() -> argparse.ArgumentParser:
         "(implies --metrics)",
     )
     p_explore.add_argument(
+        "--spurious-rate",
+        type=float,
+        default=0.0,
+        help="per-step probability that one waiting thread wakes "
+        "spuriously (drawn from the run's seeded RNG, so runs stay "
+        "reproducible)",
+    )
+    p_explore.add_argument(
+        "--faults",
+        help="deterministic fault plan: a registered plan name (see "
+        "'registry list faults') or a path to a fault-plan JSON file",
+    )
+    p_explore.add_argument(
         "--decisions", help="comma-separated decision indices for --mode replay"
     )
     p_explore.add_argument(
@@ -894,6 +933,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument("--branch", default="shallow", choices=["shallow", "deep"])
     p_campaign.add_argument("--pct-depth", type=int, default=3)
     p_campaign.add_argument("--pct-steps", type=int, default=200)
+    p_campaign.add_argument(
+        "--spurious-rate",
+        type=float,
+        default=0.0,
+        help="per-step probability that one waiting thread wakes "
+        "spuriously (drawn from each run's seeded RNG; folded into the "
+        "journal fingerprint)",
+    )
+    p_campaign.add_argument(
+        "--faults",
+        help="deterministic fault plan: a registered plan name (see "
+        "'registry list faults') or a path to a fault-plan JSON file",
+    )
     p_campaign.add_argument("--journal", help="JSONL checkpoint path")
     p_campaign.add_argument(
         "--metrics",
@@ -927,12 +979,12 @@ def build_parser() -> argparse.ArgumentParser:
     registry_sub = p_registry.add_subparsers(dest="registry_command", required=True)
     p_reg_list = registry_sub.add_parser(
         "list",
-        help="list registered names (all four registries, or one kind)",
+        help="list registered names (all five registries, or one kind)",
     )
     p_reg_list.add_argument(
         "kind",
         nargs="?",
-        choices=["components", "workloads", "schedulers", "detectors"],
+        choices=["components", "workloads", "schedulers", "detectors", "faults"],
         help="restrict to one registry (bare names, one per line)",
     )
     p_reg_list.set_defaults(func=_cmd_registry_list)

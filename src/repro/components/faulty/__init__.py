@@ -24,6 +24,9 @@ from .pc_no_notify import NoNotifyProducerConsumer
 from .pc_no_wait import NoWaitProducerConsumer
 from .pc_notify_single import SingleNotifyProducerConsumer
 from .pc_spurious_wait import SpuriousWaitProducerConsumer
+from .pc_swallow_interrupt import InterruptSwallowingProducerConsumer
+from .pc_timeout_return import TimeoutReturnProducerConsumer
+from .pc_unguarded_spurious import SpuriousUnguardedProducerConsumer
 from .rw_reader_preference import ReaderPreferenceRW
 from .unsync_counter import UnsyncCounter
 
@@ -112,6 +115,30 @@ FAULT_REGISTRY: Dict[str, FaultInfo] = {
         "guards wait with `if` instead of `while`; a premature wake-up "
         "re-enters the critical section with the guard violated",
     ),
+    "InterruptSwallowingProducerConsumer": FaultInfo(
+        InterruptSwallowingProducerConsumer,
+        FailureClass.EV_INT,
+        (
+            DetectionTechnique.STATIC_ANALYSIS,
+            DetectionTechnique.STATIC_AND_DYNAMIC,
+        ),
+        "receive catches InterruptedError with an empty handler, losing "
+        "the cancellation request",
+    ),
+    "TimeoutReturnProducerConsumer": FaultInfo(
+        TimeoutReturnProducerConsumer,
+        FailureClass.EV_TMO,
+        (DetectionTechnique.STATIC_AND_DYNAMIC,),
+        "receive treats a timed wait's expiry as success and fabricates "
+        "a result on the empty buffer",
+    ),
+    "SpuriousUnguardedProducerConsumer": FaultInfo(
+        SpuriousUnguardedProducerConsumer,
+        FailureClass.EV_SPU,
+        (DetectionTechnique.STATIC_AND_DYNAMIC,),
+        "receive trusts every wake-up; a spurious wake proceeds on an "
+        "empty buffer",
+    ),
 }
 
 __all__ = [
@@ -121,12 +148,15 @@ __all__ = [
     "FaultInfo",
     "HoldForever",
     "IfGuardProducerConsumer",
+    "InterruptSwallowingProducerConsumer",
     "NoNotifyProducerConsumer",
     "NoWaitProducerConsumer",
     "OverSynchronized",
     "ReaderPreferenceRW",
     "SingleNotifyProducerConsumer",
+    "SpuriousUnguardedProducerConsumer",
     "SpuriousWaitProducerConsumer",
+    "TimeoutReturnProducerConsumer",
     "UnsyncCounter",
 ]
 

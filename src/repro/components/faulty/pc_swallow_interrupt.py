@@ -1,0 +1,51 @@
+"""EV-INT: the interrupt is swallowed instead of propagated.
+
+``receive`` wraps its wait in ``try/except InterruptedError: pass`` — the
+Java anti-pattern of catching ``InterruptedException`` with an empty
+handler.  An interrupted consumer silently re-checks the guard and keeps
+going, so cancellation requests are lost: the caller that interrupted the
+thread believes it has stopped, but it continues to consume items.
+
+Detected statically (an ``except InterruptedError`` handler that neither
+re-raises nor re-asserts the flag) and dynamically (an interrupt was
+delivered during a call whose CALL_END does not carry ``interrupted``).
+"""
+
+from __future__ import annotations
+
+from repro.vm import MonitorComponent, NotifyAll, Wait, synchronized
+
+__all__ = ["InterruptSwallowingProducerConsumer"]
+
+
+class InterruptSwallowingProducerConsumer(MonitorComponent):
+    """Producer-consumer whose consumer swallows ``InterruptedError``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.contents = ""
+        self.total_length = 0
+        self.cur_pos = 0
+
+    @synchronized
+    def receive(self):
+        while self.cur_pos == 0:
+            try:
+                yield Wait()
+            except InterruptedError:
+                # seeded EV-INT: cancellation is silently discarded; the
+                # loop re-checks the guard as if nothing happened
+                pass
+        y = self.contents[self.total_length - self.cur_pos]
+        self.cur_pos = self.cur_pos - 1
+        yield NotifyAll()
+        return y
+
+    @synchronized
+    def send(self, x: str):
+        while self.cur_pos > 0:
+            yield Wait()
+        self.contents = x
+        self.total_length = len(x)
+        self.cur_pos = self.total_length
+        yield NotifyAll()

@@ -1,0 +1,50 @@
+"""EV-TMO: a timed wait's expiry is treated as success.
+
+``receive`` waits with a timeout but never distinguishes "notified because
+an item arrived" from "the timer expired": when the wait returns it reads
+the buffer unconditionally, and on expiry (guard still false) it fabricates
+a result instead of retrying or reporting the timeout.  A consumer racing a
+slow producer returns the placeholder as if it were real data.
+
+Detected dynamically: a wake with ``reason="timeout"`` on a monitor that
+saw no notify during the waiting interval, followed by a CALL_END without
+re-entering the wait.
+"""
+
+from __future__ import annotations
+
+from repro.vm import MonitorComponent, NotifyAll, Wait, synchronized
+
+__all__ = ["TimeoutReturnProducerConsumer"]
+
+
+class TimeoutReturnProducerConsumer(MonitorComponent):
+    """Producer-consumer whose consumer mistakes a timeout for data."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.contents = ""
+        self.total_length = 0
+        self.cur_pos = 0
+
+    @synchronized
+    def receive(self):
+        if self.cur_pos == 0:
+            yield Wait(timeout=3)  # seeded EV-TMO: expiry not re-checked
+        if self.cur_pos == 0:
+            # the timer expired; fabricate a value as if one arrived
+            y = "?"
+        else:
+            y = self.contents[self.total_length - self.cur_pos]
+            self.cur_pos = self.cur_pos - 1
+        yield NotifyAll()
+        return y
+
+    @synchronized
+    def send(self, x: str):
+        while self.cur_pos > 0:
+            yield Wait()
+        self.contents = x
+        self.total_length = len(x)
+        self.cur_pos = self.total_length
+        yield NotifyAll()

@@ -1,0 +1,52 @@
+"""EV-SPU: a spurious wake-up is trusted without re-checking the guard.
+
+``receive`` assumes the only way out of ``wait()`` is a genuine notify:
+the guard is checked once, before the wait, never after.  Under normal
+scheduling with a single consumer the component *looks* correct — the bug
+only surfaces when the environment wakes the waiter spuriously (which the
+JVM specification explicitly permits), at which point the consumer reads
+an empty buffer.
+
+This is the environment-deviation twin of the if-instead-of-while bug:
+``IfGuardProducerConsumer`` can be exposed by a competing waiter alone,
+whereas this component needs a spurious wake (injected by a fault plan or
+``spurious_wakeup_rate``) to misbehave.
+"""
+
+from __future__ import annotations
+
+from repro.vm import MonitorComponent, NotifyAll, Wait, synchronized
+
+__all__ = ["SpuriousUnguardedProducerConsumer"]
+
+
+class SpuriousUnguardedProducerConsumer(MonitorComponent):
+    """Producer-consumer whose consumer trusts every wake-up."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.contents = ""
+        self.total_length = 0
+        self.cur_pos = 0
+
+    @synchronized
+    def receive(self):
+        if self.cur_pos == 0:
+            yield Wait()  # seeded EV-SPU: wake reason never questioned
+        if self.cur_pos == 0:
+            # spuriously woken; proceeds on an empty buffer
+            y = "?"
+        else:
+            y = self.contents[self.total_length - self.cur_pos]
+            self.cur_pos = self.cur_pos - 1
+        yield NotifyAll()
+        return y
+
+    @synchronized
+    def send(self, x: str):
+        while self.cur_pos > 0:
+            yield Wait()
+        self.contents = x
+        self.total_length = len(x)
+        self.cur_pos = self.total_length
+        yield NotifyAll()

@@ -23,6 +23,9 @@ operator                  edit                     expected class(es)
                           method around nothing
 ``unsync``                ``@synchronized`` →      FF-T1
                           ``@unsynchronized``
+``swallow_interrupt``     wrap a ``yield Wait``    EV-INT
+                          in ``except
+                          InterruptedError: pass``
 ========================  =======================  ====================
 
 ``unsync`` only applies to methods with no monitor syscalls (a wait or
@@ -300,6 +303,26 @@ def _apply_over_sync(cls: ast.ClassDef) -> bool:
     return True
 
 
+def _count_wait_yield(func: ast.FunctionDef) -> int:
+    return _count(func, lambda s: _yield_call_name(s) == "Wait")
+
+
+def _apply_swallow_interrupt(func: ast.FunctionDef, index: int) -> bool:
+    def wrap(stmt: ast.stmt) -> List[ast.stmt]:
+        handler = ast.ExceptHandler(
+            type=ast.Name(id="InterruptedError", ctx=ast.Load()),
+            name=None,
+            body=[ast.Pass()],
+        )
+        return [
+            ast.Try(body=[stmt], handlers=[handler], orelse=[], finalbody=[])
+        ]
+
+    return _rewrite_nth(
+        func, lambda s: _yield_call_name(s) == "Wait", index, wrap
+    )
+
+
 def _zero(_func: ast.FunctionDef) -> int:
     return 0
 
@@ -368,6 +391,13 @@ OPERATORS: Dict[str, MutationOperator] = {
             "strip synchronization from a syscall-free method",
             _count_unsync,
             _apply_unsync,
+        ),
+        MutationOperator(
+            "swallow_interrupt",
+            ("EV-INT",),
+            "wrap a wait in 'except InterruptedError: pass'",
+            _count_wait_yield,
+            _apply_swallow_interrupt,
         ),
     )
 }

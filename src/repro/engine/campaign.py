@@ -30,9 +30,10 @@ from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.faults.plan import FaultPlan
 from repro.obs.metrics import Counter as MetricsCounter
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
-from repro.run.config import DETECTOR_ORDER, RunConfig, RunConfigError
+from repro.run.config import DETECTOR_ORDER, RunConfig, RunConfigError, _coerce_faults
 from repro.testing.explorer import RunSummary, wilson_interval
 from repro.vm.kernel import RunStatus
 
@@ -55,6 +56,12 @@ _TRACE_MODES = ("full", "none")
 
 #: Pseudo shard id for the systematic planner's own expansion runs.
 PLAN_SHARD_ID = "plan"
+
+#: Relaunch backoff for crash-requeued shards: base * 2^(attempt-1)
+#: seconds, capped — a shard that keeps killing its worker (OOM, native
+#: crash) must not hog a pool slot in a tight relaunch loop.
+_REQUEUE_BACKOFF_BASE = 0.5
+_REQUEUE_BACKOFF_CAP = 15.0
 
 
 class CampaignError(ValueError):
@@ -103,6 +110,11 @@ class CampaignSpec:
     metrics_prom: Optional[str] = None
     #: component registry name, for template workloads (``factory="pc"``)
     component: Optional[str] = None
+    #: per-step spurious wake-up probability for every run (0.0 = off)
+    spurious_rate: float = 0.0
+    #: deterministic fault plan injected into every run (a
+    #: :class:`~repro.faults.FaultPlan`, its dict form, or a plan name)
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         # Asking for a metrics export implies collecting metrics: the old
@@ -111,6 +123,10 @@ class CampaignSpec:
             object.__setattr__(self, "metrics", True)
         if self.detectors and not self.detect:
             object.__setattr__(self, "detect", True)
+        try:
+            object.__setattr__(self, "faults", _coerce_faults(self.faults))
+        except RunConfigError as exc:
+            raise CampaignError(str(exc)) from None
 
     def validate(self) -> None:
         if self.mode not in _MODES:
@@ -161,6 +177,12 @@ class CampaignSpec:
         if self.detectors:
             # same backwards-compatible pattern as component above
             space["detectors"] = list(self.detectors)
+        if self.spurious_rate:
+            # the environment is part of the schedule space: resuming with
+            # a different rate (or plan) would mix incompatible runs
+            space["spurious_rate"] = self.spurious_rate
+        if self.faults is not None:
+            space["faults"] = self.faults.fingerprint_key()
         raw = json.dumps(space, sort_keys=True)
         return hashlib.sha256(raw.encode()).hexdigest()
 
@@ -180,6 +202,8 @@ class CampaignSpec:
             branch=self.branch,
             pct_depth=self.pct_depth,
             pct_expected_steps=self.pct_expected_steps,
+            spurious_rate=self.spurious_rate,
+            faults=self.faults,
         )
 
     @classmethod
@@ -210,6 +234,8 @@ class CampaignSpec:
             branch=config.branch,
             pct_depth=config.pct_depth,
             pct_expected_steps=config.pct_expected_steps,
+            spurious_rate=config.spurious_rate,
+            faults=config.faults,
             **kwargs,
         )
 
@@ -233,6 +259,8 @@ class ReplayArtifact:
     pct_depth: int = 3
     pct_expected_steps: int = 200
     component: Optional[str] = None
+    spurious_rate: float = 0.0
+    faults_name: Optional[str] = None
 
     def command(self) -> str:
         """The ``repro explore`` invocation that reproduces this failure
@@ -241,6 +269,10 @@ class ReplayArtifact:
         target = self.factory
         if self.component:
             target += f" --component {self.component}"
+        if self.spurious_rate:
+            target += f" --spurious-rate {self.spurious_rate}"
+        if self.faults_name:
+            target += f" --faults {self.faults_name}"
         if self.mode == "random" and self.seed is not None:
             return (
                 f"python -m repro explore {target} "
@@ -334,6 +366,10 @@ class CampaignResult:
                 pct_depth=self.spec.pct_depth,
                 pct_expected_steps=self.spec.pct_expected_steps,
                 component=self.spec.component,
+                spurious_rate=self.spec.spurious_rate,
+                faults_name=(
+                    self.spec.faults.name if self.spec.faults is not None else None
+                ),
             )
         return list(artifacts.values())
 
@@ -700,6 +736,8 @@ def _run_pool(
     active: Dict[str, _Active] = {}
     buffers: Dict[str, List[RunSummary]] = {}
     retries: Dict[str, int] = {}
+    #: shard id -> earliest monotonic time a requeued shard may relaunch
+    retry_not_before: Dict[str, float] = {}
     goal: Optional[str] = None
     #: grace period between a worker dying and the shard being declared
     #: crashed, so in-flight queue messages (including "done") can drain.
@@ -717,10 +755,15 @@ def _run_pool(
 
     def requeue_or_fail(shard: Shard) -> None:
         buffers.pop(shard.shard_id, None)
-        retries[shard.shard_id] = retries.get(shard.shard_id, 0) + 1
-        if retries[shard.shard_id] <= spec.max_retries:
+        attempt = retries.get(shard.shard_id, 0) + 1
+        retries[shard.shard_id] = attempt
+        if attempt <= spec.max_retries:
+            backoff = min(
+                _REQUEUE_BACKOFF_CAP, _REQUEUE_BACKOFF_BASE * 2 ** (attempt - 1)
+            )
+            retry_not_before[shard.shard_id] = time.monotonic() + backoff
             pending.append(shard)
-            progress.note_shard_requeued()
+            progress.note_shard_requeued(shard.shard_id)
             result.shards_requeued += 1
         else:
             result.shards_failed.append(shard.shard_id)
@@ -756,8 +799,18 @@ def _run_pool(
 
     try:
         while (pending or active) and goal is None:
-            while pending and len(active) < spec.workers:
-                launch(pending.popleft())
+            # Launch every eligible shard; requeued shards still inside
+            # their backoff window rotate to the back so they never block
+            # fresh work behind them.
+            now = time.monotonic()
+            for _ in range(len(pending)):
+                if len(active) >= spec.workers:
+                    break
+                shard = pending.popleft()
+                if retry_not_before.get(shard.shard_id, 0.0) > now:
+                    pending.append(shard)
+                else:
+                    launch(shard)
 
             # Drain every available message before judging liveness, so a
             # cleanly finished worker is never mistaken for a crash.

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from collections import Counter
-from typing import IO, Optional, Set, Tuple
+from typing import IO, Dict, Optional, Set, Tuple
 
 from repro.testing.explorer import RunSummary
 
@@ -50,6 +50,10 @@ class ProgressTracker:
         self.shards_requeued = 0
         self.shards_resumed = 0
         self.shards_total = 0
+        #: shard id -> launch attempts beyond the first (crash-requeued
+        #: shards only); rendered in the heartbeat so a flapping shard is
+        #: visible while the campaign is still running
+        self.shard_attempts: Dict[str, int] = {}
 
     # -- event intake ------------------------------------------------------
 
@@ -67,8 +71,10 @@ class ProgressTracker:
     def note_shard_failed(self) -> None:
         self.shards_failed += 1
 
-    def note_shard_requeued(self) -> None:
+    def note_shard_requeued(self, shard_id: Optional[str] = None) -> None:
         self.shards_requeued += 1
+        if shard_id is not None:
+            self.shard_attempts[shard_id] = self.shard_attempts.get(shard_id, 0) + 1
 
     def note_shards_resumed(self, count: int) -> None:
         self.shards_resumed += count
@@ -129,6 +135,12 @@ class ProgressTracker:
         if self.shards_resumed:
             shard_bit += f" ({self.shards_resumed} resumed)"
         parts.append(shard_bit)
+        if self.shard_attempts:
+            retry_bit = ",".join(
+                f"{shard_id}x{count + 1}"
+                for shard_id, count in sorted(self.shard_attempts.items())
+            )
+            parts.append(f"attempts {retry_bit}")
         if self.top_contended is not None:
             monitor, ticks = self.top_contended
             parts.append(f"hot {monitor}:{int(ticks)}")

@@ -1,0 +1,34 @@
+"""Deterministic environment-fault injection.
+
+The JVM's environment is allowed to deviate from the happy path: threads
+get interrupted, timed waits expire, and ``wait()`` may return spuriously.
+A component that is only correct when none of that happens harbors the
+environment-firing failures this package seeds, injects, and detects:
+
+* :class:`FaultPlan` / :class:`FaultRule` (:mod:`.plan`) — a frozen,
+  serializable description of *which* deviation to inject *when*
+  (trigger × action rules; rides in scenario files and fingerprints);
+* :class:`FaultInjector` (:mod:`.injector`) — the plan interpreter the
+  kernel consults at every step boundary; fully deterministic, so a
+  faulted run replays byte-identically from its seed and plan;
+* :mod:`.templates` — built-in plans in the ``FAULTS`` registry
+  (``interrupt-consumer``, ``expire-first-wait``, ``spurious-first-wait``).
+
+The injected effects themselves live in the VM
+(:meth:`repro.vm.Kernel.interrupt`, :meth:`~repro.vm.Kernel.expire_wait`,
+:meth:`~repro.vm.Kernel.spurious_wake`); detection of the mishandled
+deviations lives in :mod:`repro.classify.symptoms` (dynamic) and
+:mod:`repro.analysis.static_checks` (interrupt swallowing).
+"""
+
+from .injector import FaultInjector
+from .plan import ACTIONS, TRIGGERS, FaultPlan, FaultPlanError, FaultRule
+
+__all__ = [
+    "ACTIONS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
+    "TRIGGERS",
+]

@@ -1,0 +1,48 @@
+"""Built-in fault plans, registered under stable names.
+
+These target the thread names the built-in workload templates spawn
+(consumers ``c0..``, producers ``p1..``), so ``--faults interrupt-consumer``
+works out of the box against any producer-consumer style workload.  Plans
+for other shapes are registered the same way::
+
+    from repro.run.registry import register_fault_plan
+
+    register_fault_plan("my-plan")(FaultPlan(name="my-plan", rules=(...)))
+"""
+
+from __future__ import annotations
+
+from repro.run.registry import FAULTS
+
+from .plan import FaultPlan, FaultRule
+
+__all__ = [
+    "EXPIRE_FIRST_WAIT",
+    "INTERRUPT_CONSUMER",
+    "SPURIOUS_FIRST_WAIT",
+]
+
+#: Interrupt consumer ``c0`` during its first wait — exercises the
+#: interrupt-propagation path (and EV-INT swallowing, if present).
+INTERRUPT_CONSUMER = FaultPlan(
+    name="interrupt-consumer",
+    rules=(FaultRule(action="interrupt", thread="c0", at_wait=1),),
+)
+
+#: Force consumer ``c0``'s first wait to expire as a timeout — exercises
+#: timeout handling (EV-TMO when the expiry is mistaken for success).
+EXPIRE_FIRST_WAIT = FaultPlan(
+    name="expire-first-wait",
+    rules=(FaultRule(action="timeout", thread="c0", at_wait=1),),
+)
+
+#: Spuriously wake consumer ``c0`` from its first wait — exercises the
+#: guard re-check (EV-SPU / EF-T5 when the guard is an ``if``).
+SPURIOUS_FIRST_WAIT = FaultPlan(
+    name="spurious-first-wait",
+    rules=(FaultRule(action="spurious", thread="c0", at_wait=1),),
+)
+
+for _plan in (INTERRUPT_CONSUMER, EXPIRE_FIRST_WAIT, SPURIOUS_FIRST_WAIT):
+    FAULTS.add(_plan.name, _plan)
+del _plan

@@ -23,14 +23,18 @@ running defaults.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.faults.plan import FaultPlan, FaultPlanError
+
 from .registry import (
     COMPONENTS,
     DETECTORS,
+    FAULTS,
     SCHEDULERS,
     UnknownNameError,
     load_builtins,
@@ -128,6 +132,31 @@ def parse_seed_spec(value: Union[int, str, Sequence[int]]) -> List[int]:
         ) from None
 
 
+def _coerce_faults(value: Any) -> Optional[FaultPlan]:
+    """Canonicalize any spelling of a fault plan to a :class:`FaultPlan`:
+    an instance passes through, a dict is parsed, a string is looked up
+    in the ``FAULTS`` registry."""
+    if value is None or isinstance(value, FaultPlan):
+        return value
+    if isinstance(value, str):
+        load_builtins()
+        try:
+            plan = FAULTS.get(value)
+        except UnknownNameError as exc:
+            raise RunConfigError(str(exc)) from None
+        if not isinstance(plan, FaultPlan):  # pragma: no cover - registry misuse
+            raise RunConfigError(f"registered fault plan {value!r} is not a FaultPlan")
+        return plan
+    if isinstance(value, dict):
+        try:
+            return FaultPlan.from_dict(value)
+        except FaultPlanError as exc:
+            raise RunConfigError(f"bad [faults] table: {exc}") from None
+    raise RunConfigError(
+        f"faults must be a FaultPlan, plan name, or table, got {value!r}"
+    )
+
+
 def _resolve_workload_entry(spec: str) -> Callable[..., Any]:
     """Resolve a workload spec (registry name or ``module:function``) to
     its registered entry, wrapping resolution failures as config errors."""
@@ -174,12 +203,19 @@ class RunConfig:
     pct_depth: int = 3
     #: PCT expected step budget ``k``
     pct_expected_steps: int = 200
+    #: per-step probability of a spurious wake-up (0.0 = off); drawn from
+    #: a dedicated RNG seeded with the run's scheduler seed
+    spurious_rate: float = 0.0
+    #: deterministic fault plan: a :class:`~repro.faults.FaultPlan`, its
+    #: dict form, or the name of a registered plan (``"interrupt-consumer"``)
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         # Coerce sequence/bool spellings (JSON lists, detect=True) so a
         # config is canonical however it was built.
         object.__setattr__(self, "prefix", tuple(int(d) for d in self.prefix))
         object.__setattr__(self, "detect", normalize_detect(self.detect))
+        object.__setattr__(self, "faults", _coerce_faults(self.faults))
 
     # -- validation --------------------------------------------------------
 
@@ -204,6 +240,10 @@ class RunConfig:
             raise RunConfigError(
                 f"pct_depth/pct_expected_steps must be >= 1, got "
                 f"{self.pct_depth}/{self.pct_expected_steps}"
+            )
+        if not 0.0 <= self.spurious_rate <= 1.0:
+            raise RunConfigError(
+                f"spurious_rate must be in [0, 1], got {self.spurious_rate}"
             )
         if self.scheduler != "systematic" and self.scheduler not in SCHEDULERS:
             known = sorted(SCHEDULERS.names() + ["systematic"])
@@ -304,7 +344,9 @@ class RunConfig:
             value = getattr(self, spec.name)
             if value is None:
                 continue
-            if isinstance(value, tuple):
+            if isinstance(value, FaultPlan):
+                value = value.to_dict()
+            elif isinstance(value, tuple):
                 value = list(value)
             payload[spec.name] = value
         return payload
@@ -434,11 +476,14 @@ def load_scenario(path: Union[str, Path]) -> Scenario:
 
     Schema: a required ``[run]`` table (the :class:`RunConfig` fields)
     plus at most one of ``[explore]`` / ``[campaign]``; no driver table
-    means "execute exactly one run".
+    means "execute exactly one run".  An optional ``[faults]`` table (a
+    serialized :class:`~repro.faults.FaultPlan`: ``name`` plus
+    ``[[faults.rules]]`` entries) attaches a deterministic fault plan to
+    the run — equivalent to setting ``faults`` inside ``[run]``.
     """
     path = Path(path)
     data = _parse_toml(path.read_text(), source=f"scenario {path}")
-    known_tables = {"run", "explore", "campaign"}
+    known_tables = {"run", "explore", "campaign", "faults"}
     unknown = sorted(set(data) - known_tables)
     if unknown:
         raise RunConfigError(
@@ -448,6 +493,22 @@ def load_scenario(path: Union[str, Path]) -> Scenario:
     if "run" not in data:
         raise RunConfigError(f"scenario {path} needs a [run] table")
     run = RunConfig.from_dict(dict(data["run"]), source=f"scenario {path} [run]")
+    faults_table = data.get("faults")
+    if faults_table is not None:
+        if run.faults is not None:
+            raise RunConfigError(
+                f"scenario {path} sets faults both in [run] and as a "
+                f"[faults] table; pick one"
+            )
+        if not isinstance(faults_table, dict):
+            raise RunConfigError(f"scenario {path} [faults] must be a table")
+        try:
+            plan = FaultPlan.from_dict(faults_table)
+        except FaultPlanError as exc:
+            raise RunConfigError(
+                f"scenario {path} [faults] is malformed: {exc}"
+            ) from None
+        run = dataclasses.replace(run, faults=plan)
     explore = data.get("explore")
     campaign = data.get("campaign")
     if explore is not None and campaign is not None:
@@ -479,4 +540,7 @@ def _toml_value(value: Any) -> str:
         return json.dumps(value)
     if isinstance(value, (list, tuple)):
         return "[" + ", ".join(_toml_value(v) for v in value) + "]"
+    if isinstance(value, dict):
+        pairs = ", ".join(f"{k} = {_toml_value(v)}" for k, v in value.items())
+        return "{" + pairs + "}"
     raise RunConfigError(f"cannot serialize {value!r} to TOML")

@@ -26,11 +26,13 @@ next run of the same shard.
 from __future__ import annotations
 
 import importlib
+import random
 import signal
 import time
 from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.detect.online import DetectorPipeline, OnlineDetector
+from repro.faults.injector import FaultInjector
 from repro.obs.sink import InstrumentationSink
 from repro.testing.explorer import (
     ExplorationResult,
@@ -102,6 +104,15 @@ def timed_runner(timeout: float) -> KernelRunner:
     return run
 
 
+def _scheduler_seed(scheduler: Any) -> int:
+    """The seed of the run's scheduler (unwrapping recording wrappers),
+    used to key the kernel's environment RNG; 0 for seedless schedulers
+    (replay, round-robin) so they too are deterministic."""
+    inner = getattr(scheduler, "inner", scheduler)
+    seed = getattr(inner, "seed", None)
+    return int(seed) if seed is not None else 0
+
+
 def _coverage_extractor(
     coverage_spec: Optional[str],
 ) -> Optional[Callable[[Any], List[Tuple[str, str, str, int]]]]:
@@ -154,6 +165,7 @@ class RunExecutor:
         self._base_factory: Callable[["Scheduler"], Kernel] = config.build_factory()
         self._pipeline: Optional[DetectorPipeline] = None
         self._sink: Optional[InstrumentationSink] = None
+        self._injector: Optional[FaultInjector] = None
         self._extract = _coverage_extractor(config.coverage)
         self._timed: KernelRunner = timed_runner(config.timeout)
         #: the runner matched to this config (timeout + run_wall_seconds
@@ -189,6 +201,18 @@ class RunExecutor:
         observation stack."""
         kernel = self._base_factory(scheduler)
         config = self.config
+        if config.spurious_rate > 0.0:
+            # Reseed the kernel's environment RNG from the run's scheduler
+            # seed so the spurious draws are a pure function of the seed
+            # (fresh runs, journal --resume, and replay all agree).
+            kernel.spurious_wakeup_rate = config.spurious_rate
+            kernel.rng = random.Random(_scheduler_seed(scheduler))
+        if config.faults is not None:
+            if self._injector is None:
+                self._injector = FaultInjector(config.faults)
+            else:
+                self._injector.reset()
+            kernel.fault_injector = self._injector
         if config.detect:
             if kernel.trace_mode != config.trace_mode:
                 kernel.trace_mode = config.trace_mode

@@ -7,7 +7,7 @@ a :class:`~repro.run.config.RunConfig` can name its parts as plain
 strings and be rebuilt identically in another process (or loaded from a
 scenario file on disk).
 
-The four registries:
+The registries:
 
 * :data:`COMPONENTS` — monitor-component classes
   (``"ProducerConsumer"``, the seeded-fault classes, ...), registered by
@@ -18,7 +18,10 @@ The four registries:
   Scheduler``), registered by :mod:`repro.vm.scheduler` and
   :mod:`repro.vm.pct`;
 * :data:`DETECTORS` — online-detector factories, registered by the
-  concrete modules under :mod:`repro.detect`.
+  concrete modules under :mod:`repro.detect`;
+* :data:`FAULTS` — named :class:`~repro.faults.FaultPlan` templates
+  (``"interrupt-consumer"``, ...), registered by
+  :mod:`repro.faults.templates`.
 
 This module deliberately imports nothing from the rest of ``repro`` —
 it sits below every layer that registers into it, so there are no import
@@ -37,6 +40,7 @@ T = TypeVar("T")
 __all__ = [
     "COMPONENTS",
     "DETECTORS",
+    "FAULTS",
     "Registry",
     "SCHEDULERS",
     "UnknownNameError",
@@ -45,6 +49,7 @@ __all__ = [
     "load_builtins",
     "register_component",
     "register_detector",
+    "register_fault_plan",
     "register_scheduler",
     "register_workload",
 ]
@@ -145,11 +150,14 @@ WORKLOADS: Registry[Callable[..., Any]] = Registry("workload")
 SCHEDULERS: Registry[Callable[..., Any]] = Registry("scheduler")
 #: Online-detector factories by name: ``factory() -> OnlineDetector``.
 DETECTORS: Registry[Callable[..., Any]] = Registry("detector")
+#: Named fault plans by name, registered by :mod:`repro.faults.templates`.
+FAULTS: Registry[Any] = Registry("fault plan")
 
 register_component = COMPONENTS.register
 register_workload = WORKLOADS.register
 register_scheduler = SCHEDULERS.register
 register_detector = DETECTORS.register
+register_fault_plan = FAULTS.register
 
 #: Modules whose import populates the registries with the built-ins.
 _BUILTIN_MODULES: Tuple[str, ...] = (
@@ -166,6 +174,7 @@ _BUILTIN_MODULES: Tuple[str, ...] = (
     "repro.detect.completion",
     "repro.detect.reentry",
     "repro.engine.workloads",
+    "repro.faults.templates",
 )
 
 _builtins_loaded = False

@@ -53,7 +53,7 @@ from .errors import (
     UnknownSyscallError,
     VMError,
 )
-from .events import TRANSITION_OF_EVENT, Event, EventKind
+from .events import TRANSITION_OF_EVENT, Event, EventKind, WakeReason
 from .kernel import Kernel, RunResult, RunStatus, current_kernel, current_thread
 from .monitor import MonitorObject, SelectionPolicy
 from .pct import PCTScheduler
@@ -83,6 +83,7 @@ from .syscalls import (
     CallBegin,
     CallEnd,
     GetTime,
+    Interrupt,
     Notify,
     NotifyAll,
     Read,
@@ -111,6 +112,7 @@ __all__ = [
     "FifoScheduler",
     "GetTime",
     "IllegalMonitorStateError",
+    "Interrupt",
     "Kernel",
     "MonitorComponent",
     "MonitorObject",
@@ -141,6 +143,7 @@ __all__ = [
     "UnknownSyscallError",
     "VMError",
     "Wait",
+    "WakeReason",
     "Write",
     "Yield",
     "current_kernel",

@@ -109,7 +109,14 @@ def synchronized(method: Callable[..., Any]) -> Callable[..., Generator]:
     @functools.wraps(method)
     def wrapper(self: MonitorComponent, *args: Any, **kwargs: Any) -> Generator:
         yield CallBegin(self, method.__name__)
-        yield Acquire(self)
+        try:
+            yield Acquire(self)
+        except InterruptedError:
+            # Interrupted while blocked acquiring: the kernel removed us
+            # from the entry set, so there is no lock to release.  Record
+            # the exceptional completion and let the interrupt propagate.
+            yield CallEnd(self, method.__name__, None, interrupted=True)
+            raise
         try:
             if is_generator:
                 result = yield from method(self, *args, **kwargs)
@@ -120,6 +127,13 @@ def synchronized(method: Callable[..., Any]) -> Callable[..., Generator]:
             # waiting inside the body): close silently — yielding here
             # would violate generator-close semantics.  The kernel itself
             # releases abandoned locks.
+            raise
+        except InterruptedError:
+            # The call completes *exceptionally*: release the lock as the
+            # unwinding synchronized block does, and mark the call end so
+            # completion accounting can tell propagation from swallowing.
+            yield Release(self)
+            yield CallEnd(self, method.__name__, None, interrupted=True)
             raise
         except BaseException:
             # A Java synchronized block releases its lock as the exception
@@ -148,10 +162,16 @@ def unsynchronized(method: Callable[..., Any]) -> Callable[..., Generator]:
     @functools.wraps(method)
     def wrapper(self: MonitorComponent, *args: Any, **kwargs: Any) -> Generator:
         yield CallBegin(self, method.__name__)
-        if is_generator:
-            result = yield from method(self, *args, **kwargs)
-        else:
-            result = method(self, *args, **kwargs)
+        try:
+            if is_generator:
+                result = yield from method(self, *args, **kwargs)
+            else:
+                result = method(self, *args, **kwargs)
+        except GeneratorExit:
+            raise
+        except InterruptedError:
+            yield CallEnd(self, method.__name__, None, interrupted=True)
+            raise
         yield CallEnd(self, method.__name__, result)
         return result
 

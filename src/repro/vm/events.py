@@ -14,7 +14,23 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-__all__ = ["EventKind", "Event", "TRANSITION_OF_EVENT"]
+__all__ = ["EventKind", "Event", "TRANSITION_OF_EVENT", "WakeReason"]
+
+
+class WakeReason(enum.Enum):
+    """Why a waiting thread left the wait set (the cause of its T5).
+
+    Serialized by value into the ``reason`` detail of MONITOR_NOTIFIED
+    events, so saved traces record *how* every wait exited — the notify
+    path the paper models, plus the three environment exits (interrupt,
+    timeout, spurious wakeup) Java permits.
+    """
+
+    NOTIFY = "notify"
+    NOTIFY_ALL = "notify_all"
+    INTERRUPT = "interrupt"
+    TIMEOUT = "timeout"
+    SPURIOUS = "spurious"
 
 
 class EventKind(enum.Enum):
@@ -35,6 +51,12 @@ class EventKind(enum.Enum):
     NOTIFY = "notify"
     NOTIFY_ALL = "notify_all"
     SPURIOUS_WAKEUP = "spurious_wakeup"
+
+    # Environment faults: a thread's interrupt flag being set, and a timed
+    # wait expiring on virtual time.  The woken thread's T5 is still a
+    # MONITOR_NOTIFIED event; its ``reason`` detail carries the WakeReason.
+    INTERRUPT = "interrupt"
+    WAIT_TIMEOUT = "wait_timeout"
 
     # Component method call boundaries (completion-time checking).
     CALL_BEGIN = "call_begin"

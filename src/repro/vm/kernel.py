@@ -47,7 +47,7 @@ from .errors import (
     ThreadCrashedError,
     UnknownSyscallError,
 )
-from .events import Event, EventKind
+from .events import Event, EventKind, WakeReason
 from .monitor import MonitorObject, SelectionPolicy
 from .scheduler import FifoScheduler, Scheduler
 from .syscalls import (
@@ -56,6 +56,7 @@ from .syscalls import (
     CallBegin,
     CallEnd,
     GetTime,
+    Interrupt,
     Notify,
     NotifyAll,
     Read,
@@ -225,6 +226,11 @@ class Kernel:
         #: set via :meth:`request_abort`; a non-None value ends the run
         #: loop at the next step boundary (first reason wins).
         self.abort_reason: Optional[str] = None
+        #: optional deterministic fault injector (see :mod:`repro.faults`):
+        #: an object with ``on_step(kernel)``, consulted at the top of
+        #: every :meth:`step` — the same point as the rate-based spurious
+        #: draw, but consuming no kernel RNG.
+        self.fault_injector: Optional[Any] = None
 
         self.trace = Trace()
         self.time = 0
@@ -441,6 +447,14 @@ class Kernel:
                 thread.push_hold(monitor.name)
             thread.saved_entry_count = 0
             thread.reacquiring = False
+            if thread.pending_interrupt:
+                # JVM semantics: the InterruptedException of an interrupted
+                # wait is raised only after the monitor is reacquired.
+                thread.pending_interrupt = False
+                thread.throw_exc = InterruptedError(
+                    f"thread {chosen_name!r} interrupted while waiting on "
+                    f"{monitor.name!r}"
+                )
         else:
             depth = 1
             monitor.acquire_by(chosen_name, 1)
@@ -540,12 +554,30 @@ class Kernel:
                 f"thread {thread.name!r} called wait() on monitor {name!r} "
                 f"without owning it"
             )
+        timeout = call.timeout
+        if timeout is not None and timeout < 0:
+            thread.throw_exc = ValueError(
+                f"negative wait timeout {timeout!r} in thread {thread.name!r}"
+            )
+            return
+        if thread.interrupted:
+            # Java: wait() with the interrupt status set throws immediately,
+            # clears the status, and never releases the lock.
+            thread.interrupted = False
+            thread.throw_exc = InterruptedError(
+                f"thread {thread.name!r} called wait() on {name!r} with its "
+                f"interrupt flag set"
+            )
+            return
         depth = self._release_fully(thread, monitor)
         thread.saved_entry_count = depth
         monitor.add_waiter(thread.name)
         thread.waiting_on = name
         thread.state = ThreadState.WAITING
         thread.waiting_since = self.time
+        thread.waits_entered += 1
+        # Java's wait(0) waits forever; only positive timeouts are timed.
+        thread.wait_deadline = self.time + timeout if timeout else None
         comp, meth = thread.current_frame()
         self.emit(
             thread.name,
@@ -555,16 +587,31 @@ class Kernel:
             method=meth,
             depth=depth,
             line=self._yield_location(thread),
+            **({"timeout": timeout} if timeout else {}),
         )
         self._grant_lock(monitor)
 
-    def _wake_waiter(self, monitor: MonitorObject, waiter_name: str, by: str, spurious: bool = False) -> None:
-        """Move a waiter to the entry set (T5: D -> B)."""
+    def _wake_waiter(
+        self,
+        monitor: MonitorObject,
+        waiter_name: str,
+        by: str,
+        reason: WakeReason = WakeReason.NOTIFY,
+    ) -> None:
+        """Move a waiter to the entry set (T5: D -> B).
+
+        ``reason`` records *why* the wait exited — notify, notifyAll,
+        interrupt, timeout, or spurious — in the MONITOR_NOTIFIED event,
+        so saved traces reproduce faulted runs byte-identically.
+        """
         waiter = self.threads[waiter_name]
         waiter.waiting_on = None
         waiter.reacquiring = True
         waiter.blocked_on = monitor.name
         waiter.state = ThreadState.BLOCKED
+        waiter.wait_deadline = None
+        if reason is WakeReason.INTERRUPT:
+            waiter.pending_interrupt = True
         if waiter.waiting_since is not None:
             waiter.waiting_ticks += self.time - waiter.waiting_since
             waiter.waiting_since = None
@@ -575,7 +622,8 @@ class Kernel:
             EventKind.MONITOR_NOTIFIED,
             monitor=monitor.name,
             by=by,
-            spurious=spurious,
+            spurious=reason is WakeReason.SPURIOUS,
+            reason=reason.value,
         )
 
     def _sys_notify(self, thread: SimThread, call: Notify, all_waiters: bool) -> None:
@@ -615,7 +663,14 @@ class Kernel:
             **({"injected_loss": True} if injected_loss else {}),
         )
         for waiter in woken:
-            self._wake_waiter(monitor, waiter, by=thread.name)
+            self._wake_waiter(
+                monitor,
+                waiter,
+                by=thread.name,
+                reason=(
+                    WakeReason.NOTIFY_ALL if all_waiters else WakeReason.NOTIFY
+                ),
+            )
         thread.send_value = None
 
     def _sys_tick(self, thread: SimThread) -> None:
@@ -667,14 +722,38 @@ class Kernel:
             component=comp,
             method=call.method,
             result=call.result,
+            **({"interrupted": True} if call.interrupted else {}),
         )
         thread.send_value = None
 
-    # -- spurious wakeups ------------------------------------------------------------
+    # -- environment faults: spurious wakeups, interrupts, timed waits ---------------
+
+    def spurious_wake(self, monitor_name: str, waiter_name: str) -> None:
+        """Spuriously wake ``waiter_name`` from ``monitor_name``'s wait set
+        — the JVM's documented liberty, as one deterministic effect.
+
+        Both injection paths (the rate-based draw and a
+        :class:`~repro.faults.FaultInjector` rule) route through this one
+        method, so they emit identical event sequences for the same wake.
+        """
+        monitor = self.monitors[monitor_name]
+        if waiter_name not in monitor.wait_set:
+            raise UnknownSyscallError(
+                f"cannot spuriously wake {waiter_name!r}: not waiting on "
+                f"{monitor_name!r}"
+            )
+        monitor.remove_waiter(waiter_name)
+        self.emit(waiter_name, EventKind.SPURIOUS_WAKEUP, monitor=monitor.name)
+        self._wake_waiter(
+            monitor, waiter_name, by="<jvm>", reason=WakeReason.SPURIOUS
+        )
+        # Unlike notify (where the notifier still holds the lock), a
+        # spurious wakeup can hit a free monitor: grant immediately.
+        self._grant_lock(monitor)
 
     def _maybe_spurious_wakeup(self) -> None:
         """With the configured probability, wake one random waiting thread
-        without any notify — the JVM's documented liberty."""
+        without any notify."""
         if self.spurious_wakeup_rate <= 0.0:
             return
         if self.rng.random() >= self.spurious_wakeup_rate:
@@ -687,12 +766,86 @@ class Kernel:
         if not candidates:
             return
         monitor, waiter = candidates[self.rng.randrange(len(candidates))]
-        monitor.remove_waiter(waiter)
-        self.emit(waiter, EventKind.SPURIOUS_WAKEUP, monitor=monitor.name)
-        self._wake_waiter(monitor, waiter, by="<jvm>", spurious=True)
-        # Unlike notify (where the notifier still holds the lock), a
-        # spurious wakeup can hit a free monitor: grant immediately.
+        self.spurious_wake(monitor.name, waiter)
+
+    def interrupt(self, name: str, by: str = "<env>") -> None:
+        """Interrupt thread ``name`` (``Thread.interrupt()``), JVM-style.
+
+        * WAITING: woken with ``reason="interrupt"``; ``InterruptedError``
+          is raised once the monitor has been reacquired.
+        * BLOCKED on an acquire (not a post-wait reacquisition): removed
+          from the entry set and resumed with ``InterruptedError`` at the
+          acquire point.
+        * BLOCKED reacquiring after a wake: the error is delivered after
+          reacquisition, like the waiting case.
+        * Runnable (or clock-waiting): the interrupt flag is set; the next
+          ``Wait`` raises immediately.
+        * Terminated/crashed: no effect (flag set, never observed).
+        """
+        if name not in self.threads:
+            raise UnknownSyscallError(f"cannot interrupt unknown thread {name!r}")
+        thread = self.threads[name]
+        self.emit(
+            name, EventKind.INTERRUPT, by=by, thread_state=thread.state.value
+        )
+        if thread.state is ThreadState.WAITING and thread.waiting_on:
+            monitor = self.monitors[thread.waiting_on]
+            monitor.remove_waiter(name)
+            self._wake_waiter(monitor, name, by=by, reason=WakeReason.INTERRUPT)
+            self._grant_lock(monitor)
+            return
+        if thread.state is ThreadState.BLOCKED and thread.blocked_on:
+            if thread.reacquiring:
+                thread.pending_interrupt = True
+                return
+            monitor = self.monitors[thread.blocked_on]
+            monitor.remove_blocked(name)
+            thread.blocked_on = None
+            thread.state = ThreadState.RUNNABLE
+            if thread.blocked_since is not None:
+                thread.blocked_ticks += self.time - thread.blocked_since
+                thread.blocked_since = None
+            thread.throw_exc = InterruptedError(
+                f"thread {name!r} interrupted while blocked acquiring "
+                f"{monitor.name!r}"
+            )
+            return
+        thread.interrupted = True
+
+    def expire_wait(self, name: str, by: str = "<timer>") -> None:
+        """Expire thread ``name``'s wait as a timeout, waking it with
+        ``reason="timeout"`` (used for natural virtual-time expiry and by
+        fault-plan ``timeout`` rules forcing one)."""
+        thread = self.threads.get(name)
+        if thread is None or thread.state is not ThreadState.WAITING:
+            raise UnknownSyscallError(
+                f"cannot expire wait of {name!r}: not waiting"
+            )
+        assert thread.waiting_on is not None
+        monitor = self.monitors[thread.waiting_on]
+        monitor.remove_waiter(name)
+        self.emit(
+            name,
+            EventKind.WAIT_TIMEOUT,
+            monitor=monitor.name,
+            by=by,
+            deadline=thread.wait_deadline,
+        )
+        self._wake_waiter(monitor, name, by=by, reason=WakeReason.TIMEOUT)
+        # Like a spurious wake, expiry can hit a free monitor.
         self._grant_lock(monitor)
+
+    def _expire_timed_waits(self) -> None:
+        """Wake every timed waiter whose deadline has been reached."""
+        expired = [
+            t.name
+            for t in self.threads.values()
+            if t.state is ThreadState.WAITING
+            and t.wait_deadline is not None
+            and self.time >= t.wait_deadline
+        ]
+        for name in expired:
+            self.expire_wait(name)
 
     # -- native observability counters --------------------------------------------------
 
@@ -767,6 +920,18 @@ class Kernel:
             self.emit(thread.name, EventKind.THREAD_END, result=stop.value)
             self._release_abandoned_locks(thread)
             return None
+        except InterruptedError:
+            # Propagating the interrupt out of the thread body is the
+            # *correct* response to interruption (Java's cancellation
+            # contract): the thread terminates cleanly, marked interrupted.
+            thread.state = ThreadState.TERMINATED
+            thread.result = None
+            thread.ended_at = self.time
+            self.emit(
+                thread.name, EventKind.THREAD_END, result=None, interrupted=True
+            )
+            self._release_abandoned_locks(thread)
+            return None
         except Exception as exc:  # noqa: BLE001 - thread bodies may raise anything
             thread.state = ThreadState.CRASHED
             thread.exception = exc
@@ -820,6 +985,9 @@ class Kernel:
                 field=syscall.field,
             )
             thread.send_value = None
+        elif isinstance(syscall, Interrupt):
+            self.interrupt(syscall.thread, by=thread.name)
+            thread.send_value = None
         elif isinstance(syscall, Tick):
             self._sys_tick(thread)
         elif isinstance(syscall, AwaitTime):
@@ -838,13 +1006,30 @@ class Kernel:
 
     def step(self) -> bool:
         """Execute one scheduling step.  Returns False at quiescence."""
+        if self.fault_injector is not None:
+            self.fault_injector.on_step(self)
         self._maybe_spurious_wakeup()
+        self._expire_timed_waits()
         runnable = self._runnable()
         if not runnable:
             if self.auto_tick and self._clock_waiters:
                 target = min(t.await_target or 0 for t in self._clock_waiters)
                 while self.clock_time < target:
                     self._do_tick(by="<auto>")
+                return True
+            timed = [
+                t.wait_deadline
+                for t in self.threads.values()
+                if t.state is ThreadState.WAITING and t.wait_deadline is not None
+            ]
+            if timed:
+                # Quiescent but for timed waiters: advance virtual time to
+                # the earliest deadline (the virtual-time analogue of
+                # auto_tick) instead of declaring the run STUCK.
+                target = min(timed)
+                if target > self.time:
+                    self.time = target
+                self._expire_timed_waits()
                 return True
             return False
         names = [t.name for t in runnable]

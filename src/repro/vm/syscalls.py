@@ -22,6 +22,7 @@ __all__ = [
     "Syscall",
     "Acquire",
     "Release",
+    "Interrupt",
     "Wait",
     "Notify",
     "NotifyAll",
@@ -60,10 +61,31 @@ class Release(Syscall):
 
 @dataclass(frozen=True)
 class Wait(Syscall):
-    """``monitor.wait()``: suspend on the wait set and release the lock
-    (fires T3).  Requires ownership, else IllegalMonitorStateError."""
+    """``monitor.wait()`` / ``monitor.wait(timeout)``: suspend on the wait
+    set and release the lock (fires T3).  Requires ownership, else
+    IllegalMonitorStateError.
+
+    ``timeout`` is measured in kernel virtual-time units; after that many
+    units the wait expires and the thread re-contends for the lock exactly
+    as if notified (its MONITOR_NOTIFIED event carries
+    ``reason="timeout"``).  ``None`` waits forever, as in Java.
+    """
 
     monitor: Optional[Any] = None
+    timeout: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Interrupt(Syscall):
+    """Interrupt another thread (``Thread.interrupt()``).
+
+    A WAITING target is woken with ``reason="interrupt"`` and receives
+    ``InterruptedError`` once it has reacquired the monitor; a BLOCKED
+    target receives it at the acquire point; a runnable target has its
+    interrupt flag set and raises on its next ``Wait``.
+    """
+
+    thread: str
 
 
 @dataclass(frozen=True)
@@ -135,8 +157,15 @@ class CallBegin(Syscall):
 
 @dataclass(frozen=True)
 class CallEnd(Syscall):
-    """Marks exit from a component method."""
+    """Marks exit from a component method.
+
+    ``interrupted=True`` marks an *exceptional* completion: the method is
+    unwinding because an ``InterruptedError`` is propagating out of it —
+    the correct response to interruption, recorded so detection can tell
+    propagation from swallowing.
+    """
 
     component: Any
     method: str
     result: Any = None
+    interrupted: bool = False

@@ -70,6 +70,17 @@ class SimThread:
             blocked time, not waiting time.
         blocked_since / waiting_since: open-interval start times used by
             the kernel to maintain the two tick counters.
+        interrupted: the Java-style interrupt flag.  Set by
+            ``Kernel.interrupt`` on a runnable thread; consumed (cleared)
+            when the thread next calls ``Wait``, which then raises
+            ``InterruptedError`` immediately.
+        pending_interrupt: set when an interrupt wakes a waiting/blocked
+            thread; the kernel delivers ``InterruptedError`` once the
+            monitor has been reacquired (JVM semantics), then clears it.
+        wait_deadline: virtual time at which the current timed wait
+            expires, or ``None`` for an untimed wait / not waiting.
+        waits_entered: total waits this thread has entered (the per-thread
+            wait ordinal fault-plan triggers count).
     """
 
     name: str
@@ -93,6 +104,10 @@ class SimThread:
     waiting_ticks: int = 0
     blocked_since: Optional[int] = None
     waiting_since: Optional[int] = None
+    interrupted: bool = False
+    pending_interrupt: bool = False
+    wait_deadline: Optional[int] = None
+    waits_entered: int = 0
 
     def innermost_monitor(self) -> Optional[str]:
         """Name of the monitor of the innermost synchronized block, or

@@ -17,12 +17,29 @@ from repro.petri import NetBuilder
 
 
 class TestFailureClass:
-    def test_ten_classes(self):
-        assert len(FailureClass) == 10
+    def test_ten_table1_classes(self):
+        table1 = [
+            c
+            for c in FailureClass
+            if c.mode is not FailureMode.ENVIRONMENTAL_FIRING
+        ]
+        assert len(table1) == 10
+
+    def test_three_environment_classes(self):
+        env = [
+            c
+            for c in FailureClass
+            if c.mode is FailureMode.ENVIRONMENTAL_FIRING
+        ]
+        assert len(env) == 3
+        assert all(c.transition == "T5" for c in env)
 
     def test_codes(self):
         assert FailureClass.FF_T1.code == "FF-T1"
         assert FailureClass.EF_T5.code == "EF-T5"
+        assert FailureClass.EV_INT.code == "EV-INT"
+        assert FailureClass.EV_TMO.code == "EV-TMO"
+        assert FailureClass.EV_SPU.code == "EV-SPU"
 
     def test_from_code_roundtrip(self):
         for member in FailureClass:
@@ -88,6 +105,34 @@ class TestTable1Entries:
                 assert entry.testing_notes
 
 
+class TestEnvironmentEntries:
+    def test_one_row_per_environment_class(self):
+        from repro.classify import ENVIRONMENT_ENTRIES
+
+        classes = [e.failure_class for e in ENVIRONMENT_ENTRIES]
+        assert classes == [
+            FailureClass.EV_INT,
+            FailureClass.EV_TMO,
+            FailureClass.EV_SPU,
+        ]
+
+    def test_entries_for_searches_extension(self):
+        for cls in (
+            FailureClass.EV_INT,
+            FailureClass.EV_TMO,
+            FailureClass.EV_SPU,
+        ):
+            rows = entries_for(cls)
+            assert len(rows) == 1
+            assert rows[0].cause and rows[0].consequences
+
+    def test_extension_rows_not_in_table1(self):
+        assert all(
+            e.failure_class.mode is not FailureMode.ENVIRONMENTAL_FIRING
+            for e in TABLE1_ENTRIES
+        )
+
+
 class TestHazopSkeleton:
     def test_ten_items_for_figure1(self):
         items = hazop_skeleton()
@@ -126,7 +171,11 @@ class TestDeriveTable1:
     def test_rows_carry_failure_class(self):
         rows = derive_table1()
         classes = {r.failure_class for r in rows}
-        assert classes == set(FailureClass)
+        assert classes == {
+            c
+            for c in FailureClass
+            if c.mode is not FailureMode.ENVIRONMENTAL_FIRING
+        }
 
     def test_incomplete_join_rejected(self):
         partial = [e for e in TABLE1_ENTRIES if e.transition != "T3"]

@@ -1,0 +1,192 @@
+"""FaultRule / FaultPlan validation and serialization."""
+
+import json
+
+import pytest
+
+from repro.faults import ACTIONS, FaultPlan, FaultPlanError, FaultRule, TRIGGERS
+
+
+class TestRuleValidation:
+    def test_every_action_constructs(self):
+        for action in ACTIONS:
+            FaultRule(action=action, thread="t0", at_step=0)
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault action"):
+            FaultRule(action="meteor", thread="t0", at_step=1)
+
+    def test_no_trigger_rejected(self):
+        with pytest.raises(FaultPlanError, match="exactly one"):
+            FaultRule(action="interrupt", thread="t0")
+
+    def test_two_triggers_rejected(self):
+        with pytest.raises(FaultPlanError, match="exactly one"):
+            FaultRule(action="interrupt", thread="t0", at_step=1, at_wait=1)
+
+    def test_non_integer_trigger_rejected(self):
+        with pytest.raises(FaultPlanError, match="must be an integer"):
+            FaultRule(action="interrupt", thread="t0", at_step="soon")
+
+    def test_bool_trigger_rejected(self):
+        # bool is an int subclass; a plan saying ``at_step = true`` is a typo
+        with pytest.raises(FaultPlanError, match="must be an integer"):
+            FaultRule(action="interrupt", thread="t0", at_step=True)
+
+    def test_at_wait_is_one_based(self):
+        with pytest.raises(FaultPlanError, match="at_wait must be >= 1"):
+            FaultRule(action="timeout", thread="t0", at_wait=0)
+        FaultRule(action="timeout", thread="t0", at_wait=1)
+
+    def test_at_step_zero_allowed(self):
+        FaultRule(action="interrupt", thread="t0", at_step=0)
+
+    def test_interrupt_needs_thread(self):
+        with pytest.raises(FaultPlanError, match="must name a target thread"):
+            FaultRule(action="interrupt", at_step=1)
+
+    def test_timeout_rejects_monitor(self):
+        with pytest.raises(FaultPlanError, match="not a monitor"):
+            FaultRule(action="timeout", thread="t0", monitor="m", at_step=1)
+
+    def test_spurious_needs_thread_or_monitor(self):
+        with pytest.raises(FaultPlanError, match="thread and/or a monitor"):
+            FaultRule(action="spurious", at_step=1)
+        FaultRule(action="spurious", monitor="m", at_step=1)
+        FaultRule(action="spurious", thread="t0", at_wait=1)
+
+    def test_per_thread_triggers_need_a_thread(self):
+        # at_wait / after_waiting count one thread's waits; a monitor-only
+        # spurious rule cannot use them
+        with pytest.raises(FaultPlanError, match="must name one"):
+            FaultRule(action="spurious", monitor="m", at_wait=1)
+        with pytest.raises(FaultPlanError, match="must name one"):
+            FaultRule(action="spurious", monitor="m", after_waiting=2)
+
+    def test_trigger_property(self):
+        assert FaultRule(
+            action="interrupt", thread="t0", at_step=7
+        ).trigger == ("at_step", 7)
+        assert FaultRule(
+            action="spurious", thread="t0", after_waiting=3
+        ).trigger == ("after_waiting", 3)
+
+
+class TestRuleSerialization:
+    @pytest.mark.parametrize(
+        "rule",
+        [
+            FaultRule(action="interrupt", thread="c0", at_step=0),
+            FaultRule(action="interrupt", thread="c0", at_wait=2),
+            FaultRule(action="timeout", thread="w", after_waiting=5),
+            FaultRule(action="spurious", monitor="Buffer", at_step=10),
+            FaultRule(action="spurious", thread="c1", monitor="Buffer", at_wait=1),
+        ],
+    )
+    def test_round_trip(self, rule):
+        assert FaultRule.from_dict(rule.to_dict()) == rule
+
+    def test_to_dict_omits_unset_fields(self):
+        payload = FaultRule(action="interrupt", thread="c0", at_wait=1).to_dict()
+        assert payload == {"action": "interrupt", "thread": "c0", "at_wait": 1}
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(FaultPlanError, match="unknown fault-rule key"):
+            FaultRule.from_dict({"action": "interrupt", "thread": "t", "when": 3})
+
+    def test_from_dict_requires_action(self):
+        with pytest.raises(FaultPlanError, match="missing 'action'"):
+            FaultRule.from_dict({"thread": "t0", "at_step": 1})
+
+
+class TestPlanSerialization:
+    def _plan(self):
+        return FaultPlan(
+            name="chaos",
+            rules=(
+                FaultRule(action="interrupt", thread="c0", at_wait=1),
+                FaultRule(action="spurious", monitor="Buffer", at_step=12),
+                FaultRule(action="timeout", thread="c1", after_waiting=4),
+            ),
+        )
+
+    def test_dict_round_trip(self):
+        plan = self._plan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_json_round_trip(self):
+        plan = self._plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_json_is_canonical(self):
+        text = self._plan().to_json()
+        assert " " not in text
+        assert json.loads(text) == self._plan().to_dict()
+        # same plan, same bytes — the property the fingerprint needs
+        assert text == FaultPlan.from_json(text).to_json()
+
+    def test_fingerprint_key_is_canonical_json(self):
+        plan = self._plan()
+        assert plan.fingerprint_key() == plan.to_json()
+
+    def test_rules_coerced_to_tuple(self):
+        plan = FaultPlan(
+            name="p", rules=[FaultRule(action="interrupt", thread="t", at_step=1)]
+        )
+        assert isinstance(plan.rules, tuple)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(FaultPlanError, match="non-empty name"):
+            FaultPlan(name="")
+
+    def test_non_rule_rejected(self):
+        with pytest.raises(FaultPlanError, match="not a FaultRule"):
+            FaultPlan(name="p", rules=({"action": "interrupt"},))
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(FaultPlanError, match="unknown fault-plan key"):
+            FaultPlan.from_dict({"name": "p", "rules": [], "seed": 3})
+
+    def test_from_dict_rejects_non_list_rules(self):
+        with pytest.raises(FaultPlanError, match="list of rule tables"):
+            FaultPlan.from_dict({"name": "p", "rules": {"action": "interrupt"}})
+        with pytest.raises(FaultPlanError, match="must be a table"):
+            FaultPlan.from_dict({"name": "p", "rules": ["interrupt"]})
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+        with pytest.raises(FaultPlanError, match="must be an object"):
+            FaultPlan.from_json("[1, 2]")
+
+
+class TestTemplates:
+    def test_builtin_plans_registered(self):
+        from repro.run.registry import FAULTS, load_builtins
+
+        load_builtins()
+        names = FAULTS.names()
+        assert {
+            "interrupt-consumer",
+            "expire-first-wait",
+            "spurious-first-wait",
+        } <= set(names)
+        for name in names:
+            plan = FAULTS.get(name)
+            assert isinstance(plan, FaultPlan)
+            assert plan.name == name
+            assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_unknown_plan_suggests_known_names(self):
+        from repro.run.registry import FAULTS, UnknownNameError, load_builtins
+
+        load_builtins()
+        with pytest.raises(UnknownNameError, match="interrupt-consumer"):
+            FAULTS.get("interrupt-consumr")
+
+
+def test_triggers_constant_matches_rule_fields():
+    from dataclasses import fields
+
+    names = {f.name for f in fields(FaultRule)}
+    assert set(TRIGGERS) <= names

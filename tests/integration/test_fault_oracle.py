@@ -26,11 +26,17 @@ from repro.components.faulty import FAULT_REGISTRY
 from repro.detect import OnlineReentryDetector
 from repro.detect.completion import Expectation
 from repro.detect.online import DetectorPipeline, default_detectors
+from repro.faults import FaultInjector
+from repro.faults.templates import INTERRUPT_CONSUMER, SPURIOUS_FIRST_WAIT
 from repro.vm import Kernel, SelectionPolicy, Tick, Yield
 from repro.vm.scheduler import RandomScheduler
 
-#: T1 exemplars: flagged by the prescribed static checks, no schedule needed
-STATIC_ONLY = {"UnsyncCounter": "FF-T1", "OverSynchronized": "EF-T1"}
+#: exemplars flagged by the prescribed static checks, no schedule needed
+STATIC_ONLY = {
+    "UnsyncCounter": "FF-T1",
+    "OverSynchronized": "EF-T1",
+    "InterruptSwallowingProducerConsumer": "EV-INT",
+}
 
 SEEDS = 60
 
@@ -150,6 +156,19 @@ def _nowait_kernel(cls, scheduler) -> Kernel:
     return kernel
 
 
+def _faulted(build, plan):
+    """Wrap a kernel builder so every kernel runs under a deterministic
+    environment-fault plan (the EV classes need the environment to
+    misbehave before the component can)."""
+
+    def _builder(cls, scheduler) -> Kernel:
+        kernel = build(cls, scheduler)
+        kernel.fault_injector = FaultInjector(plan)
+        return kernel
+
+    return _builder
+
+
 def NOWAIT_EXPECTATIONS(cls):
     return (
         Expectation(
@@ -174,6 +193,20 @@ KERNELS = {
     "NoNotifyProducerConsumer": (_pc_kernel, (), None),
     "SingleNotifyProducerConsumer": (_pc_kernel, (), None),
     "IfGuardProducerConsumer": (_pc_kernel, (), None),
+    # environment-deviation exemplars: the plan injects the deviation
+    # (interrupt / spurious wake-up) deterministically; the timed-wait
+    # exemplar expires naturally on virtual time, no plan needed
+    "InterruptSwallowingProducerConsumer": (
+        _faulted(_pc_kernel, INTERRUPT_CONSUMER),
+        (),
+        None,
+    ),
+    "TimeoutReturnProducerConsumer": (_pc_kernel, (), None),
+    "SpuriousUnguardedProducerConsumer": (
+        _faulted(_pc_kernel, SPURIOUS_FIRST_WAIT),
+        (),
+        None,
+    ),
 }
 
 
@@ -238,6 +271,9 @@ CONTRAST = {
     "NoWaitProducerConsumer": "ProducerConsumer",
     "NoNotifyProducerConsumer": "ProducerConsumer",
     "IfGuardProducerConsumer": "ProducerConsumer",
+    "InterruptSwallowingProducerConsumer": "ProducerConsumer",
+    "TimeoutReturnProducerConsumer": "ProducerConsumer",
+    "SpuriousUnguardedProducerConsumer": "ProducerConsumer",
 }
 
 
