@@ -14,7 +14,10 @@
     python -m repro explore pc-bug --mode random --seeds 0:100 [--detect] [--metrics]
     python -m repro campaign pc-bug --workers 4 --budget 400 \\
         --journal camp.jsonl [--resume] [--detect --trace-mode none] \\
-        [--metrics-out metrics.jsonl]
+        [--metrics-out metrics.jsonl] [--serve 127.0.0.1:8000] [--dash] \\
+        [--progress-json]
+    python -m repro dash --url http://127.0.0.1:8000
+    python -m repro trace run.jsonl [--out run.chrome.json]
     python -m repro profile pc-bug --runs 50
     python -m repro registry list [components|workloads|schedulers|detectors|faults]
     python -m repro corpus generate --components bounded_buffer,readers_writers
@@ -32,6 +35,12 @@ pool with journaling and resume (see :mod:`repro.engine`).  Both parse
 their flags into one :class:`repro.run.RunConfig` and assemble runs
 through :class:`repro.run.RunExecutor` — the CLI itself never touches
 detectors or sinks directly.
+
+``campaign --serve`` exposes live telemetry over an embedded HTTP
+endpoint while the campaign runs, ``dash`` renders a terminal dashboard
+against that endpoint, and ``trace`` converts a saved run trace into
+Chrome trace-event JSON loadable in Perfetto (see
+:mod:`repro.obs.live`).
 """
 
 from __future__ import annotations
@@ -470,14 +479,38 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
             save_trace(result.trace, args.save_trace, schedule=result.schedule_log)
             print(f"trace saved to {args.save_trace}")
+        if args.chrome_trace:
+            from repro.obs.live import write_chrome_trace
+
+            spans = ()
+            if executor.sink is not None and executor.sink.tracer is not None:
+                spans = list(executor.sink.tracer.finished)
+            write_chrome_trace(
+                result.trace,
+                args.chrome_trace,
+                spans=spans,
+                meta={
+                    "factory": args.factory,
+                    "status": result.status.value,
+                    "decisions": len(decisions),
+                },
+            )
+            print(
+                f"chrome trace written to {args.chrome_trace} "
+                "(open in ui.perfetto.dev)"
+            )
         return 0 if result.ok else 2
 
-    if args.save_trace:
-        print(
-            "warning: --save-trace only applies to --mode replay; ignoring "
-            "(replay a failure's decisions or seed to capture its trace)",
-            file=sys.stderr,
-        )
+    for flag, value in (
+        ("--save-trace", args.save_trace),
+        ("--chrome-trace", args.chrome_trace),
+    ):
+        if value:
+            print(
+                f"warning: {flag} only applies to --mode replay; ignoring "
+                "(replay a failure's decisions or seed to capture its trace)",
+                file=sys.stderr,
+            )
 
     from collections import Counter
 
@@ -563,20 +596,94 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         )
     except CampaignError as exc:
         raise SystemExit(f"error: {exc}")
+    # --progress-json is an explicit request for machine-readable
+    # heartbeats, so it wins over --quiet and --dash; the plain text
+    # heartbeat stays off under either (--dash owns the terminal).
+    heartbeat = args.progress_json or not (args.quiet or args.dash)
     progress = ProgressTracker(
         total_runs=args.budget,
-        stream=None if args.quiet else _sys.stderr,
+        stream=_sys.stderr if heartbeat else None,
+        json_mode=args.progress_json,
     )
+
+    telemetry = None
+    server = None
+    dashboard = None
+    if args.serve or args.dash:
+        from repro.obs.live import (
+            LiveAggregator,
+            LocalDashboard,
+            TelemetryServer,
+            parse_serve_address,
+        )
+
+        telemetry = LiveAggregator(total_runs=args.budget)
+        if args.serve:
+            try:
+                host, port = parse_serve_address(args.serve)
+                server = TelemetryServer(telemetry, host, port).start()
+            except (ValueError, OSError) as exc:
+                raise SystemExit(f"error: --serve {args.serve}: {exc}")
+            print(
+                f"live telemetry at {server.url} (/status /metrics /events)",
+                file=_sys.stderr,
+            )
+        if args.dash:
+            dashboard = LocalDashboard(telemetry, _sys.stderr).start()
     try:
-        result = run_campaign(spec, resume=args.resume, progress=progress)
+        result = run_campaign(
+            spec, resume=args.resume, progress=progress, telemetry=telemetry
+        )
     except (CampaignError, JournalError) as exc:
         raise SystemExit(f"error: {exc}")
+    finally:
+        if dashboard is not None:
+            dashboard.stop()
+        if server is not None:
+            server.close()
     print(result.describe())
     if spec.metrics_out:
         print(f"metrics written to {spec.metrics_out}")
     if spec.metrics_prom:
         print(f"prometheus metrics written to {spec.metrics_prom}")
     return 2 if result.failures() else 0
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    from repro.obs.live import run_dashboard
+
+    try:
+        return run_dashboard(
+            args.url,
+            stream=sys.stdout,
+            interval=args.interval,
+            clear=not args.no_clear,
+            max_polls=args.polls,
+        )
+    except BrokenPipeError:
+        return 0  # downstream pager/head closed the pipe; not an error
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.obs.live import to_chrome_trace
+    from repro.vm.serialize import load_trace
+
+    try:
+        trace = load_trace(args.trace)
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(f"error: cannot load trace {args.trace!r}: {exc}")
+    out = Path(args.out) if args.out else Path(args.trace).with_suffix(".chrome.json")
+    document = to_chrome_trace(trace, meta={"source": str(args.trace)})
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(_json.dumps(document) + "\n")
+    print(
+        f"chrome trace written to {out} "
+        f"({len(document['traceEvents'])} events; open in ui.perfetto.dev)"
+    )
+    return 0
 
 
 def _cmd_registry_list(args: argparse.Namespace) -> int:
@@ -877,6 +984,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_explore.add_argument(
         "--save-trace", help="(replay mode) write the trace to this JSONL path"
     )
+    p_explore.add_argument(
+        "--chrome-trace",
+        help="(replay mode) write a Perfetto-loadable Chrome trace-event "
+        "JSON of the replayed run to this path (open in ui.perfetto.dev)",
+    )
     p_explore.set_defaults(func=_cmd_explore)
 
     p_campaign = sub.add_parser(
@@ -971,7 +1083,64 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument(
         "--quiet", action="store_true", help="suppress live progress on stderr"
     )
+    p_campaign.add_argument(
+        "--progress-json",
+        action="store_true",
+        help="emit machine-readable JSONL heartbeats on stderr instead of "
+        "the human progress line",
+    )
+    p_campaign.add_argument(
+        "--serve",
+        metavar="HOST:PORT",
+        help="expose live campaign telemetry over HTTP while the campaign "
+        "runs: GET /status (JSON), /metrics (Prometheus), /events (SSE); "
+        "port 0 picks a free port",
+    )
+    p_campaign.add_argument(
+        "--dash",
+        action="store_true",
+        help="render a live terminal dashboard on stderr (suppresses the "
+        "one-line heartbeat)",
+    )
     p_campaign.set_defaults(func=_cmd_campaign)
+
+    p_dash = sub.add_parser(
+        "dash",
+        help="terminal dashboard for a campaign served with "
+        "'campaign --serve' (polls its /status endpoint)",
+    )
+    p_dash.add_argument(
+        "--url",
+        required=True,
+        help="base URL of the telemetry server (e.g. http://127.0.0.1:8000)",
+    )
+    p_dash.add_argument(
+        "--interval", type=float, default=1.0, help="poll interval in seconds"
+    )
+    p_dash.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen between polls",
+    )
+    p_dash.add_argument(
+        "--polls",
+        type=int,
+        default=None,
+        help="stop after this many polls (default: until the campaign ends)",
+    )
+    p_dash.set_defaults(func=_cmd_dash)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="convert a saved run trace (JSONL, from --save-trace) to "
+        "Chrome trace-event JSON for Perfetto",
+    )
+    p_trace.add_argument("trace", help="trace JSONL path (from --save-trace)")
+    p_trace.add_argument(
+        "--out",
+        help="output path (default: <trace>.chrome.json alongside the input)",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_registry = sub.add_parser(
         "registry", help="inspect the run-assembly registries"

@@ -28,9 +28,10 @@ import multiprocessing
 import time
 from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.faults.plan import FaultPlan
+from repro.obs.live.frames import TelemetryFrame
 from repro.obs.metrics import Counter as MetricsCounter
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.run.config import DETECTOR_ORDER, RunConfig, RunConfigError, _coerce_faults
@@ -41,6 +42,9 @@ from .journal import CampaignJournal
 from .progress import ProgressTracker
 from .shards import Shard, plan_seed_shards, plan_systematic_shards
 from .worker import WorkerTask, execute_shard, worker_main
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.live.aggregate import LiveAggregator
 
 __all__ = [
     "CampaignError",
@@ -417,6 +421,17 @@ class CampaignResult:
                 "overall campaign throughput (executed runs / wall time)",
                 agg="last",
             ).set(self.n_executed / self.wall_time)
+        from repro.obs.live.aggregate import attach_campaign_info
+
+        attach_campaign_info(
+            registry,
+            {
+                "fingerprint": self.spec.fingerprint(),
+                "factory": self.spec.factory,
+                "mode": self.spec.mode,
+            },
+            self.shards_total,
+        )
         return registry
 
     def describe(self) -> str:
@@ -480,11 +495,24 @@ class CampaignResult:
 
 
 class _Aggregator:
-    """Merges run summaries: dedupe by schedule hash, fold coverage."""
+    """Merges run summaries: dedupe by schedule hash, fold coverage.
 
-    def __init__(self, spec: CampaignSpec, progress: ProgressTracker) -> None:
+    When a :class:`~repro.obs.live.aggregate.LiveAggregator` is attached
+    it receives every merged summary *with this aggregator's duplicate
+    verdict*, immediately after the fold — the live state is therefore
+    the same merge in the same order, which is what makes mid-run
+    ``/status`` equal to the post-hoc journal merge.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        progress: ProgressTracker,
+        live: Optional["LiveAggregator"] = None,
+    ) -> None:
         self.spec = spec
         self.progress = progress
+        self.live = live
         self.result = CampaignResult(spec=spec)
         self._seen: set = set()
         if spec.metrics:
@@ -502,7 +530,12 @@ class _Aggregator:
             cls = getattr(importlib.import_module(module_name), class_name)
             self.result.coverage = CoverageMatrix(build_all_cofgs(cls))
 
-    def merge(self, summary: RunSummary) -> None:
+    def merge(
+        self,
+        summary: RunSummary,
+        shard_id: str = "",
+        frame: Optional[TelemetryFrame] = None,
+    ) -> None:
         key = summary.schedule_key
         duplicate = key in self._seen
         if duplicate:
@@ -538,6 +571,10 @@ class _Aggregator:
                     self.result.coverage.coverage_fraction()
                 )
         self.progress.note_run(summary, duplicate=duplicate)
+        if self.live is not None:
+            self.live.note_run(
+                summary, duplicate=duplicate, shard_id=shard_id, frame=frame
+            )
 
     def goal_reached(self) -> Optional[str]:
         if self.spec.goal == "first-failure" and any(
@@ -597,15 +634,30 @@ def run_campaign(
     spec: CampaignSpec,
     resume: bool = False,
     progress: Optional[ProgressTracker] = None,
+    telemetry: Optional["LiveAggregator"] = None,
 ) -> CampaignResult:
-    """Execute (or resume) a campaign and return the merged result."""
+    """Execute (or resume) a campaign and return the merged result.
+
+    ``telemetry`` attaches a live aggregator (see
+    :mod:`repro.obs.live`): it receives every merged run and shard
+    transition as the orchestrator processes them, and is closed when
+    the campaign finishes — the substrate behind ``--serve``/``--dash``.
+    """
     spec.validate()
     started = time.monotonic()
     shards, planner_summaries, plan_exhausted = _plan(spec)
 
     progress = progress or ProgressTracker(total_runs=spec.budget)
     progress.shards_total = len(shards)
-    aggregator = _Aggregator(spec, progress)
+    if telemetry is not None:
+        telemetry.info.setdefault("fingerprint", spec.fingerprint())
+        telemetry.info.setdefault("factory", spec.factory)
+        telemetry.info.setdefault("mode", spec.mode)
+        telemetry.info.setdefault("workers", spec.workers)
+        if telemetry.total_runs is None:
+            telemetry.total_runs = spec.budget
+        telemetry.set_shards_total(len(shards))
+    aggregator = _Aggregator(spec, progress, live=telemetry)
     result = aggregator.result
     result.shards_total = len(shards)
 
@@ -633,18 +685,20 @@ def run_campaign(
         resumed_ids = set(completed) & (planned_ids | {PLAN_SHARD_ID})
         for shard_id in sorted(resumed_ids):
             for summary in completed[shard_id]:
-                aggregator.merge(summary)
+                aggregator.merge(summary, shard_id=shard_id)
         shard_resumed_count = len(resumed_ids - {PLAN_SHARD_ID})
         result.shards_resumed = shard_resumed_count
         result.shards_completed = shard_resumed_count
         progress.note_shards_resumed(shard_resumed_count)
+        if telemetry is not None:
+            telemetry.note_shards_resumed(sorted(resumed_ids - {PLAN_SHARD_ID}))
 
         # The systematic planner re-ran during _plan (its runs are the
         # price of rebuilding the deterministic shard list); merge them
         # only when they were not already journaled.
         if planner_summaries and PLAN_SHARD_ID not in completed:
             for summary in planner_summaries:
-                aggregator.merge(summary)
+                aggregator.merge(summary, shard_id=PLAN_SHARD_ID)
             if journal is not None:
                 journal.append_shard(PLAN_SHARD_ID, planner_summaries)
 
@@ -670,7 +724,10 @@ def run_campaign(
         result.wall_time = time.monotonic() - started
         progress.maybe_emit(force=True)
         progress.emit_final()
+        if telemetry is not None:
+            telemetry.close(goal=result.goal_reached)
     if spec.metrics_out or spec.metrics_prom:
+        from repro import __version__
         from repro.obs.export import write_metrics_jsonl, write_prometheus
 
         registry = result.build_metrics()
@@ -680,9 +737,12 @@ def run_campaign(
                 spec.metrics_out,
                 meta={
                     "campaign": spec.fingerprint()[:12],
+                    "fingerprint": spec.fingerprint(),
                     "factory": spec.factory,
                     "mode": spec.mode,
                     "runs": result.n_runs,
+                    "shards": result.shards_total,
+                    "repro_version": __version__,
                 },
             )
         if spec.metrics_prom:
@@ -703,7 +763,12 @@ def _run_inline(
     result = aggregator.result
     while pending:
         shard = pending.popleft()
-        outcome = execute_shard(spec.worker_task(shard), emit=aggregator.merge)
+        outcome = execute_shard(
+            spec.worker_task(shard),
+            emit=lambda summary, _sid=shard.shard_id: aggregator.merge(
+                summary, shard_id=_sid
+            ),
+        )
         exhausted_flags[shard.shard_id] = outcome.exhausted
         if journal is not None:
             journal.append_shard(
@@ -711,6 +776,10 @@ def _run_inline(
             )
         result.shards_completed += 1
         progress.note_shard_done()
+        if aggregator.live is not None:
+            aggregator.live.note_shard_done(
+                shard.shard_id, exhausted=outcome.exhausted
+            )
         progress.maybe_emit()
         goal = aggregator.goal_reached()
         if goal is not None:
@@ -753,7 +822,7 @@ def _run_pool(
         active[shard.shard_id] = _Active(process, shard, deadline)
         buffers[shard.shard_id] = []
 
-    def requeue_or_fail(shard: Shard) -> None:
+    def requeue_or_fail(shard: Shard, error: str = "") -> None:
         buffers.pop(shard.shard_id, None)
         attempt = retries.get(shard.shard_id, 0) + 1
         retries[shard.shard_id] = attempt
@@ -765,9 +834,13 @@ def _run_pool(
             pending.append(shard)
             progress.note_shard_requeued(shard.shard_id)
             result.shards_requeued += 1
+            if aggregator.live is not None:
+                aggregator.live.note_shard_requeued(shard.shard_id)
         else:
             result.shards_failed.append(shard.shard_id)
             progress.note_shard_failed()
+            if aggregator.live is not None:
+                aggregator.live.note_shard_failed(shard.shard_id, error=error)
 
     def retire(shard_id: str) -> Optional[_Active]:
         entry = active.pop(shard_id, None)
@@ -777,11 +850,20 @@ def _run_pool(
 
     def handle(kind: str, shard_id: str, payload) -> None:
         nonlocal goal
-        if kind == "run":
-            summary = RunSummary.from_dict(payload)
+        if kind in ("frame", "run"):
+            # "frame" wraps the summary with shard-local telemetry
+            # counters; bare "run" payloads (pre-frame workers) still work.
+            frame: Optional[TelemetryFrame] = None
+            if kind == "frame":
+                frame = TelemetryFrame.from_dict(payload)
+                if frame.summary is None:
+                    return
+                summary = frame.summary
+            else:
+                summary = RunSummary.from_dict(payload)
             if shard_id in buffers:
                 buffers[shard_id].append(summary)
-            aggregator.merge(summary)
+            aggregator.merge(summary, shard_id=shard_id, frame=frame)
             if goal is None:
                 goal = aggregator.goal_reached()
         elif kind == "done":
@@ -791,11 +873,13 @@ def _run_pool(
                 journal.append_shard(shard_id, summaries, exhausted=bool(payload))
             result.shards_completed += 1
             progress.note_shard_done()
+            if aggregator.live is not None:
+                aggregator.live.note_shard_done(shard_id, exhausted=bool(payload))
             retire(shard_id)
         elif kind == "fail":
             entry = retire(shard_id)
             if entry is not None:
-                requeue_or_fail(entry.shard)
+                requeue_or_fail(entry.shard, error=str(payload))
 
     try:
         while (pending or active) and goal is None:

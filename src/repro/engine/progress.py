@@ -9,9 +9,10 @@ prints.
 
 from __future__ import annotations
 
+import json
 import time
 from collections import Counter
-from typing import IO, Dict, Optional, Set, Tuple
+from typing import IO, Any, Dict, Optional, Set, Tuple
 
 from repro.testing.explorer import RunSummary
 
@@ -19,7 +20,13 @@ __all__ = ["ProgressTracker"]
 
 
 class ProgressTracker:
-    """Counters for a running campaign, with optional periodic emission."""
+    """Counters for a running campaign, with optional periodic emission.
+
+    ``json_mode`` switches the emitted heartbeats from the human one-liner
+    to machine-readable JSONL (one object per heartbeat, ``"final": true``
+    on the last) — what ``repro campaign --progress-json`` gives CI
+    pipelines to parse instead of scraping the text line.
+    """
 
     def __init__(
         self,
@@ -27,10 +34,12 @@ class ProgressTracker:
         stream: Optional[IO[str]] = None,
         interval: float = 1.0,
         clock=time.monotonic,
+        json_mode: bool = False,
     ) -> None:
         self.total_runs = total_runs
         self.stream = stream
         self.interval = interval
+        self.json_mode = json_mode
         self._clock = clock
         self.started_at = clock()
         self._last_emit = float("-inf")
@@ -110,6 +119,43 @@ class ProgressTracker:
 
     # -- rendering ---------------------------------------------------------
 
+    def to_json_dict(self, final: bool = False) -> Dict[str, Any]:
+        """One heartbeat as a JSON-safe dict (the ``--progress-json``
+        record; see docs/formats.md)."""
+        eta = self.eta_seconds()
+        record: Dict[str, Any] = {
+            "runs": self.runs,
+            "total_runs": self.total_runs,
+            "duplicates": self.duplicates,
+            "failures": self.failures,
+            "signatures": len(self.signatures),
+            "runs_per_sec": round(self.runs_per_sec(), 3),
+            "eta_seconds": None if eta is None else round(eta, 3),
+            "elapsed_seconds": round(self.elapsed(), 3),
+            "shards": {
+                "done": self.shards_done,
+                "total": self.shards_total,
+                "failed": self.shards_failed,
+                "requeued": self.shards_requeued,
+                "resumed": self.shards_resumed,
+            },
+        }
+        if self.classes:
+            record["classes"] = dict(sorted(self.classes.items()))
+        if self.coverage_fraction is not None:
+            record["coverage"] = round(self.coverage_fraction, 4)
+        if self.shard_attempts:
+            record["attempts"] = {
+                shard_id: count + 1
+                for shard_id, count in sorted(self.shard_attempts.items())
+            }
+        if self.top_contended is not None:
+            monitor, ticks = self.top_contended
+            record["top_contended"] = {"monitor": monitor, "ticks": ticks}
+        if final:
+            record["final"] = True
+        return record
+
     def render(self) -> str:
         parts = []
         if self.total_runs:
@@ -175,12 +221,19 @@ class ProgressTracker:
         if not force and now - self._last_emit < self.interval:
             return
         self._last_emit = now
-        self.stream.write(self.render() + "\n")
+        if self.json_mode:
+            self.stream.write(json.dumps(self.to_json_dict(), sort_keys=True) + "\n")
+        else:
+            self.stream.write(self.render() + "\n")
         self.stream.flush()
 
     def emit_final(self) -> None:
         """Write the final summary line (unconditionally)."""
         if self.stream is None:
             return
-        self.stream.write(self.render_final() + "\n")
+        if self.json_mode:
+            line = json.dumps(self.to_json_dict(final=True), sort_keys=True)
+        else:
+            line = self.render_final()
+        self.stream.write(line + "\n")
         self.stream.flush()

@@ -5,9 +5,10 @@ worker receives a picklable :class:`~repro.run.config.RunConfig` —
 nothing unpicklable crosses the process boundary — builds **one**
 :class:`~repro.run.executor.RunExecutor` from it, and drives the
 matching explorer over its shard's seeds or DFS prefixes, posting one
-:class:`~repro.testing.explorer.RunSummary` message per completed run
-and a final ``done`` message.  The orchestrator treats a missing
-``done`` as a crashed/hung worker and requeues the shard.
+:class:`~repro.obs.live.frames.TelemetryFrame` (wrapping the run's
+:class:`~repro.testing.explorer.RunSummary` plus shard-local counters)
+per completed run and a final ``done`` message.  The orchestrator treats
+a missing ``done`` as a crashed/hung worker and requeues the shard.
 
 The executor assembles the detector pipeline / instrumentation sink once
 per shard and resets them between runs (the old per-run reconstruction
@@ -22,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro.obs.live.frames import TelemetryFrame
 from repro.run.config import RunConfig
 from repro.run.executor import (  # noqa: F401 - re-exported for backcompat
     RunExecutor,
@@ -29,6 +31,7 @@ from repro.run.executor import (  # noqa: F401 - re-exported for backcompat
     timed_runner as _timed_runner,
 )
 from repro.testing.explorer import ExplorationRun, RunSummary
+from repro.vm.kernel import RunStatus
 
 from .shards import Shard
 
@@ -103,21 +106,38 @@ def worker_main(task: WorkerTask, queue) -> None:
 
     Message protocol (all tuples, all picklable):
 
-    * ``("run", shard_id, summary_dict)`` — one per completed run;
+    * ``("frame", shard_id, frame_dict)`` — one
+      :class:`~repro.obs.live.frames.TelemetryFrame` per completed run,
+      carrying the run's summary plus shard-local counters (runs so far,
+      timeouts) for live telemetry;
     * ``("done", shard_id, exhausted)`` — the shard finished;
     * ``("fail", shard_id, error_text)`` — the shard raised; the
       orchestrator decides whether to requeue.
+
+    The orchestrator also still accepts the pre-frame
+    ``("run", shard_id, summary_dict)`` message for compatibility with
+    out-of-tree workers.
 
     A worker that dies without posting ``done``/``fail`` (hard crash,
     ``kill -9``, segfault in an extension) is detected by the orchestrator
     via process liveness — that is the crash-isolation contract.
     """
     shard_id = task.shard.shard_id
-    try:
-        outcome = execute_shard(
-            task,
-            emit=lambda summary: queue.put(("run", shard_id, summary.to_dict())),
+    runs = 0
+    timeouts = 0
+
+    def emit(summary: RunSummary) -> None:
+        nonlocal runs, timeouts
+        runs += 1
+        if summary.status == RunStatus.TIMEOUT.value:
+            timeouts += 1
+        frame = TelemetryFrame.for_run(
+            shard_id, summary, runs=runs, timeouts=timeouts
         )
+        queue.put(("frame", shard_id, frame.to_dict()))
+
+    try:
+        outcome = execute_shard(task, emit=emit)
         queue.put(("done", shard_id, outcome.exhausted))
     except BaseException as exc:  # noqa: BLE001 - report, then die quietly
         try:

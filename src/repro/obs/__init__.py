@@ -4,6 +4,10 @@ The observability layer of the reproduction: a mergeable metrics
 registry (:mod:`.metrics`), dual-clock span tracing (:mod:`.spans`), the
 kernel-event instrumentation sink (:mod:`.sink`), JSONL/Prometheus
 exporters (:mod:`.export`), and the workload profiler (:mod:`.profile`).
+Streaming campaign telemetry — frames, the live aggregator, the embedded
+HTTP endpoint, the terminal dashboard, and the Perfetto trace export —
+lives in the :mod:`.live` subpackage (imported on demand, not here, so
+``repro.obs`` itself stays free of HTTP machinery).
 
 Design rule: observability is *pull*, never *push* — nothing in the VM
 or engine imports this package at module level except through the

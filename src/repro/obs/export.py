@@ -19,6 +19,7 @@ Two output formats, two jobs:
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -158,7 +159,20 @@ def to_prometheus(registry: MetricsRegistry) -> str:
 
 
 def write_prometheus(registry: MetricsRegistry, path: Union[str, Path]) -> Path:
+    """Write the text exposition to ``path`` atomically.
+
+    A node-exporter-style scraper may read the file at any moment (a
+    campaign rewrites it while textfile collectors poll), so the text is
+    staged in a sibling temp file and swapped in with ``os.replace`` — a
+    reader sees the old complete file or the new one, never a torn tail.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(to_prometheus(registry), encoding="utf-8")
+    staging = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    staging.write_text(to_prometheus(registry), encoding="utf-8")
+    try:
+        os.replace(staging, path)
+    except OSError:
+        staging.unlink(missing_ok=True)
+        raise
     return path

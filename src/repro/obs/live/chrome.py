@@ -1,0 +1,398 @@
+"""Chrome trace-event export: open a VM run in Perfetto.
+
+Converts a kernel :class:`~repro.vm.trace.Trace` (plus optional
+:class:`~repro.obs.spans.Span` lists from a ``keep_spans`` tracer) into
+the Chrome trace-event JSON format that ``ui.perfetto.dev`` and
+``chrome://tracing`` load directly:
+
+* **pid 1 — threads**: one track per VM thread carrying its state
+  timeline as complete ("X") slices — ``runnable``, ``blocked`` (entry
+  set / lock reacquire after a wake), ``waiting`` (wait set), and
+  ``clock-wait`` — derived by replaying the monitor-protocol events;
+* **pid 2 — monitors**: one track per monitor, a ``held by <thread>``
+  slice per lock tenure, so contention is visible as gaps and handoffs;
+* **pid 3 — spans**: one track per span name for tracer spans;
+* **flow arrows** from every ``notify``/``notifyAll`` (and
+  thread-initiated interrupt) to the woken thread's ``MONITOR_NOTIFIED``,
+  carrying the :class:`~repro.vm.events.WakeReason` in ``args.reason``;
+* **instant events** for lost notifies, spurious wakeups, timeouts,
+  interrupts, and thread crashes.
+
+Timestamps are VM virtual time mapped 1 tick -> 1 µs, so slice widths are
+schedule-deterministic: the same schedule renders the same picture on
+every machine.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.obs.spans import Span
+from repro.vm.events import Event, EventKind
+from repro.vm.trace import Trace
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+#: Process ids of the three track groups.
+PID_THREADS = 1
+PID_MONITORS = 2
+PID_SPANS = 3
+
+_STATE_RUNNABLE = "runnable"
+_STATE_BLOCKED = "blocked"
+_STATE_WAITING = "waiting"
+_STATE_CLOCK = "clock-wait"
+
+
+def _meta(
+    pid: int, tid: int, name: str, what: str = "thread_name"
+) -> Dict[str, Any]:
+    return {
+        "ph": "M",
+        "name": what,
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def _slice(
+    pid: int,
+    tid: int,
+    name: str,
+    cat: str,
+    start: int,
+    end: int,
+    args: Optional[Dict[str, Any]] = None,
+) -> Optional[Dict[str, Any]]:
+    if end <= start:
+        return None  # zero-width slices only clutter the viewer
+    event: Dict[str, Any] = {
+        "ph": "X",
+        "name": name,
+        "cat": cat,
+        "pid": pid,
+        "tid": tid,
+        "ts": start,
+        "dur": end - start,
+    }
+    if args:
+        event["args"] = args
+    return event
+
+
+def _instant(
+    pid: int,
+    tid: int,
+    name: str,
+    cat: str,
+    ts: int,
+    args: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    event: Dict[str, Any] = {
+        "ph": "i",
+        "name": name,
+        "cat": cat,
+        "pid": pid,
+        "tid": tid,
+        "ts": ts,
+        "s": "t",
+    }
+    if args:
+        event["args"] = args
+    return event
+
+
+class _Converter:
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self.out: List[Dict[str, Any]] = []
+        self.thread_tid: Dict[str, int] = {
+            name: index + 1 for index, name in enumerate(trace.threads())
+        }
+        self.monitor_tid: Dict[str, int] = {
+            name: index + 1 for index, name in enumerate(trace.monitors())
+        }
+        events = trace.events
+        self.end_time: int = (max(e.time for e in events) + 1) if events else 1
+        #: thread -> (state name, state entered at)
+        self.state: Dict[str, Tuple[str, int]] = {}
+        #: (thread, monitor) -> hold started at
+        self.holds: Dict[Tuple[str, str], int] = {}
+        #: woken thread -> (flow id, wake cause) for pending flow arrows
+        self.pending_wakes: Dict[str, Tuple[int, str]] = {}
+        self.flow_seq = 0
+
+    # -- track bookkeeping -------------------------------------------------
+
+    def _tid(self, thread: str) -> int:
+        if thread not in self.thread_tid:
+            self.thread_tid[thread] = len(self.thread_tid) + 1
+        return self.thread_tid[thread]
+
+    def _close_state(self, thread: str, at: int) -> None:
+        entry = self.state.pop(thread, None)
+        if entry is None:
+            return
+        name, since = entry
+        piece = _slice(PID_THREADS, self._tid(thread), name, "state", since, at)
+        if piece is not None:
+            self.out.append(piece)
+
+    def _enter_state(self, thread: str, name: str, at: int) -> None:
+        self._close_state(thread, at)
+        self.state[thread] = (name, at)
+
+    def _close_hold(self, thread: str, monitor: str, at: int) -> None:
+        since = self.holds.pop((thread, monitor), None)
+        if since is None:
+            return
+        piece = _slice(
+            PID_MONITORS,
+            self.monitor_tid.get(monitor, 0),
+            f"held by {thread}",
+            "monitor",
+            since,
+            at,
+            args={"thread": thread, "monitor": monitor},
+        )
+        if piece is not None:
+            self.out.append(piece)
+
+    # -- flow arrows -------------------------------------------------------
+
+    def _flow_start(self, thread: str, ts: int, cause: str) -> int:
+        self.flow_seq += 1
+        self.out.append(
+            {
+                "ph": "s",
+                "name": "wake",
+                "cat": "wake",
+                "id": self.flow_seq,
+                "pid": PID_THREADS,
+                "tid": self._tid(thread),
+                "ts": ts,
+                "args": {"cause": cause},
+            }
+        )
+        return self.flow_seq
+
+    def _flow_finish(self, thread: str, ts: int, reason: str) -> None:
+        pending = self.pending_wakes.pop(thread, None)
+        if pending is None:
+            self.out.append(
+                _instant(
+                    PID_THREADS,
+                    self._tid(thread),
+                    f"woken ({reason})",
+                    "wake",
+                    ts,
+                    args={"reason": reason},
+                )
+            )
+            return
+        flow_id, _cause = pending
+        self.out.append(
+            {
+                "ph": "f",
+                "bp": "e",
+                "name": "wake",
+                "cat": "wake",
+                "id": flow_id,
+                "pid": PID_THREADS,
+                "tid": self._tid(thread),
+                "ts": ts,
+                "args": {"reason": reason},
+            }
+        )
+
+    # -- event replay ------------------------------------------------------
+
+    def _on_event(self, event: Event) -> None:
+        thread, t = event.thread, event.time
+        kind = event.kind
+        detail = event.detail
+        if kind is EventKind.THREAD_START:
+            self._enter_state(thread, _STATE_RUNNABLE, t)
+        elif kind in (EventKind.THREAD_END, EventKind.THREAD_CRASH):
+            self._close_state(thread, t)
+            if kind is EventKind.THREAD_CRASH:
+                self.out.append(
+                    _instant(
+                        PID_THREADS,
+                        self._tid(thread),
+                        "crash",
+                        "thread",
+                        t,
+                        args={"error": str(detail.get("error", ""))},
+                    )
+                )
+        elif kind is EventKind.MONITOR_REQUEST:
+            self._enter_state(thread, _STATE_BLOCKED, t)
+        elif kind is EventKind.MONITOR_ACQUIRE:
+            self._enter_state(thread, _STATE_RUNNABLE, t)
+            if event.monitor is not None and not detail.get("reentrant"):
+                self.holds[(thread, event.monitor)] = t
+        elif kind is EventKind.MONITOR_WAIT:
+            self._enter_state(thread, _STATE_WAITING, t)
+            if event.monitor is not None:
+                self._close_hold(thread, event.monitor, t)
+        elif kind is EventKind.MONITOR_RELEASE:
+            if event.monitor is not None and not detail.get("reentrant"):
+                self._close_hold(thread, event.monitor, t)
+        elif kind is EventKind.MONITOR_NOTIFIED:
+            # The woken thread re-contends for the lock: waiting -> blocked.
+            self._enter_state(thread, _STATE_BLOCKED, t)
+            self._flow_finish(thread, t, str(detail.get("reason", "notify")))
+        elif kind in (EventKind.NOTIFY, EventKind.NOTIFY_ALL):
+            woken = [str(w) for w in detail.get("woken", ())]
+            cause = (
+                "notify_all" if kind is EventKind.NOTIFY_ALL else "notify"
+            )
+            for waiter in woken:
+                self.pending_wakes[waiter] = (
+                    self._flow_start(thread, t, cause),
+                    cause,
+                )
+            if not woken:
+                name = (
+                    "notify dropped"
+                    if detail.get("injected_loss")
+                    else "notify lost"
+                )
+                self.out.append(
+                    _instant(
+                        PID_THREADS,
+                        self._tid(thread),
+                        name,
+                        "wake",
+                        t,
+                        args={"monitor": event.monitor},
+                    )
+                )
+        elif kind is EventKind.INTERRUPT:
+            by = str(detail.get("by", ""))
+            self.out.append(
+                _instant(
+                    PID_THREADS,
+                    self._tid(thread),
+                    "interrupt",
+                    "fault",
+                    t,
+                    args={"by": by, "state": str(detail.get("thread_state", ""))},
+                )
+            )
+            if by in self.thread_tid:
+                self.pending_wakes[thread] = (
+                    self._flow_start(by, t, "interrupt"),
+                    "interrupt",
+                )
+        elif kind is EventKind.WAIT_TIMEOUT:
+            self.out.append(
+                _instant(
+                    PID_THREADS,
+                    self._tid(thread),
+                    "wait timeout",
+                    "fault",
+                    t,
+                    args={"monitor": event.monitor},
+                )
+            )
+        elif kind is EventKind.SPURIOUS_WAKEUP:
+            self.out.append(
+                _instant(
+                    PID_THREADS,
+                    self._tid(thread),
+                    "spurious wakeup",
+                    "fault",
+                    t,
+                    args={"monitor": event.monitor},
+                )
+            )
+        elif kind is EventKind.CLOCK_AWAIT:
+            self._enter_state(thread, _STATE_CLOCK, t)
+        elif kind is EventKind.CLOCK_RESUME:
+            self._enter_state(thread, _STATE_RUNNABLE, t)
+
+    def convert(self) -> List[Dict[str, Any]]:
+        self.out.append(_meta(PID_THREADS, 0, "vm threads", "process_name"))
+        self.out.append(_meta(PID_MONITORS, 0, "monitors", "process_name"))
+        for name, tid in self.thread_tid.items():
+            self.out.append(_meta(PID_THREADS, tid, name))
+        for name, tid in self.monitor_tid.items():
+            self.out.append(_meta(PID_MONITORS, tid, name))
+        for event in self.trace.events:
+            self._on_event(event)
+        # Close whatever is still open (deadlocked/stuck threads render as
+        # blocked/waiting slices reaching the end of the run).
+        for thread in list(self.state):
+            self._close_state(thread, self.end_time)
+        for thread, monitor in list(self.holds):
+            self._close_hold(thread, monitor, self.end_time)
+        return self.out
+
+
+def _span_events(spans: Iterable[Span]) -> List[Dict[str, Any]]:
+    out: List[Dict[str, Any]] = []
+    track_of: Dict[str, int] = {}
+    for span in spans:
+        if not span.finished:
+            continue
+        tid = track_of.setdefault(span.name, len(track_of) + 1)
+        args: Dict[str, Any] = {
+            "wall_seconds": span.wall_seconds,
+            **{k: str(v) for k, v in span.labels.items()},
+        }
+        piece = _slice(
+            PID_SPANS,
+            tid,
+            span.name,
+            "span",
+            span.vm_start,
+            span.vm_end if span.vm_end is not None else span.vm_start,
+            args=args,
+        )
+        if piece is not None:
+            out.append(piece)
+    events: List[Dict[str, Any]] = []
+    if track_of:
+        events.append(_meta(PID_SPANS, 0, "spans", "process_name"))
+        for name, tid in track_of.items():
+            events.append(_meta(PID_SPANS, tid, name))
+    return events + out
+
+
+def to_chrome_trace(
+    trace: Trace,
+    spans: Iterable[Span] = (),
+    meta: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build the Chrome trace-event JSON document for one run."""
+    events = _Converter(trace).convert()
+    events.extend(_span_events(spans))
+    document: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "format": "repro-chrome-trace",
+            "version": 1,
+            "time_unit": "1 VM tick = 1us",
+            **(dict(meta) if meta else {}),
+        },
+    }
+    return document
+
+
+def write_chrome_trace(
+    trace: Trace,
+    path: Union[str, Path],
+    spans: Iterable[Span] = (),
+    meta: Optional[Mapping[str, Any]] = None,
+) -> Path:
+    """Write the Perfetto-loadable JSON for ``trace`` to ``path``."""
+    target = Path(path)
+    document = to_chrome_trace(trace, spans=spans, meta=meta)
+    target.write_text(json.dumps(document, indent=None) + "\n")
+    return target

@@ -178,3 +178,77 @@ class TestFinalSummary:
         lines = stream.getvalue().splitlines()
         assert len(lines) == 2
         assert lines[-1].startswith("done:")
+
+
+class TestJsonMode:
+    def _tracker(self, stream, **kwargs):
+        clock = FakeClock()
+        tracker = ProgressTracker(
+            total_runs=10,
+            stream=stream,
+            interval=0.0,
+            clock=clock,
+            json_mode=True,
+            **kwargs,
+        )
+        return tracker, clock
+
+    def test_heartbeat_is_one_json_object_per_line(self):
+        import json
+
+        stream = io.StringIO()
+        tracker, clock = self._tracker(stream)
+        tracker.shards_total = 4
+        clock.now += 2.0
+        tracker.note_run(ok_run(0))
+        tracker.note_run(stuck_run(1))
+        tracker.maybe_emit(force=True)
+        (line,) = stream.getvalue().splitlines()
+        record = json.loads(line)
+        assert record["runs"] == 2
+        assert record["total_runs"] == 10
+        assert record["failures"] == 1
+        assert record["signatures"] == 1
+        assert record["runs_per_sec"] == 1.0
+        assert record["eta_seconds"] == 8.0
+        assert record["elapsed_seconds"] == 2.0
+        assert record["shards"] == {
+            "done": 0,
+            "total": 4,
+            "failed": 0,
+            "requeued": 0,
+            "resumed": 0,
+        }
+        assert "final" not in record
+
+    def test_final_record_flagged(self):
+        import json
+
+        stream = io.StringIO()
+        tracker, _ = self._tracker(stream)
+        tracker.emit_final()
+        record = json.loads(stream.getvalue())
+        assert record["final"] is True
+
+    def test_optional_fields_appear_when_populated(self):
+        import json
+
+        stream = io.StringIO()
+        tracker, _ = self._tracker(stream)
+        tracker.classes["DD.AB"] = 2
+        tracker.coverage_fraction = 0.5
+        tracker.top_contended = ("Buffer", 17.0)
+        tracker.note_shard_requeued("sh-1")
+        tracker.maybe_emit(force=True)
+        record = json.loads(stream.getvalue())
+        assert record["classes"] == {"DD.AB": 2}
+        assert record["coverage"] == 0.5
+        assert record["top_contended"] == {"monitor": "Buffer", "ticks": 17.0}
+        assert record["attempts"] == {"sh-1": 2}
+
+    def test_text_mode_unchanged_by_default(self):
+        stream = io.StringIO()
+        tracker = ProgressTracker(total_runs=10, stream=stream, interval=0.0)
+        tracker.note_run(ok_run(0))
+        tracker.maybe_emit(force=True)
+        assert stream.getvalue().startswith("runs 1/10")

@@ -180,10 +180,17 @@ class TestWorkerMain:
         task = WorkerTask(shard=random_shard((0, 1)), config=run_config())
         worker_main(task, queue)
         kinds = [m[0] for m in queue.messages]
-        assert kinds == ["run", "run", "done"]
+        assert kinds == ["frame", "frame", "done"]
         assert all(m[1] == "random-test" for m in queue.messages)
-        # run payloads are plain dicts (picklable / JSON-able)
-        assert isinstance(queue.messages[0][2], dict)
+        # frame payloads are plain dicts (picklable / JSON-able) wrapping
+        # the run summary plus shard-local counters
+        first = queue.messages[0][2]
+        assert isinstance(first, dict)
+        assert first["kind"] == "run"
+        assert first["runs"] == 1
+        assert queue.messages[1][2]["runs"] == 2
+        assert isinstance(first["summary"], dict)
+        assert "status" in first["summary"]
 
     def test_failure_reported_not_raised(self):
         queue = FakeQueue()

@@ -1,0 +1,155 @@
+"""Chrome trace-event export: slices, flow arrows, deadlock rendering."""
+
+import json
+
+from repro.obs.live.chrome import (
+    PID_MONITORS,
+    PID_SPANS,
+    PID_THREADS,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.spans import SpanTracer
+from repro.vm import Kernel, RoundRobinScheduler, RunStatus
+from repro.vm.scheduler import FifoScheduler
+from repro.vm.syscalls import Acquire, Notify, Release, Wait, Yield
+
+
+def wait_notify_kernel():
+    kernel = Kernel(scheduler=FifoScheduler())
+    kernel.new_monitor("m")
+
+    def waiter():
+        yield Acquire("m")
+        yield Wait("m")
+        yield Release("m")
+
+    def notifier():
+        yield Acquire("m")
+        yield Notify("m")
+        yield Release("m")
+
+    kernel.spawn(waiter, name="waiter")
+    kernel.spawn(notifier, name="notifier")
+    return kernel
+
+
+def deadlock_kernel():
+    kernel = Kernel(scheduler=RoundRobinScheduler())
+    kernel.new_monitor("m1")
+    kernel.new_monitor("m2")
+
+    def worker(first, second):
+        yield Acquire(first)
+        yield Yield()
+        yield Acquire(second)
+        yield Release(second)
+        yield Release(first)
+
+    kernel.spawn(worker, "m1", "m2", name="ab")
+    kernel.spawn(worker, "m2", "m1", name="ba")
+    return kernel
+
+
+def slices(events, pid=None, name=None):
+    return [
+        e
+        for e in events
+        if e["ph"] == "X"
+        and (pid is None or e["pid"] == pid)
+        and (name is None or e["name"] == name)
+    ]
+
+
+class TestWaitNotify:
+    def test_thread_state_and_monitor_tracks(self):
+        result = wait_notify_kernel().run()
+        assert result.ok
+        events = to_chrome_trace(result.trace)["traceEvents"]
+        assert slices(events, pid=PID_THREADS, name="waiting")
+        holds = slices(events, pid=PID_MONITORS)
+        assert {h["name"] for h in holds} >= {
+            "held by waiter",
+            "held by notifier",
+        }
+        names = {
+            (e["pid"], e["args"]["name"])
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert (PID_THREADS, "vm threads") in names
+        assert (PID_MONITORS, "monitors") in names
+
+    def test_notify_draws_flow_arrow_with_reason(self):
+        result = wait_notify_kernel().run()
+        events = to_chrome_trace(result.trace)["traceEvents"]
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = [e for e in events if e["ph"] == "f"]
+        assert len(starts) == len(finishes) == 1
+        assert starts[0]["id"] == finishes[0]["id"]
+        assert starts[0]["args"]["cause"] == "notify"
+        assert finishes[0]["args"]["reason"] == "notify"
+        # Arrow runs notifier -> waiter.
+        tid_of = {
+            e["tid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+            and e["pid"] == PID_THREADS
+        }
+        assert tid_of[starts[0]["tid"]] == "notifier"
+        assert tid_of[finishes[0]["tid"]] == "waiter"
+
+    def test_no_zero_width_slices(self):
+        result = wait_notify_kernel().run()
+        events = to_chrome_trace(result.trace)["traceEvents"]
+        assert all(e["dur"] >= 1 for e in slices(events))
+
+
+class TestDeadlock:
+    def test_blocked_slices_reach_end_of_run(self):
+        result = deadlock_kernel().run()
+        assert result.status is RunStatus.DEADLOCK
+        events = to_chrome_trace(result.trace)["traceEvents"]
+        end_time = max(e.time for e in result.trace.events) + 1
+        blocked = slices(events, pid=PID_THREADS, name="blocked")
+        at_end = [e for e in blocked if e["ts"] + e["dur"] == end_time]
+        assert len(at_end) == 2  # both deadlocked threads render to the end
+
+    def test_open_holds_closed_at_end(self):
+        result = deadlock_kernel().run()
+        events = to_chrome_trace(result.trace)["traceEvents"]
+        holds = slices(events, pid=PID_MONITORS)
+        assert {h["args"]["monitor"] for h in holds} == {"m1", "m2"}
+
+    def test_document_is_valid_trace_event_json(self):
+        result = deadlock_kernel().run()
+        document = to_chrome_trace(result.trace, meta={"status": "deadlock"})
+        text = json.dumps(document)  # must be JSON-serializable as-is
+        parsed = json.loads(text)
+        assert parsed["otherData"]["format"] == "repro-chrome-trace"
+        assert parsed["otherData"]["status"] == "deadlock"
+        for event in parsed["traceEvents"]:
+            assert {"ph", "name", "pid", "tid"} <= set(event)
+            if event["ph"] != "M":
+                assert isinstance(event["ts"], int)
+
+
+class TestSpansAndFile:
+    def test_spans_get_their_own_process(self):
+        kernel = wait_notify_kernel()
+        tracer = SpanTracer(keep_spans=True).attach(kernel)
+        with tracer.span("run", phase="explore"):
+            result = kernel.run()
+        events = to_chrome_trace(result.trace, spans=tracer.finished)[
+            "traceEvents"
+        ]
+        span_slices = slices(events, pid=PID_SPANS, name="run")
+        assert len(span_slices) == 1
+        assert span_slices[0]["args"]["phase"] == "explore"
+        assert "wall_seconds" in span_slices[0]["args"]
+
+    def test_write_chrome_trace_round_trips(self, tmp_path):
+        result = deadlock_kernel().run()
+        path = write_chrome_trace(result.trace, tmp_path / "run.chrome.json")
+        parsed = json.loads(path.read_text())
+        assert parsed == to_chrome_trace(result.trace)

@@ -107,3 +107,23 @@ class TestPrometheus:
     def test_write_prometheus_creates_parents(self, tmp_path):
         path = write_prometheus(_populated(), tmp_path / "deep" / "m.prom")
         assert path.read_text() == to_prometheus(_populated())
+
+    def test_write_prometheus_atomic_no_staging_left(self, tmp_path):
+        # The write goes through a same-directory temp file + os.replace,
+        # so a concurrent scraper never reads a torn file and no staging
+        # file survives the call.
+        target = tmp_path / "m.prom"
+        write_prometheus(_populated(), target)
+        write_prometheus(_populated(), target)  # overwrite is atomic too
+        assert [p.name for p in tmp_path.iterdir()] == ["m.prom"]
+
+    def test_write_prometheus_staging_cleaned_on_failure(self, tmp_path, monkeypatch):
+        import os
+
+        def explode(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError, match="disk full"):
+            write_prometheus(_populated(), tmp_path / "m.prom")
+        assert list(tmp_path.iterdir()) == []

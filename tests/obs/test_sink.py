@@ -154,3 +154,54 @@ class TestObservedFactory:
             merged.merge_snapshot(snap)
             total_events += observed.sink.events_seen
         assert merged.counter("vm_events_total").total == total_events
+
+
+class TestTraceModeNone:
+    """The sink observes the event bus, not the stored trace — metrics
+    must be identical whether the kernel retains its trace or not."""
+
+    def _explore(self, trace_mode: str):
+        from repro.run import RunConfig, RunExecutor
+
+        config = RunConfig(
+            workload="pc-bug",
+            detect=True,
+            trace_mode=trace_mode,
+            metrics=True,
+        )
+        executor = RunExecutor(config)
+        summaries = []
+        executor.explore(
+            "random",
+            seeds=range(4),
+            on_run=lambda run: summaries.append(executor.summarize(run)),
+            keep_runs=False,
+        )
+        return summaries
+
+    def test_metrics_identical_with_and_without_trace(self):
+        import json
+
+        def deterministic(summary):
+            # Everything but the wall-clock families (run_wall_seconds,
+            # vm_events_per_second) is schedule-deterministic.
+            return json.dumps(
+                [
+                    m
+                    for m in summary.metrics["metrics"]
+                    if "second" not in m["name"]
+                ],
+                sort_keys=True,
+            )
+
+        full = self._explore("full")
+        none = self._explore("none")
+        assert all(s.metrics for s in none)
+        for with_trace, without_trace in zip(full, none):
+            assert with_trace.status == without_trace.status
+            assert deterministic(with_trace) == deterministic(without_trace)
+
+    def test_span_histograms_survive_trace_mode_none(self):
+        for summary in self._explore("none"):
+            names = {m["name"] for m in summary.metrics["metrics"]}
+            assert "vm_events_total" in names

@@ -66,3 +66,49 @@ class TestTracerWithKernel:
         assert tracer.vm_ticks("run") == kernel.time
         hist = tracer.registry.get("span_vm_ticks")
         assert hist is not None and hist.count(span="run") == 1
+
+
+class TestNestedSpans:
+    def test_inner_span_contained_in_outer(self):
+        tracer = SpanTracer(keep_spans=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.finished  # inner finishes first
+        assert (inner.name, outer.name) == ("inner", "outer")
+        assert inner.wall_start >= outer.wall_start
+        assert inner.wall_end <= outer.wall_end
+
+    def test_nested_vm_ticks_are_contained(self):
+        kernel = Kernel(scheduler=FifoScheduler())
+
+        def body():
+            yield Yield()
+            yield Yield()
+            yield Yield()
+
+        kernel.spawn(body, name="t")
+        tracer = SpanTracer(keep_spans=True).attach(kernel)
+        outer = tracer.start("outer")
+        inner = tracer.start("inner")
+        kernel.run()
+        tracer.end(inner)
+        tracer.end(outer)
+        assert inner.vm_ticks <= outer.vm_ticks
+        assert inner.vm_start >= outer.vm_start
+        assert inner.vm_end <= outer.vm_end
+
+    def test_same_name_nesting_counts_each_level(self):
+        tracer = SpanTracer(keep_spans=True)
+        with tracer.span("work", depth="0"):
+            with tracer.span("work", depth="1"):
+                pass
+        assert tracer.count("work") == 2
+        assert [s.labels["depth"] for s in tracer.finished] == ["1", "0"]
+
+    def test_unfinished_inner_not_kept(self):
+        tracer = SpanTracer(keep_spans=True)
+        outer = tracer.start("outer")
+        tracer.start("inner")  # never ended
+        tracer.end(outer)
+        assert [s.name for s in tracer.finished] == ["outer"]

@@ -709,3 +709,160 @@ class TestCorpusCLI:
             main(
                 ["corpus", "report", "--results", str(tmp_path / "none.jsonl")]
             )
+
+
+class TestLiveTelemetryCommands:
+    def _deadlock_decisions(self, capsys):
+        main(["explore", "racing-locks", "--mode", "systematic", "--runs", "50"])
+        out = capsys.readouterr().out
+        return [
+            line.split("--decisions")[1].strip()
+            for line in out.splitlines()
+            if "--decisions" in line
+        ][0]
+
+    def test_chrome_trace_on_replay(self, tmp_path, capsys):
+        import json
+
+        decisions = self._deadlock_decisions(capsys)
+        target = tmp_path / "run.chrome.json"
+        code = main(
+            [
+                "explore", "racing-locks", "--mode", "replay",
+                "--decisions", decisions, "--chrome-trace", str(target),
+            ]
+        )
+        assert code == 2
+        assert "chrome trace written" in capsys.readouterr().out
+        document = json.loads(target.read_text())
+        assert document["otherData"]["format"] == "repro-chrome-trace"
+        assert document["otherData"]["status"] == "deadlock"
+        assert any(e["ph"] == "X" for e in document["traceEvents"])
+
+    def test_chrome_trace_ignored_outside_replay(self, tmp_path, capsys):
+        code = main(
+            [
+                "explore", "pc-ok", "--mode", "random", "--seeds", "0:3",
+                "--chrome-trace", str(tmp_path / "x.json"),
+            ]
+        )
+        assert code == 0
+        assert "--chrome-trace only applies" in capsys.readouterr().err
+        assert not (tmp_path / "x.json").exists()
+
+    def test_trace_subcommand_converts_saved_trace(self, tmp_path, capsys):
+        import json
+
+        decisions = self._deadlock_decisions(capsys)
+        saved = tmp_path / "run.jsonl"
+        main(
+            [
+                "explore", "racing-locks", "--mode", "replay",
+                "--decisions", decisions, "--save-trace", str(saved),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["trace", str(saved)]) == 0
+        out = capsys.readouterr().out
+        assert "open in ui.perfetto.dev" in out
+        converted = tmp_path / "run.chrome.json"
+        document = json.loads(converted.read_text())
+        assert document["otherData"]["source"] == str(saved)
+
+    def test_trace_subcommand_explicit_out(self, tmp_path, capsys):
+        decisions = self._deadlock_decisions(capsys)
+        saved = tmp_path / "run.jsonl"
+        main(
+            [
+                "explore", "racing-locks", "--mode", "replay",
+                "--decisions", decisions, "--save-trace", str(saved),
+            ]
+        )
+        target = tmp_path / "deep" / "out.json"
+        assert main(["trace", str(saved), "--out", str(target)]) == 0
+        assert target.exists()
+
+    def test_trace_subcommand_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot load trace"):
+            main(["trace", str(tmp_path / "nope.jsonl")])
+
+    def test_campaign_serve_announces_endpoint(self, capsys):
+        code = main(
+            [
+                "campaign", "pc-ok", "--budget", "10", "--workers", "0",
+                "--serve", "127.0.0.1:0", "--quiet",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "live telemetry at http://127.0.0.1:" in err
+        assert "/status /metrics /events" in err
+
+    def test_campaign_serve_bad_address(self):
+        with pytest.raises(SystemExit, match="--serve"):
+            main(
+                [
+                    "campaign", "pc-ok", "--budget", "5", "--workers", "0",
+                    "--serve", "not-a-port", "--quiet",
+                ]
+            )
+
+    def test_campaign_progress_json_heartbeats(self, capsys):
+        import json
+
+        code = main(
+            [
+                "campaign", "pc-ok", "--budget", "10", "--workers", "0",
+                "--progress-json",
+            ]
+        )
+        assert code == 0
+        lines = [
+            line
+            for line in capsys.readouterr().err.splitlines()
+            if line.startswith("{")
+        ]
+        records = [json.loads(line) for line in lines]
+        assert records, "expected JSONL heartbeats on stderr"
+        assert records[-1]["final"] is True
+        assert records[-1]["runs"] == 10
+
+    def test_campaign_progress_json_wins_over_quiet(self, capsys):
+        # --progress-json is an explicit request for machine-readable
+        # output, so it must not be silenced by --quiet.
+        import json
+
+        code = main(
+            [
+                "campaign", "pc-ok", "--budget", "10", "--workers", "0",
+                "--progress-json", "--quiet",
+            ]
+        )
+        assert code == 0
+        lines = [
+            line
+            for line in capsys.readouterr().err.splitlines()
+            if line.startswith("{")
+        ]
+        assert lines, "expected JSONL heartbeats despite --quiet"
+        assert json.loads(lines[-1])["final"] is True
+
+    def test_campaign_dash_renders_final_frame(self, capsys):
+        code = main(
+            [
+                "campaign", "pc-bug", "--budget", "20", "--workers", "0",
+                "--dash",
+            ]
+        )
+        assert code == 2  # pc-bug fails
+        err = capsys.readouterr().err
+        assert "campaign 'pc-bug'" in err
+        assert "runs 20 unique" in err
+
+    def test_dash_unreachable_endpoint(self, capsys):
+        code = main(
+            ["dash", "--url", "http://127.0.0.1:9", "--polls", "1",
+             "--no-clear"]
+        )
+        assert code == 1
+        assert "unreachable" in capsys.readouterr().out
