@@ -10,6 +10,16 @@ Public API::
 """
 
 from .hazop import AnalysisRow, DeviationItem, derive_table1, hazop_skeleton
+from .primitives import (
+    BARRIER_ENTRIES,
+    PRIMITIVE_ENTRIES,
+    RWLOCK_ENTRIES,
+    SEMAPHORE_ENTRIES,
+    build_barrier_net,
+    build_rwlock_net,
+    build_semaphore_net,
+    derive_primitive_tables,
+)
 from .symptoms import (
     CANDIDATES,
     ClassificationReport,
@@ -32,8 +42,12 @@ from .taxonomy import (
 
 __all__ = [
     "AnalysisRow",
+    "BARRIER_ENTRIES",
     "CANDIDATES",
     "ENVIRONMENT_ENTRIES",
+    "PRIMITIVE_ENTRIES",
+    "RWLOCK_ENTRIES",
+    "SEMAPHORE_ENTRIES",
     "ClassificationEntry",
     "ClassificationReport",
     "DetectionTechnique",
@@ -44,7 +58,11 @@ __all__ = [
     "Symptom",
     "SymptomTracker",
     "TABLE1_ENTRIES",
+    "build_barrier_net",
+    "build_rwlock_net",
+    "build_semaphore_net",
     "classify_symptoms",
+    "derive_primitive_tables",
     "derive_table1",
     "entries_for",
     "entry_count",

@@ -1,0 +1,384 @@
+"""Table-1-style classifications for the first-class VM primitives.
+
+The paper derives its Table 1 by applying two HAZOP guide words —
+*failure to fire* and *erroneous firing* — to every transition of the
+Figure-1 monitor net.  This module repeats that derivation for the three
+primitives the VM promotes alongside the monitor: the counting semaphore
+(transitions ``S1..S3``), the read-write lock (``R1..R4``), and the
+cyclic barrier (``B1..B2``).  Each primitive gets
+
+* a small Petri-net model in the style of Figure 1 (one acquirer drawn,
+  shared pool/lock/party places), built with the same
+  :class:`~repro.petri.builder.NetBuilder` the monitor model uses, and
+* a curated entry table in the Table-1 row format, joined against the
+  net and completeness-checked by the same
+  :func:`~repro.classify.hazop.derive_table1` engine.
+
+``EF-S2``, ``EF-R2`` and ``EF-B2`` are marked not applicable for the
+same reason the paper marks ``EF-T2``: the granting/tripping transition
+is fired by the VM, which is trusted to hand out permits, admit modes,
+and trip barriers correctly — component code cannot erroneously fire it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.petri import Marking, NetBuilder, PetriNet
+
+from .hazop import AnalysisRow, derive_table1
+from .taxonomy import (
+    ClassificationEntry,
+    DetectionTechnique,
+    FailureClass,
+)
+
+__all__ = [
+    "SEMAPHORE_ENTRIES",
+    "RWLOCK_ENTRIES",
+    "BARRIER_ENTRIES",
+    "PRIMITIVE_ENTRIES",
+    "build_semaphore_net",
+    "build_rwlock_net",
+    "build_barrier_net",
+    "derive_primitive_tables",
+]
+
+
+def build_semaphore_net(permits: int = 2) -> Tuple[PetriNet, Marking]:
+    """Figure-1-style net of one semaphore acquirer and a permit pool.
+
+    Places ``A`` (outside), ``B`` (requesting), ``C`` (holding) mirror
+    the monitor model; ``P`` is the shared permit pool (``permits``
+    tokens), the semaphore analogue of the lock place ``E``.
+    """
+    builder = NetBuilder("semaphore")
+    builder.place("A", "thread executing outside the guarded region", tokens=1)
+    builder.place("B", "thread requesting permits")
+    builder.place("C", "thread holding permits")
+    builder.place("P", "permits available in the pool", tokens=permits)
+    builder.transition("S1", "requesting permits")
+    builder.transition("S2", "granting permits")
+    builder.transition("S3", "releasing permits")
+    builder.flow("A", "S1", "B")
+    builder.arc("B", "S2").arc("P", "S2").arc("S2", "C")
+    builder.arc("C", "S3").arc("S3", "A").arc("S3", "P")
+    return builder.build()
+
+
+def build_rwlock_net() -> Tuple[PetriNet, Marking]:
+    """Figure-1-style net of one rw-lock acquirer through the
+    write-then-downgrade cycle.
+
+    ``L`` is the free lock; ``R2`` grants the requested (write) mode,
+    ``R4`` is the j.u.c downgrade (write holder takes read without ever
+    unlocking), ``R3`` releases the remaining hold.  As with Figure 1's
+    single-thread instance, the direct write release is the firing that
+    simply skips ``R4``; the net draws the richer cycle so the downgrade
+    transition exists to be analyzed.
+    """
+    builder = NetBuilder("rwlock")
+    builder.place("A", "thread executing outside the lock", tokens=1)
+    builder.place("B", "thread requesting the lock in a mode")
+    builder.place("W", "thread holding the write lock")
+    builder.place("Rd", "thread holding the read lock")
+    builder.place("L", "lock available", tokens=1)
+    builder.transition("R1", "requesting the lock in a mode")
+    builder.transition("R2", "granting the requested mode")
+    builder.transition("R3", "releasing the hold")
+    builder.transition("R4", "downgrading write to read")
+    builder.flow("A", "R1", "B")
+    builder.arc("B", "R2").arc("L", "R2").arc("R2", "W")
+    builder.flow("W", "R4", "Rd")
+    builder.arc("Rd", "R3").arc("R3", "A").arc("R3", "L")
+    return builder.build()
+
+
+def build_barrier_net(parties: int = 2) -> Tuple[PetriNet, Marking]:
+    """Figure-1-style net of a ``parties``-party cyclic barrier.
+
+    Every party starts approaching (``A``); ``B1`` parks an arrival in
+    the wait place ``W``; ``B2`` — the trip — consumes all ``parties``
+    parked tokens at once and releases them past the barrier (``F``).
+    """
+    builder = NetBuilder("barrier")
+    builder.place("A", "party approaching the barrier", tokens=parties)
+    builder.place("W", "party parked at the barrier")
+    builder.place("F", "party released past the barrier")
+    builder.transition("B1", "party arrives and suspends")
+    builder.transition("B2", "last party arrives, barrier trips")
+    builder.flow("A", "B1", "W")
+    builder.arc("W", "B2", weight=parties)
+    builder.arc("B2", "F", weight=parties)
+    return builder.build()
+
+
+#: Curated semaphore rows (S1..S3 under both guide words).
+SEMAPHORE_ENTRIES: List[ClassificationEntry] = [
+    ClassificationEntry(
+        failure_class=FailureClass.FF_S1,
+        cause="Thread accesses the pooled resource without acquiring a permit",
+        conditions="Two or more threads share a bounded resource",
+        consequences=(
+            "The pool bound is not enforced: more users than permits enter "
+            "(interference on the pooled resource)"
+        ),
+        testing_notes=(
+            "Static analysis / model checking (often combined with dynamic "
+            "analysis)"
+        ),
+        techniques=(DetectionTechnique.STATIC_ANALYSIS,),
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.EF_S1,
+        cause="Program logic requests permits that are not needed",
+        conditions="The thread does not use the pooled resource",
+        consequences=(
+            "Unnecessary throttling; if the thread holds other locks while "
+            "queued, it may join a mixed-primitive deadlock cycle"
+        ),
+        testing_notes="Static and dynamic analysis",
+        techniques=(DetectionTechnique.STATIC_AND_DYNAMIC,),
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.FF_S2,
+        cause="The requested permits are never granted",
+        conditions=(
+            "The pool is empty and no holder releases: a release was "
+            "dropped (lost permit), or holders are themselves blocked"
+        ),
+        consequences=(
+            "The thread is permanently suspended on the semaphore "
+            "(symptom: lost-permit)"
+        ),
+        testing_notes="Check completion time of call",
+        techniques=(DetectionTechnique.COMPLETION_TIME,),
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.EF_S2,
+        cause="Not applicable",
+        conditions="",
+        consequences="",
+        testing_notes="",
+        techniques=(DetectionTechnique.NOT_APPLICABLE,),
+        applicable=False,
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.FF_S3,
+        cause="A permit is acquired but never released",
+        conditions=(
+            "The release is skipped on an exceptional path, or the holder "
+            "never completes"
+        ),
+        consequences=(
+            "The pool drains permanently; later acquirers starve or block "
+            "forever (symptom: lost-permit)"
+        ),
+        testing_notes="Check completion time of call",
+        techniques=(DetectionTechnique.COMPLETION_TIME,),
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.EF_S3,
+        cause="A permit is released that was never acquired (or twice)",
+        conditions="None — j.u.c release has no ownership check",
+        consequences=(
+            "The permit count inflates above the configured bound; the "
+            "pool admits more users than intended"
+        ),
+        testing_notes="Static analysis and dynamic permit accounting",
+        techniques=(
+            DetectionTechnique.STATIC_ANALYSIS,
+            DetectionTechnique.STATIC_AND_DYNAMIC,
+        ),
+    ),
+]
+
+
+#: Curated rw-lock rows (R1..R4 under both guide words).
+RWLOCK_ENTRIES: List[ClassificationEntry] = [
+    ClassificationEntry(
+        failure_class=FailureClass.FF_R1,
+        cause=(
+            "Thread accesses shared state without requesting the lock, or "
+            "writes under a read hold"
+        ),
+        conditions="Two or more threads access the guarded state",
+        consequences="Interference (reader sees a torn write, writers race)",
+        testing_notes=(
+            "Static analysis / model checking (often combined with dynamic "
+            "analysis)"
+        ),
+        techniques=(DetectionTechnique.STATIC_ANALYSIS,),
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.EF_R1,
+        cause=(
+            "Thread requests a mode it should not: write where read "
+            "suffices, or read-to-write upgrade while holding read"
+        ),
+        conditions="None",
+        consequences=(
+            "Lost reader concurrency; the upgrade request deadlocks the "
+            "thread on itself (the j.u.c upgrade is unsupported)"
+        ),
+        testing_notes="Static and dynamic analysis",
+        techniques=(DetectionTechnique.STATIC_AND_DYNAMIC,),
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.FF_R2,
+        cause="The requested mode is never granted",
+        conditions=(
+            "Under reader preference a continuous reader stream keeps a "
+            "queued writer out indefinitely; under writer preference "
+            "queued writers shut readers out"
+        ),
+        consequences=(
+            "The thread is permanently suspended (symptom: "
+            "writer-starvation in the reader-preference case)"
+        ),
+        testing_notes="Static and dynamic analysis",
+        techniques=(DetectionTechnique.STATIC_AND_DYNAMIC,),
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.EF_R2,
+        cause="Not applicable",
+        conditions="",
+        consequences="",
+        testing_notes="",
+        techniques=(DetectionTechnique.NOT_APPLICABLE,),
+        applicable=False,
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.FF_R3,
+        cause="The hold is never released",
+        conditions=(
+            "Thread is in an endless loop, blocked on further input, or "
+            "acquiring another primitive held elsewhere"
+        ),
+        consequences=(
+            "Every acquirer of the opposite mode is blocked for good; a "
+            "leaked read hold blocks all writers"
+        ),
+        testing_notes="Check completion time of call",
+        techniques=(DetectionTechnique.COMPLETION_TIME,),
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.EF_R3,
+        cause="The hold is released prematurely",
+        conditions="None",
+        consequences=(
+            "Subsequent statements access the guarded state unprotected"
+        ),
+        testing_notes="Static analysis and completion time of call",
+        techniques=(
+            DetectionTechnique.STATIC_ANALYSIS,
+            DetectionTechnique.COMPLETION_TIME,
+        ),
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.FF_R4,
+        cause=(
+            "Writer releases fully and re-acquires read instead of "
+            "downgrading"
+        ),
+        conditions="Another writer is queued between the release and the re-acquire",
+        consequences=(
+            "The state the thread continues reading may have changed in "
+            "the unlocked window (the downgrade would have been atomic)"
+        ),
+        testing_notes="Static and dynamic analysis",
+        techniques=(DetectionTechnique.STATIC_AND_DYNAMIC,),
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.EF_R4,
+        cause="Writer downgrades to read before its updates are complete",
+        conditions="None",
+        consequences=(
+            "Concurrent readers admitted by the downgrade observe a "
+            "partial update"
+        ),
+        testing_notes="Static and dynamic analysis",
+        techniques=(DetectionTechnique.STATIC_AND_DYNAMIC,),
+    ),
+]
+
+
+#: Curated barrier rows (B1..B2 under both guide words).
+BARRIER_ENTRIES: List[ClassificationEntry] = [
+    ClassificationEntry(
+        failure_class=FailureClass.FF_B1,
+        cause="A party never arrives at the barrier",
+        conditions=(
+            "The party crashed, skipped the await on some path, or is "
+            "blocked elsewhere"
+        ),
+        consequences=(
+            "Every other party waits forever in the current generation "
+            "(symptom: barrier-starve)"
+        ),
+        testing_notes="Check completion time of call",
+        techniques=(DetectionTechnique.COMPLETION_TIME,),
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.EF_B1,
+        cause=(
+            "A party arrives when it should not (extra await, or an await "
+            "meant for a later phase)"
+        ),
+        conditions="The barrier's parties count does not match the protocol",
+        consequences=(
+            "The barrier trips early: some threads proceed into a phase "
+            "whose preconditions are not established"
+        ),
+        testing_notes="Static and dynamic analysis",
+        techniques=(DetectionTechnique.STATIC_AND_DYNAMIC,),
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.FF_B2,
+        cause="The trip never fires",
+        conditions=(
+            "Fewer live parties than the configured count, or the barrier "
+            "was broken by an interrupt and never reset"
+        ),
+        consequences=(
+            "All arrived parties stay suspended; late arrivals fail with "
+            "BrokenBarrierException (symptom: barrier-starve)"
+        ),
+        testing_notes="Check completion time of call",
+        techniques=(DetectionTechnique.COMPLETION_TIME,),
+    ),
+    ClassificationEntry(
+        failure_class=FailureClass.EF_B2,
+        cause="Not applicable",
+        conditions="",
+        consequences="",
+        testing_notes="",
+        techniques=(DetectionTechnique.NOT_APPLICABLE,),
+        applicable=False,
+    ),
+]
+
+
+#: All primitive rows in one list, the shape
+#: :func:`repro.classify.taxonomy.entries_for` searches.
+PRIMITIVE_ENTRIES: List[ClassificationEntry] = (
+    SEMAPHORE_ENTRIES + RWLOCK_ENTRIES + BARRIER_ENTRIES
+)
+
+
+def derive_primitive_tables() -> Dict[str, List[AnalysisRow]]:
+    """Run the HAZOP derivation for each primitive net against its
+    curated table, exactly as :func:`derive_table1` does for Figure 1.
+
+    Raises ``ValueError`` if any (transition, guide word) cell lacks an
+    entry or any entry names a transition absent from its net — the
+    completeness check, not an assumption.
+    """
+    sem_net, _ = build_semaphore_net()
+    rw_net, _ = build_rwlock_net()
+    bar_net, _ = build_barrier_net()
+    return {
+        "semaphore": derive_table1(sem_net, SEMAPHORE_ENTRIES),
+        "rwlock": derive_table1(rw_net, RWLOCK_ENTRIES),
+        "barrier": derive_table1(bar_net, BARRIER_ENTRIES),
+    }

@@ -59,6 +59,16 @@ class Symptom(enum.Enum):
     SWALLOWED_INTERRUPT = "interrupt delivered but silently discarded"
     UNGUARDED_WAKEUP = "spurious wake-up trusted without re-checking the guard"
     TIMEOUT_AS_SUCCESS = "wait timeout treated as successful completion"
+    # First-class-primitive symptoms (codes lost-permit /
+    # writer-starvation / barrier-starve).
+    LOST_PERMIT = "semaphore acquirer stuck on a pool no release refills"
+    WRITER_STARVATION = "writer permanently queued behind admitted readers"
+    BARRIER_STARVE = "barrier party waits for arrivals that never come"
+
+    @property
+    def code(self) -> str:
+        """Kebab-case symptom code, e.g. ``"lost-permit"``."""
+        return self.name.lower().replace("_", "-")
 
 
 #: Symptom -> candidate failure classes, most likely first.  Derived from
@@ -91,6 +101,13 @@ CANDIDATES: Dict[Symptom, Tuple[FailureClass, ...]] = {
     Symptom.SWALLOWED_INTERRUPT: (FailureClass.EV_INT,),
     Symptom.UNGUARDED_WAKEUP: (FailureClass.EV_SPU, FailureClass.EF_T5),
     Symptom.TIMEOUT_AS_SUCCESS: (FailureClass.EV_TMO,),
+    # First-class-primitive symptoms: a dropped release (FF-S3) is the
+    # likeliest way a pool stays empty, an empty pool that was never
+    # filled is FF-S2; starvation and barrier abandonment map onto the
+    # grant/arrival transitions of their nets.
+    Symptom.LOST_PERMIT: (FailureClass.FF_S3, FailureClass.FF_S2),
+    Symptom.WRITER_STARVATION: (FailureClass.FF_R2,),
+    Symptom.BARRIER_STARVE: (FailureClass.FF_B1, FailureClass.FF_B2),
 }
 
 
@@ -207,6 +224,12 @@ class SymptomTracker:
         self._suspect_wakes: Dict[str, Tuple[str, Optional[str], int]] = {}
         # recorded environment-deviation findings, in emission order
         self._env_findings: List[Tuple[Symptom, Dict[str, Any]]] = []
+        # -- first-class-primitive state --
+        # thread -> ("semaphore" | "read" | "write", primitive name): an
+        # outstanding sem/rw acquire (cleared when granted or abandoned)
+        self._prim_blocked: Dict[str, Tuple[str, str]] = {}
+        # thread -> barrier it is parked at
+        self._barrier_wait: Dict[str, str] = {}
 
     def reset(self) -> None:
         self.__init__()
@@ -246,6 +269,10 @@ class SymptomTracker:
             # that never waits again is allowed to ignore.
             if event.detail.get("thread_state") in ("waiting", "blocked"):
                 self._interrupt_pending.setdefault(event.thread)
+            # An interrupted primitive acquirer or barrier party resumes
+            # immediately with InterruptedError — no longer stuck.
+            self._prim_blocked.pop(event.thread, None)
+            self._barrier_wait.pop(event.thread, None)
         elif kind is EventKind.MONITOR_RELEASE:
             # The full (non-reentrant) release of a monitor whose component
             # still has an open call on this thread: the critical section
@@ -291,6 +318,31 @@ class SymptomTracker:
                         event.method,
                     )
                 )
+        elif kind is EventKind.SEM_REQUEST:
+            self._prim_blocked[event.thread] = ("semaphore", event.monitor or "?")
+        elif kind is EventKind.RW_REQUEST:
+            self._prim_blocked[event.thread] = (
+                event.detail.get("mode", "read"),
+                event.monitor or "?",
+            )
+        elif kind in (
+            EventKind.SEM_ACQUIRE,
+            EventKind.RW_ACQUIRE,
+            EventKind.RW_DOWNGRADE,
+        ):
+            self._prim_blocked.pop(event.thread, None)
+        elif kind is EventKind.WAIT_TIMEOUT:
+            if event.detail.get("primitive") == "semaphore":
+                # A failed timed tryAcquire resumed with False.
+                self._prim_blocked.pop(event.thread, None)
+        elif kind is EventKind.BARRIER_AWAIT:
+            if not event.detail.get("broken"):
+                self._barrier_wait[event.thread] = event.monitor or "?"
+        elif kind is EventKind.BARRIER_RESUME:
+            self._barrier_wait.pop(event.thread, None)
+        elif kind is EventKind.BARRIER_BROKEN:
+            for waiter in event.detail.get("waiters", ()):
+                self._barrier_wait.pop(waiter, None)
 
     def _others_notifies(self, monitor: Optional[str], thread: str) -> int:
         """Notifies emitted on ``monitor`` by threads other than ``thread``."""
@@ -397,9 +449,34 @@ class SymptomTracker:
                 context["method"] = method
                 context["detail"] = f"inside {component}.{method}"
             if state == ThreadState.BLOCKED.value and thread not in result.deadlock_cycle:
-                observations.append((Symptom.PERMANENTLY_BLOCKED, context))
+                prim = self._prim_blocked.get(thread)
+                if prim is not None and prim[0] == "semaphore":
+                    context["detail"] = (
+                        f"stuck acquiring semaphore {prim[1]}; no release "
+                        f"ever refilled the pool"
+                    )
+                    observations.append((Symptom.LOST_PERMIT, context))
+                elif prim is not None and prim[0] == "write":
+                    context["detail"] = (
+                        f"write acquire on {prim[1]} never granted"
+                    )
+                    observations.append((Symptom.WRITER_STARVATION, context))
+                else:
+                    if prim is not None:  # read-mode rw acquire
+                        context["detail"] = (
+                            f"read acquire on {prim[1]} never granted"
+                        )
+                    observations.append((Symptom.PERMANENTLY_BLOCKED, context))
             elif state == ThreadState.WAITING.value:
-                observations.append((Symptom.PERMANENTLY_WAITING, context))
+                barrier = self._barrier_wait.get(thread)
+                if barrier is not None:
+                    context["detail"] = (
+                        f"parked at barrier {barrier}; the remaining "
+                        f"parties never arrived"
+                    )
+                    observations.append((Symptom.BARRIER_STARVE, context))
+                else:
+                    observations.append((Symptom.PERMANENTLY_WAITING, context))
         # A notify that woke nobody is only evidence of failure when some
         # thread on the same monitor ended up waiting forever — otherwise it
         # is the normal "notify with nobody waiting" of a correct monitor.

@@ -45,7 +45,9 @@ class FailureClass(enum.Enum):
     """The ten concurrency failure classes of Table 1, plus the three
     environment-deviation classes of the T5 extension (``EV-*``): a wait
     that returns by interrupt, timeout, or spurious wakeup, mishandled by
-    the component."""
+    the component.  The first-class-primitive extension re-applies the
+    two HAZOP guide words to the semaphore/rw-lock/barrier transitions
+    (``FF-S1`` .. ``EF-B2``)."""
 
     FF_T1 = ("T1", FailureMode.FAILURE_TO_FIRE)
     EF_T1 = ("T1", FailureMode.ERRONEOUS_FIRING)
@@ -61,6 +63,28 @@ class FailureClass(enum.Enum):
     EV_INT = ("T5", FailureMode.ENVIRONMENTAL_FIRING, "EV-INT")
     EV_TMO = ("T5", FailureMode.ENVIRONMENTAL_FIRING, "EV-TMO")
     EV_SPU = ("T5", FailureMode.ENVIRONMENTAL_FIRING, "EV-SPU")
+    # First-class-primitive extension: the same two guide words applied
+    # to the semaphore (S1..S3), rw-lock (R1..R4), and barrier (B1..B2)
+    # protocol transitions the VM promotes alongside the monitor's T1..T5.
+    # Curated rows live in :mod:`repro.classify.primitives`.
+    FF_S1 = ("S1", FailureMode.FAILURE_TO_FIRE)
+    EF_S1 = ("S1", FailureMode.ERRONEOUS_FIRING)
+    FF_S2 = ("S2", FailureMode.FAILURE_TO_FIRE)
+    EF_S2 = ("S2", FailureMode.ERRONEOUS_FIRING)
+    FF_S3 = ("S3", FailureMode.FAILURE_TO_FIRE)
+    EF_S3 = ("S3", FailureMode.ERRONEOUS_FIRING)
+    FF_R1 = ("R1", FailureMode.FAILURE_TO_FIRE)
+    EF_R1 = ("R1", FailureMode.ERRONEOUS_FIRING)
+    FF_R2 = ("R2", FailureMode.FAILURE_TO_FIRE)
+    EF_R2 = ("R2", FailureMode.ERRONEOUS_FIRING)
+    FF_R3 = ("R3", FailureMode.FAILURE_TO_FIRE)
+    EF_R3 = ("R3", FailureMode.ERRONEOUS_FIRING)
+    FF_R4 = ("R4", FailureMode.FAILURE_TO_FIRE)
+    EF_R4 = ("R4", FailureMode.ERRONEOUS_FIRING)
+    FF_B1 = ("B1", FailureMode.FAILURE_TO_FIRE)
+    EF_B1 = ("B1", FailureMode.ERRONEOUS_FIRING)
+    FF_B2 = ("B2", FailureMode.FAILURE_TO_FIRE)
+    EF_B2 = ("B2", FailureMode.ERRONEOUS_FIRING)
 
     def __init__(
         self, transition: str, mode: FailureMode, code: Optional[str] = None
@@ -322,11 +346,15 @@ ENVIRONMENT_ENTRIES: List[ClassificationEntry] = [
 
 
 def entries_for(failure_class: FailureClass) -> List[ClassificationEntry]:
-    """All rows of one failure class, searching Table 1 and the
-    environment extension (FF-T4 has two Table-1 rows)."""
+    """All rows of one failure class, searching Table 1, the environment
+    extension (FF-T4 has two Table-1 rows), and the first-class-primitive
+    extension tables."""
+    # Imported here: primitives.py builds its rows from this module.
+    from .primitives import PRIMITIVE_ENTRIES
+
     return [
         e
-        for e in TABLE1_ENTRIES + ENVIRONMENT_ENTRIES
+        for e in TABLE1_ENTRIES + ENVIRONMENT_ENTRIES + PRIMITIVE_ENTRIES
         if e.failure_class is failure_class
     ]
 

@@ -17,6 +17,7 @@ from .bounded_buffer import BoundedBuffer
 from .fair_lock import FairLock
 from .future_value import Exchanger, FutureValue
 from .latch import CountDownLatch
+from .native import NativeBarrier, NativeReadWriteLock, NativeSemaphore
 from .nested_locks import Account, OrderedPair
 from .producer_consumer import ProducerConsumer
 from .readers_writers import ReadersWriters
@@ -31,6 +32,9 @@ __all__ = [
     "Exchanger",
     "FairLock",
     "FutureValue",
+    "NativeBarrier",
+    "NativeReadWriteLock",
+    "NativeSemaphore",
     "OrderedPair",
     "ProducerConsumer",
     "ReadersWriters",
@@ -51,6 +55,9 @@ for _cls in (
     Exchanger,
     FairLock,
     FutureValue,
+    NativeBarrier,
+    NativeReadWriteLock,
+    NativeSemaphore,
     OrderedPair,
     ProducerConsumer,
     ReadersWriters,

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Tuple, Type
 from repro.classify.taxonomy import DetectionTechnique, FailureClass
 from repro.vm.api import MonitorComponent
 
+from .barrier_leak import LeakyBarrier
 from .deadlock_pair import DeadlockPair
 from .early_release import EarlyReleaseBuffer
 from .hold_forever import HoldForever
@@ -28,6 +29,8 @@ from .pc_swallow_interrupt import InterruptSwallowingProducerConsumer
 from .pc_timeout_return import TimeoutReturnProducerConsumer
 from .pc_unguarded_spurious import SpuriousUnguardedProducerConsumer
 from .rw_reader_preference import ReaderPreferenceRW
+from .rw_writer_starve import WriterStarvingRwLock
+from .sem_lost_permit import LostPermitSemaphore
 from .unsync_counter import UnsyncCounter
 
 
@@ -139,6 +142,26 @@ FAULT_REGISTRY: Dict[str, FaultInfo] = {
         "receive trusts every wake-up; a spurious wake proceeds on an "
         "empty buffer",
     ),
+    # First-class-primitive exemplars (semaphore / rw-lock / barrier).
+    "LostPermitSemaphore": FaultInfo(
+        LostPermitSemaphore,
+        FailureClass.FF_S3,
+        (DetectionTechnique.COMPLETION_TIME,),
+        "release drops the permit instead of returning it to the pool",
+    ),
+    "WriterStarvingRwLock": FaultInfo(
+        WriterStarvingRwLock,
+        FailureClass.FF_R2,
+        (DetectionTechnique.STATIC_AND_DYNAMIC,),
+        "reader-preference rw-lock lets readers barge; a queued writer "
+        "is never granted",
+    ),
+    "LeakyBarrier": FaultInfo(
+        LeakyBarrier,
+        FailureClass.FF_B1,
+        (DetectionTechnique.COMPLETION_TIME,),
+        "barrier is registered for one more party than ever arrives",
+    ),
 }
 
 __all__ = [
@@ -149,11 +172,14 @@ __all__ = [
     "HoldForever",
     "IfGuardProducerConsumer",
     "InterruptSwallowingProducerConsumer",
+    "LeakyBarrier",
+    "LostPermitSemaphore",
     "NoNotifyProducerConsumer",
     "NoWaitProducerConsumer",
     "OverSynchronized",
     "ReaderPreferenceRW",
     "SingleNotifyProducerConsumer",
+    "WriterStarvingRwLock",
     "SpuriousUnguardedProducerConsumer",
     "SpuriousWaitProducerConsumer",
     "TimeoutReturnProducerConsumer",

@@ -1,0 +1,28 @@
+"""FF-B1: a barrier configured for a party that never arrives.
+
+The off-by-one ``parties`` count registers the barrier for one arrival
+more than the protocol ever produces, so the trip precondition is never
+met and every real party parks forever in the current generation
+(symptom *barrier-starve*).
+"""
+
+from __future__ import annotations
+
+from repro.components.native import NativeBarrier
+from repro.vm import Kernel
+
+__all__ = ["LeakyBarrier"]
+
+
+class LeakyBarrier(NativeBarrier):
+    """Native barrier created for ``parties + 1`` arrivals."""
+
+    def _vm_attach(self, kernel: Kernel, name: str) -> None:
+        # BUG: registers one more party than the workload spawns.  Skip
+        # NativeBarrier's attach (it would create the correctly-sized
+        # barrier under the same name).
+        from repro.vm import MonitorComponent
+
+        MonitorComponent._vm_attach(self, kernel, name)
+        barrier = kernel.new_barrier(f"{name}.barrier", self._parties + 1)
+        object.__setattr__(self, "_vm_barrier", barrier)

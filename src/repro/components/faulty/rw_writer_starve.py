@@ -1,0 +1,25 @@
+"""FF-R2: a reader-preference rw-lock that starves writers.
+
+With ``preference="reader"`` the kernel admits any reader whenever no
+writer is *active* — queued writers do not hold new readers back.  Under
+continuous reader turnover the writer's acquire is never granted
+(symptom *writer-starvation*), the rw-lock twin of the monitor-built
+:class:`~repro.components.faulty.rw_reader_preference.ReaderPreferenceRW`
+exemplar.
+"""
+
+from __future__ import annotations
+
+from repro.components.native import NativeReadWriteLock
+
+__all__ = ["WriterStarvingRwLock"]
+
+
+class WriterStarvingRwLock(NativeReadWriteLock):
+    """Native rw-lock pinned to the starvation-prone reader preference."""
+
+    def __init__(self) -> None:
+        # BUG: reader preference lets fresh readers barge past a queued
+        # writer; the correct default ("writer") shuts reader admission
+        # off the moment a writer asks.
+        super().__init__(preference="reader")

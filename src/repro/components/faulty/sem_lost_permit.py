@@ -1,0 +1,24 @@
+"""FF-S3: a semaphore whose release drops the permit.
+
+The classic j.u.c leak — ``release()`` skipped on some path — shrinks the
+pool permanently: once every original permit has passed through the leaky
+release, the next ``acquire`` blocks forever on a pool nothing refills
+(symptom *lost-permit*).
+"""
+
+from __future__ import annotations
+
+from repro.components.native import NativeSemaphore
+from repro.vm import unsynchronized
+
+__all__ = ["LostPermitSemaphore"]
+
+
+class LostPermitSemaphore(NativeSemaphore):
+    """Native semaphore with a release that forgets the ``SemRelease``."""
+
+    @unsynchronized
+    def release(self):
+        """BUG: returns without releasing — the permit is lost."""
+        return None
+        yield  # pragma: no cover - marks the method as a generator

@@ -1,0 +1,149 @@
+"""Components backed by the VM's first-class primitives.
+
+Each class here wraps one kernel primitive (counting semaphore, rw-lock,
+cyclic barrier) behind the same method surface as its monitor-built
+sibling (:class:`~repro.components.semaphore.Semaphore`,
+:class:`~repro.components.readers_writers.ReadersWriters`,
+:class:`~repro.components.barrier.CyclicBarrier`).  That makes them
+*differential references*: the same workload template drives either
+implementation, and their observable outcomes must agree — the
+monitor-built component re-derives with wait/notify what the kernel
+primitive implements natively.
+
+The backing primitive is created at registration time (``_vm_attach``)
+under the derived name ``<component>.<kind>``, since the component's own
+name is taken by the monitor ``Kernel.register`` creates for it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.vm import (
+    BarrierAwait,
+    Kernel,
+    MonitorComponent,
+    RwAcquire,
+    RwRelease,
+    SemAcquire,
+    SemRelease,
+    unsynchronized,
+)
+
+__all__ = ["NativeSemaphore", "NativeReadWriteLock", "NativeBarrier"]
+
+
+class NativeSemaphore(MonitorComponent):
+    """Counting semaphore backed by the kernel's ``SemAcquire`` /
+    ``SemRelease`` syscalls (java.util.concurrent.Semaphore), method-
+    compatible with the monitor-built :class:`Semaphore`."""
+
+    def __init__(self, permits: int = 1) -> None:
+        super().__init__()
+        if permits < 0:
+            raise ValueError("permits must be >= 0")
+        object.__setattr__(self, "_permits", permits)
+        object.__setattr__(self, "_vm_sem", None)
+
+    def _vm_attach(self, kernel: Kernel, name: str) -> None:
+        super()._vm_attach(kernel, name)
+        sem = kernel.new_semaphore(f"{name}.sem", self._permits)
+        object.__setattr__(self, "_vm_sem", sem)
+
+    @unsynchronized
+    def acquire(self):
+        """Take one permit; blocks until one is available."""
+        yield SemAcquire(self._vm_sem)
+
+    @unsynchronized
+    def release(self):
+        """Return one permit (no ownership check, as in j.u.c)."""
+        yield SemRelease(self._vm_sem)
+
+    @unsynchronized
+    def try_acquire(self):
+        """Non-blocking acquire; returns True on success (a timed acquire
+        with a zero deadline, ``tryAcquire`` on virtual time)."""
+        got = yield SemAcquire(self._vm_sem, timeout=0)
+        return bool(got)
+
+    @unsynchronized
+    def available(self):
+        """Current permit count."""
+        return self._vm_sem.permits
+        yield  # pragma: no cover - marks the method as a generator
+
+
+class NativeReadWriteLock(MonitorComponent):
+    """Read-write lock backed by ``RwAcquire`` / ``RwRelease``
+    (java.util.concurrent.locks.ReentrantReadWriteLock), exposing the
+    ``start_read``/``end_read``/``start_write``/``end_write`` surface of
+    the monitor-built :class:`ReadersWriters` so the ``rw`` workload
+    template drives either."""
+
+    def __init__(self, preference: str = "writer") -> None:
+        super().__init__()
+        object.__setattr__(self, "_preference", preference)
+        object.__setattr__(self, "_vm_lock", None)
+
+    def _vm_attach(self, kernel: Kernel, name: str) -> None:
+        super()._vm_attach(kernel, name)
+        lock = kernel.new_rwlock(f"{name}.rw", self._preference)
+        object.__setattr__(self, "_vm_lock", lock)
+
+    @unsynchronized
+    def start_read(self):
+        """Acquire the read lock (shared)."""
+        yield RwAcquire(self._vm_lock, "read")
+
+    @unsynchronized
+    def end_read(self):
+        """Release one read hold."""
+        yield RwRelease(self._vm_lock)
+
+    @unsynchronized
+    def start_write(self):
+        """Acquire the write lock (exclusive)."""
+        yield RwAcquire(self._vm_lock, "write")
+
+    @unsynchronized
+    def end_write(self):
+        """Release one write hold."""
+        yield RwRelease(self._vm_lock)
+
+    @unsynchronized
+    def downgrade(self):
+        """Acquire read while holding write (the atomic j.u.c downgrade);
+        pair with an extra ``end_read`` after ``end_write``."""
+        yield RwAcquire(self._vm_lock, "read")
+
+
+class NativeBarrier(MonitorComponent):
+    """Cyclic barrier backed by ``BarrierAwait``
+    (java.util.concurrent.CyclicBarrier), method-compatible with the
+    monitor-built :class:`CyclicBarrier`."""
+
+    def __init__(self, parties: int) -> None:
+        super().__init__()
+        if parties < 1:
+            raise ValueError("parties must be >= 1")
+        object.__setattr__(self, "_parties", parties)
+        object.__setattr__(self, "_vm_barrier", None)
+
+    def _vm_attach(self, kernel: Kernel, name: str) -> None:
+        super()._vm_attach(kernel, name)
+        barrier = kernel.new_barrier(f"{name}.barrier", self._parties)
+        object.__setattr__(self, "_vm_barrier", barrier)
+
+    @unsynchronized
+    def arrive(self):
+        """Block until ``parties`` threads have arrived; returns the
+        0-based arrival index within the cycle."""
+        index = yield BarrierAwait(self._vm_barrier)
+        return index
+
+    @unsynchronized
+    def waiting(self):
+        """Number of threads currently parked at the barrier."""
+        return len(self._vm_barrier.waiters)
+        yield  # pragma: no cover - marks the method as a generator

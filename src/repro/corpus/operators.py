@@ -26,6 +26,9 @@ operator                  edit                     expected class(es)
 ``swallow_interrupt``     wrap a ``yield Wait``    EV-INT
                           in ``except
                           InterruptedError: pass``
+``sem_release_drop``      ``yield SemRelease`` →   FF-S3
+                          return without
+                          releasing
 ========================  =======================  ====================
 
 ``unsync`` only applies to methods with no monitor syscalls (a wait or
@@ -323,6 +326,25 @@ def _apply_swallow_interrupt(func: ast.FunctionDef, index: int) -> bool:
     )
 
 
+def _count_sem_release(func: ast.FunctionDef) -> int:
+    return _count(func, lambda s: _yield_call_name(s) == "SemRelease")
+
+
+def _apply_sem_release_drop(func: ast.FunctionDef, index: int) -> bool:
+    def drop(stmt: ast.stmt) -> List[ast.stmt]:
+        # `return` + unreachable bare yield: the method stays a generator
+        # (the kernel drives it with `yield from`) but the permit is never
+        # returned to the pool — exactly the LostPermitSemaphore defect.
+        return [
+            ast.Return(value=ast.Constant(value=None)),
+            ast.Expr(value=ast.Yield(value=None)),
+        ]
+
+    return _rewrite_nth(
+        func, lambda s: _yield_call_name(s) == "SemRelease", index, drop
+    )
+
+
 def _zero(_func: ast.FunctionDef) -> int:
     return 0
 
@@ -398,6 +420,13 @@ OPERATORS: Dict[str, MutationOperator] = {
             "wrap a wait in 'except InterruptedError: pass'",
             _count_wait_yield,
             _apply_swallow_interrupt,
+        ),
+        MutationOperator(
+            "sem_release_drop",
+            ("FF-S3",),
+            "drop a semaphore release, leaking the permit",
+            _count_sem_release,
+            _apply_sem_release_drop,
         ),
     )
 }

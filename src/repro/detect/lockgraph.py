@@ -82,9 +82,29 @@ class OnlineLockGraphDetector(OnlineDetector):
     def reset(self) -> None:
         self.__init__()
 
+    #: request events that establish ordering edges (monitor and
+    #: first-class primitive acquisitions alike — a semaphore acquired
+    #: while holding a monitor orders exactly like a nested lock).
+    _REQUEST_KINDS = (
+        EventKind.MONITOR_REQUEST,
+        EventKind.SEM_REQUEST,
+        EventKind.RW_REQUEST,
+    )
+    _GRANT_KINDS = (
+        EventKind.MONITOR_ACQUIRE,
+        EventKind.SEM_ACQUIRE,
+        EventKind.RW_ACQUIRE,
+        EventKind.RW_DOWNGRADE,
+    )
+    _RELEASE_KINDS = (
+        EventKind.MONITOR_RELEASE,
+        EventKind.SEM_RELEASE,
+        EventKind.RW_RELEASE,
+    )
+
     def on_event(self, event: Event) -> None:
         stack = self._held.setdefault(event.thread, [])
-        if event.kind is EventKind.MONITOR_REQUEST:
+        if event.kind in self._REQUEST_KINDS:
             # The ordering edge is established at *request* time: a thread
             # blocked on `inner` while holding `outer` is the hazard even
             # if the grant never happens (as in an actual deadlock run).
@@ -95,11 +115,11 @@ class OnlineLockGraphDetector(OnlineDetector):
                     if not self.graph.has_edge(outer, monitor):
                         self.graph.add_edge(outer, monitor, witness=edge)
                     self.edges.append(edge)
-        elif event.kind is EventKind.MONITOR_ACQUIRE:
+        elif event.kind in self._GRANT_KINDS:
             monitor = event.monitor or "?"
             for _ in range(event.detail.get("count", 1)):
                 stack.append(monitor)
-        elif event.kind is EventKind.MONITOR_RELEASE:
+        elif event.kind in self._RELEASE_KINDS:
             if event.monitor in stack:
                 stack.reverse()
                 stack.remove(event.monitor)

@@ -48,6 +48,11 @@ class StarvationReport:
     bypasses: int
     resolved: bool  # True when the thread did eventually proceed
 
+    # ``kind`` values beyond the monitor pair: "permit" (semaphore
+    # acquirer overtaken, the §5.2.1 fairness point applied to permits)
+    # and "writer"/"reader" (rw acquirer overtaken in that mode —
+    # "writer" under reader preference is the classic writer starvation).
+
     def __str__(self) -> str:
         fate = "eventually proceeded" if self.resolved else "still stuck at end"
         return (
@@ -78,6 +83,11 @@ class OnlineStarvationDetector(OnlineDetector):
         self._wait_sets: Dict[str, Dict[str, int]] = {}
         self._lock_bypasses: Dict[Tuple[str, str], int] = {}
         self._notify_bypasses: Dict[Tuple[str, str], int] = {}
+        #: primitive kind per queued-on name ("semaphore"/"rwlock";
+        #: absent means plain monitor) — picks the report kind.
+        self._prim_kind: Dict[str, str] = {}
+        #: mode of each thread's last rw request on a lock.
+        self._rw_mode: Dict[Tuple[str, str], str] = {}
 
     def reset(self) -> None:
         self.__init__(self.bypass_threshold, self.include_resolved)
@@ -105,11 +115,52 @@ class OnlineStarvationDetector(OnlineDetector):
                     self._notify_bypasses[key] = self._notify_bypasses.get(key, 0) + 1
             # the woken thread re-enters the entry set
             self._entry_sets.setdefault(monitor, {}).setdefault(thread, event.seq)
+        elif event.kind in (EventKind.SEM_REQUEST, EventKind.RW_REQUEST):
+            # Semaphore and rw-lock queues starve exactly like entry sets:
+            # same arrival bookkeeping, different report kind.
+            self._entry_sets.setdefault(monitor, {}).setdefault(thread, event.seq)
+            if event.kind is EventKind.RW_REQUEST:
+                self._prim_kind[monitor] = "rwlock"
+                self._rw_mode[(thread, monitor)] = event.detail.get("mode", "read")
+            else:
+                self._prim_kind[monitor] = "semaphore"
+        elif event.kind in (
+            EventKind.SEM_ACQUIRE,
+            EventKind.RW_ACQUIRE,
+            EventKind.RW_DOWNGRADE,
+        ):
+            queued = self._entry_sets.setdefault(monitor, {})
+            arrived = queued.pop(thread, event.seq)
+            for bystander, bystander_arrived in queued.items():
+                if bystander_arrived < arrived:
+                    key = (bystander, monitor)
+                    self._lock_bypasses[key] = self._lock_bypasses.get(key, 0) + 1
+        elif event.kind is EventKind.WAIT_TIMEOUT:
+            if event.detail.get("primitive") == "semaphore":
+                self._entry_sets.setdefault(monitor, {}).pop(thread, None)
+        elif event.kind is EventKind.INTERRUPT:
+            # An interrupted primitive acquirer leaves its queue for good;
+            # monitor entry sets are left to the monitor protocol events
+            # (a post-wait reacquirer stays queued with the interrupt
+            # pending, so popping it here would lose its arrival).
+            for mon, queued in self._entry_sets.items():
+                if mon in self._prim_kind:
+                    queued.pop(thread, None)
         elif event.kind in (EventKind.THREAD_END, EventKind.THREAD_CRASH):
             for queued in self._entry_sets.values():
                 queued.pop(thread, None)
             for waiters in self._wait_sets.values():
                 waiters.pop(thread, None)
+
+    def _queue_kind(self, thread: str, monitor: str) -> str:
+        """Report kind for a bypassed acquirer of ``monitor``."""
+        prim = self._prim_kind.get(monitor)
+        if prim == "semaphore":
+            return "permit"
+        if prim == "rwlock":
+            mode = self._rw_mode.get((thread, monitor), "read")
+            return "writer" if mode == "write" else "reader"
+        return "lock"
 
     def finish(self) -> List[StarvationReport]:
         reports: List[StarvationReport] = []
@@ -119,7 +170,13 @@ class OnlineStarvationDetector(OnlineDetector):
                 stuck and count >= 1
             ):
                 reports.append(
-                    StarvationReport(thread, monitor, "lock", count, resolved=not stuck)
+                    StarvationReport(
+                        thread,
+                        monitor,
+                        self._queue_kind(thread, monitor),
+                        count,
+                        resolved=not stuck,
+                    )
                 )
         for (thread, monitor), count in sorted(self._notify_bypasses.items()):
             stuck = thread in self._wait_sets.get(monitor, {})

@@ -20,15 +20,17 @@ from typing import Dict
 from repro.run.registry import WORKLOADS as _REGISTRY
 from repro.run.registry import close_matches, register_workload
 from repro.testing.explorer import ProgramFactory
-from repro.vm import Acquire, Kernel, Release, Yield
+from repro.vm import Acquire, Kernel, Release, SemAcquire, SemRelease, Yield
 
 __all__ = [
     "WORKLOADS",
+    "barrier_template",
     "buffer_template",
     "pair_template",
     "pc_template",
     "resolve_factory",
     "rw_template",
+    "sem_template",
     "workload_names",
 ]
 
@@ -128,6 +130,56 @@ def rw_template(component_cls) -> ProgramFactory:
 rw_template.needs_component = True
 
 
+@register_workload("sem")
+def sem_template(component_cls) -> ProgramFactory:
+    """Permit-pool shape over any ``acquire``/``release`` component
+    (monitor-built :class:`Semaphore` or :class:`NativeSemaphore` alike):
+    3 workers cycle through one permit, so the empty-pool block is
+    exercised under contention."""
+
+    def factory(scheduler) -> Kernel:
+        kernel = Kernel(scheduler=scheduler, max_steps=3000)
+        sem = kernel.register(component_cls())
+
+        def worker():
+            yield from sem.acquire()
+            yield Yield()
+            yield from sem.release()
+
+        for i in range(3):
+            kernel.spawn(worker, name=f"u{i}")
+        return kernel
+
+    return factory
+
+
+sem_template.needs_component = True
+
+
+@register_workload("barrier-meet")
+def barrier_template(component_cls) -> ProgramFactory:
+    """Barrier rendezvous over any ``arrive`` component built for 3
+    parties (monitor-built :class:`CyclicBarrier` or
+    :class:`NativeBarrier` alike): 3 threads meet once."""
+
+    def factory(scheduler) -> Kernel:
+        kernel = Kernel(scheduler=scheduler, max_steps=3000)
+        barrier = kernel.register(component_cls(3))
+
+        def party():
+            index = yield from barrier.arrive()
+            return index
+
+        for i in range(3):
+            kernel.spawn(party, name=f"t{i}")
+        return kernel
+
+    return factory
+
+
+barrier_template.needs_component = True
+
+
 @register_workload("pair")
 def pair_template(component_cls) -> ProgramFactory:
     """Nested-lock shape over any ``transfer(source, target, amount)``
@@ -207,6 +259,36 @@ def deadlock_pair(scheduler) -> Kernel:
     return kernel
 
 
+@register_workload("mixed-deadlock")
+def mixed_deadlock(scheduler) -> Kernel:
+    """A monitor and a semaphore closing one wait-for cycle: ``t1`` takes
+    the only permit then blocks entering ``m``; ``t2`` owns ``m`` and
+    blocks acquiring the permit ``t1`` holds.  Deadlocks on schedules
+    that interleave the two acquires — the smallest *mixed-primitive*
+    deadlock the extended wait-for graph must close over."""
+    kernel = Kernel(scheduler=scheduler)
+    kernel.new_monitor("m")
+    kernel.new_semaphore("s", permits=1)
+
+    def t1():
+        yield SemAcquire("s")
+        yield Yield()
+        yield Acquire("m")
+        yield Release("m")
+        yield SemRelease("s")
+
+    def t2():
+        yield Acquire("m")
+        yield Yield()
+        yield SemAcquire("s")
+        yield SemRelease("s")
+        yield Release("m")
+
+    kernel.spawn(t1, name="t1")
+    kernel.spawn(t2, name="t2")
+    return kernel
+
+
 @register_workload("racing-locks")
 def racing_locks(scheduler) -> Kernel:
     """Two bare monitors taken in opposite orders — the smallest workload
@@ -235,6 +317,7 @@ WORKLOADS: Dict[str, ProgramFactory] = {
     "pc-bug": pc_bug,
     "pc-no-notify": pc_no_notify,
     "deadlock-pair": deadlock_pair,
+    "mixed-deadlock": mixed_deadlock,
     "racing-locks": racing_locks,
 }
 

@@ -87,8 +87,19 @@ class FaultInjector:
             thread = kernel.threads.get(rule.thread or "")
             return thread is not None and thread.is_live()
         if rule.action == "timeout":
+            # A forced timeout can expire a monitor wait or a *timed*
+            # semaphore acquire (an untimed acquire has no deadline to
+            # force, exactly as in j.u.c).
             thread = kernel.threads.get(rule.thread or "")
-            return thread is not None and thread.state is ThreadState.WAITING
+            if thread is None:
+                return False
+            if thread.state is ThreadState.WAITING:
+                return True
+            return (
+                thread.state is ThreadState.BLOCKED
+                and thread.blocked_kind == "semaphore"
+                and thread.acquire_deadline is not None
+            )
         # spurious: the named waiter (or any waiter of the monitor)
         waiter = self._spurious_target(rule, kernel)
         return waiter is not None
@@ -125,7 +136,11 @@ class FaultInjector:
             return
         if rule.action == "timeout":
             assert rule.thread is not None
-            kernel.expire_wait(rule.thread, by="<fault>")
+            thread = kernel.threads.get(rule.thread)
+            if thread is not None and thread.state is ThreadState.BLOCKED:
+                kernel.expire_acquire(rule.thread, by="<fault>")
+            else:
+                kernel.expire_wait(rule.thread, by="<fault>")
             return
         target = self._spurious_target(rule, kernel)
         assert target is not None  # checked by _applicable

@@ -11,6 +11,12 @@ the Chrome trace-event JSON format that ``ui.perfetto.dev`` and
   ``clock-wait`` — derived by replaying the monitor-protocol events;
 * **pid 2 — monitors**: one track per monitor, a ``held by <thread>``
   slice per lock tenure, so contention is visible as gaps and handoffs;
+  rw-locks render the same way with the mode in the slice name
+  (``held by <thread> (read)``), overlapping reader tenures and all;
+* **counter tracks** ("C" events on pid 2) for the other first-class
+  primitives: available permits per semaphore (sampled at every
+  ``SEM_ACQUIRE``/``SEM_RELEASE``) and completed generations per barrier
+  (stepped at every ``BARRIER_TRIP``);
 * **pid 3 — spans**: one track per span name for tracer spans;
 * **flow arrows** from every ``notify``/``notifyAll`` (and
   thread-initiated interrupt) to the woken thread's ``MONITOR_NOTIFIED``,
@@ -121,6 +127,8 @@ class _Converter:
         self.state: Dict[str, Tuple[str, int]] = {}
         #: (thread, monitor) -> hold started at
         self.holds: Dict[Tuple[str, str], int] = {}
+        #: (thread, rw-lock, mode) -> hold started at; readers overlap
+        self.rw_holds: Dict[Tuple[str, str, str], int] = {}
         #: woken thread -> (flow id, wake cause) for pending flow arrows
         self.pending_wakes: Dict[str, Tuple[int, str]] = {}
         self.flow_seq = 0
@@ -160,6 +168,37 @@ class _Converter:
         )
         if piece is not None:
             self.out.append(piece)
+
+    def _close_rw_hold(
+        self, thread: str, lock: str, mode: str, at: int
+    ) -> None:
+        since = self.rw_holds.pop((thread, lock, mode), None)
+        if since is None:
+            return
+        piece = _slice(
+            PID_MONITORS,
+            self.monitor_tid.get(lock, 0),
+            f"held by {thread} ({mode})",
+            "rwlock",
+            since,
+            at,
+            args={"thread": thread, "lock": lock, "mode": mode},
+        )
+        if piece is not None:
+            self.out.append(piece)
+
+    def _counter(self, name: str, ts: int, args: Dict[str, Any]) -> None:
+        self.out.append(
+            {
+                "ph": "C",
+                "name": name,
+                "cat": "primitive",
+                "pid": PID_MONITORS,
+                "tid": 0,
+                "ts": ts,
+                "args": args,
+            }
+        )
 
     # -- flow arrows -------------------------------------------------------
 
@@ -315,6 +354,65 @@ class _Converter:
             self._enter_state(thread, _STATE_CLOCK, t)
         elif kind is EventKind.CLOCK_RESUME:
             self._enter_state(thread, _STATE_RUNNABLE, t)
+        elif kind is EventKind.SEM_REQUEST:
+            self._enter_state(thread, _STATE_BLOCKED, t)
+        elif kind is EventKind.SEM_ACQUIRE:
+            self._enter_state(thread, _STATE_RUNNABLE, t)
+            if event.monitor is not None and "available" in detail:
+                self._counter(
+                    f"{event.monitor} permits",
+                    t,
+                    {"permits": detail["available"]},
+                )
+        elif kind is EventKind.SEM_RELEASE:
+            if event.monitor is not None and "available" in detail:
+                self._counter(
+                    f"{event.monitor} permits",
+                    t,
+                    {"permits": detail["available"]},
+                )
+        elif kind is EventKind.RW_REQUEST:
+            self._enter_state(thread, _STATE_BLOCKED, t)
+        elif kind is EventKind.RW_ACQUIRE:
+            self._enter_state(thread, _STATE_RUNNABLE, t)
+            if event.monitor is not None and not detail.get("reentrant"):
+                mode = str(detail.get("mode", "read"))
+                self.rw_holds[(thread, event.monitor, mode)] = t
+        elif kind is EventKind.RW_DOWNGRADE:
+            # the write holder takes a read hold; its write tenure continues
+            if event.monitor is not None:
+                self.rw_holds.setdefault((thread, event.monitor, "read"), t)
+        elif kind is EventKind.RW_RELEASE:
+            if event.monitor is not None and not detail.get("reentrant"):
+                self._close_rw_hold(
+                    thread, event.monitor, str(detail.get("mode", "read")), t
+                )
+        elif kind is EventKind.BARRIER_AWAIT:
+            if not detail.get("broken"):
+                self._enter_state(thread, _STATE_WAITING, t)
+        elif kind is EventKind.BARRIER_RESUME:
+            self._enter_state(thread, _STATE_RUNNABLE, t)
+        elif kind is EventKind.BARRIER_TRIP:
+            if event.monitor is not None:
+                self._counter(
+                    f"{event.monitor} generation",
+                    t,
+                    {"generation": int(detail.get("generation", 0)) + 1},
+                )
+        elif kind is EventKind.BARRIER_BROKEN:
+            self.out.append(
+                _instant(
+                    PID_THREADS,
+                    self._tid(thread),
+                    "barrier broken",
+                    "fault",
+                    t,
+                    args={
+                        "barrier": event.monitor,
+                        "waiters": [str(w) for w in detail.get("waiters", ())],
+                    },
+                )
+            )
 
     def convert(self) -> List[Dict[str, Any]]:
         self.out.append(_meta(PID_THREADS, 0, "vm threads", "process_name"))
@@ -331,6 +429,8 @@ class _Converter:
             self._close_state(thread, self.end_time)
         for thread, monitor in list(self.holds):
             self._close_hold(thread, monitor, self.end_time)
+        for thread, lock, mode in list(self.rw_holds):
+            self._close_rw_hold(thread, lock, mode, self.end_time)
         return self.out
 
 

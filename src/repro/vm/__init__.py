@@ -45,6 +45,7 @@ Quick start::
 from .api import MonitorComponent, is_synchronized, synchronized, unsynchronized
 from .clock import TestClock
 from .errors import (
+    BrokenBarrierError,
     DeadlockError,
     IllegalMonitorStateError,
     StepLimitExceededError,
@@ -57,6 +58,7 @@ from .events import TRANSITION_OF_EVENT, Event, EventKind, WakeReason
 from .kernel import Kernel, RunResult, RunStatus, current_kernel, current_thread
 from .monitor import MonitorObject, SelectionPolicy
 from .pct import PCTScheduler
+from .primitives import BarrierObject, RwLockObject, SemaphoreObject
 from .scheduler import (
     ChoiceExhaustedError,
     Decision,
@@ -80,6 +82,7 @@ from .serialize import (
 from .syscalls import (
     Acquire,
     AwaitTime,
+    BarrierAwait,
     CallBegin,
     CallEnd,
     GetTime,
@@ -88,6 +91,10 @@ from .syscalls import (
     NotifyAll,
     Read,
     Release,
+    RwAcquire,
+    RwRelease,
+    SemAcquire,
+    SemRelease,
     Syscall,
     Tick,
     Wait,
@@ -96,11 +103,15 @@ from .syscalls import (
 )
 from .thread import SimThread, ThreadState
 from .trace import AccessRecord, CallRecord, Trace
+from .waitq import WaitQueue, find_cycle
 
 __all__ = [
     "AccessRecord",
     "Acquire",
     "AwaitTime",
+    "BarrierAwait",
+    "BarrierObject",
+    "BrokenBarrierError",
     "CallBegin",
     "CallEnd",
     "CallRecord",
@@ -128,8 +139,14 @@ __all__ = [
     "RoundRobinScheduler",
     "RunResult",
     "RunStatus",
+    "RwAcquire",
+    "RwLockObject",
+    "RwRelease",
     "Scheduler",
     "SelectionPolicy",
+    "SemAcquire",
+    "SemRelease",
+    "SemaphoreObject",
     "SimThread",
     "StepLimitExceededError",
     "StuckThreadsError",
@@ -143,10 +160,12 @@ __all__ = [
     "UnknownSyscallError",
     "VMError",
     "Wait",
+    "WaitQueue",
     "WakeReason",
     "Write",
     "Yield",
     "current_kernel",
+    "find_cycle",
     "dumps_trace",
     "event_from_dict",
     "event_to_dict",

@@ -7,6 +7,7 @@ from typing import List, Optional
 __all__ = [
     "VMError",
     "IllegalMonitorStateError",
+    "BrokenBarrierError",
     "DeadlockError",
     "StuckThreadsError",
     "StepLimitExceededError",
@@ -25,6 +26,17 @@ class IllegalMonitorStateError(VMError):
 
     This mirrors Java's ``java.lang.IllegalMonitorStateException`` and is
     the VM-level symptom of several EF-class failures.
+    """
+
+
+class BrokenBarrierError(VMError):
+    """A cyclic barrier broke while (or before) this thread awaited it —
+    a waiter was interrupted, so the generation can never complete.
+
+    Mirrors ``java.util.concurrent.BrokenBarrierException``: the
+    interrupted waiter itself receives ``InterruptedError``; every other
+    thread parked at (or later arriving at) the broken barrier receives
+    this error instead of suspending forever.
     """
 
 

@@ -58,6 +58,29 @@ class EventKind(enum.Enum):
     INTERRUPT = "interrupt"
     WAIT_TIMEOUT = "wait_timeout"
 
+    # Counting semaphore protocol — transitions S1..S3 of the semaphore
+    # net (the ``monitor`` field names the semaphore).
+    SEM_REQUEST = "sem_request"    # S1: thread asks for permits
+    SEM_ACQUIRE = "sem_acquire"    # S2: kernel grants the permits
+    SEM_RELEASE = "sem_release"    # S3: permits returned
+
+    # Read-write lock protocol — transitions R1..R4 (the ``monitor``
+    # field names the lock; ``detail['mode']`` is "read" or "write").
+    RW_REQUEST = "rw_request"      # R1: thread asks for the lock in a mode
+    RW_ACQUIRE = "rw_acquire"      # R2: kernel grants the mode
+    RW_RELEASE = "rw_release"      # R3: hold released
+    RW_DOWNGRADE = "rw_downgrade"  # R4: write holder acquires read (j.u.c
+    #                                    downgrade; never blocks)
+
+    # Cyclic barrier protocol — transitions B1..B2.  BARRIER_RESUME marks
+    # each released waiter (the per-thread echo of the trip, like
+    # MONITOR_NOTIFIED echoes NOTIFY); BARRIER_BROKEN marks the barrier
+    # breaking on interrupt, j.u.c BrokenBarrierException semantics.
+    BARRIER_AWAIT = "barrier_await"    # B1: thread arrives and suspends
+    BARRIER_TRIP = "barrier_trip"      # B2: last party arrives, all release
+    BARRIER_RESUME = "barrier_resume"
+    BARRIER_BROKEN = "barrier_broken"
+
     # Component method call boundaries (completion-time checking).
     CALL_BEGIN = "call_begin"
     CALL_END = "call_end"
@@ -75,13 +98,25 @@ class EventKind(enum.Enum):
     YIELD = "yield"
 
 
-#: Petri-net transition exercised by each monitor-protocol event.
+#: Petri-net transition exercised by each protocol event: the paper's
+#: monitor transitions T1..T5, plus the Table-1-style labels of the
+#: first-class primitive protocols (semaphore S1..S3, rw-lock R1..R4,
+#: barrier B1..B2) the reproduction extends the model with.
 TRANSITION_OF_EVENT: Dict[EventKind, str] = {
     EventKind.MONITOR_REQUEST: "T1",
     EventKind.MONITOR_ACQUIRE: "T2",
     EventKind.MONITOR_WAIT: "T3",
     EventKind.MONITOR_RELEASE: "T4",
     EventKind.MONITOR_NOTIFIED: "T5",
+    EventKind.SEM_REQUEST: "S1",
+    EventKind.SEM_ACQUIRE: "S2",
+    EventKind.SEM_RELEASE: "S3",
+    EventKind.RW_REQUEST: "R1",
+    EventKind.RW_ACQUIRE: "R2",
+    EventKind.RW_RELEASE: "R3",
+    EventKind.RW_DOWNGRADE: "R4",
+    EventKind.BARRIER_AWAIT: "B1",
+    EventKind.BARRIER_TRIP: "B2",
 }
 
 

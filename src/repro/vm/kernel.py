@@ -41,6 +41,7 @@ from typing import (
 )
 
 from .errors import (
+    BrokenBarrierError,
     DeadlockError,
     IllegalMonitorStateError,
     StepLimitExceededError,
@@ -49,10 +50,17 @@ from .errors import (
 )
 from .events import Event, EventKind, WakeReason
 from .monitor import MonitorObject, SelectionPolicy
+from .primitives import (
+    RW_PREFERENCES,
+    BarrierObject,
+    RwLockObject,
+    SemaphoreObject,
+)
 from .scheduler import FifoScheduler, Scheduler
 from .syscalls import (
     Acquire,
     AwaitTime,
+    BarrierAwait,
     CallBegin,
     CallEnd,
     GetTime,
@@ -61,6 +69,10 @@ from .syscalls import (
     NotifyAll,
     Read,
     Release,
+    RwAcquire,
+    RwRelease,
+    SemAcquire,
+    SemRelease,
     Syscall,
     Tick,
     Wait,
@@ -69,6 +81,7 @@ from .syscalls import (
 )
 from .thread import SimThread, ThreadState
 from .trace import Trace
+from .waitq import find_cycle
 
 __all__ = ["Kernel", "RunResult", "RunStatus", "current_kernel", "current_thread"]
 
@@ -244,6 +257,11 @@ class Kernel:
         self._seq = 0
         self.threads: Dict[str, SimThread] = {}
         self.monitors: Dict[str, MonitorObject] = {}
+        #: first-class primitives (shared name space with monitors — the
+        #: ``monitor`` field of their events carries the primitive name).
+        self.semaphores: Dict[str, SemaphoreObject] = {}
+        self.rwlocks: Dict[str, RwLockObject] = {}
+        self.barriers: Dict[str, BarrierObject] = {}
         self.components: Dict[str, Any] = {}
         self._clock_waiters: List[SimThread] = []
         self._ran = False
@@ -268,14 +286,57 @@ class Kernel:
             attach(self, unique)
         return component
 
+    def _check_primitive_name(self, name: str) -> None:
+        """Monitors and first-class primitives share one name space (the
+        ``monitor`` field of their events); reject collisions."""
+        for registry, kind in (
+            (self.monitors, "monitor"),
+            (self.semaphores, "semaphore"),
+            (self.rwlocks, "rw-lock"),
+            (self.barriers, "barrier"),
+        ):
+            if name in registry:
+                raise ValueError(f"{kind} {name!r} already exists")
+
     def new_monitor(self, name: str) -> MonitorObject:
         """Create a bare named monitor (for lock-only examples without a
         component, e.g. the nested-lock demo of Section 3.1)."""
-        if name in self.monitors:
-            raise ValueError(f"monitor {name!r} already exists")
+        self._check_primitive_name(name)
         monitor = MonitorObject(name)
         self.monitors[name] = monitor
         return monitor
+
+    def new_semaphore(self, name: str, permits: int = 1) -> SemaphoreObject:
+        """Create a counting semaphore with ``permits`` initial permits."""
+        if permits < 0:
+            raise ValueError(f"semaphore {name!r} needs permits >= 0, got {permits}")
+        self._check_primitive_name(name)
+        sem = SemaphoreObject(name, permits)
+        self.semaphores[name] = sem
+        return sem
+
+    def new_rwlock(self, name: str, preference: str = "writer") -> RwLockObject:
+        """Create a read-write lock.  ``preference`` is ``"writer"`` (a
+        queued writer shuts off reader admission) or ``"reader"`` (readers
+        barge whenever no writer is active — writers can starve)."""
+        if preference not in RW_PREFERENCES:
+            raise ValueError(
+                f"rw-lock preference must be one of {RW_PREFERENCES}, "
+                f"got {preference!r}"
+            )
+        self._check_primitive_name(name)
+        lock = RwLockObject(name, preference)
+        self.rwlocks[name] = lock
+        return lock
+
+    def new_barrier(self, name: str, parties: int) -> BarrierObject:
+        """Create a cyclic barrier tripping every ``parties`` arrivals."""
+        if parties < 1:
+            raise ValueError(f"barrier {name!r} needs parties >= 1, got {parties}")
+        self._check_primitive_name(name)
+        barrier = BarrierObject(name, parties)
+        self.barriers[name] = barrier
+        return barrier
 
     def spawn(
         self,
@@ -323,6 +384,26 @@ class Kernel:
         if vm_name is not None:
             return vm_name
         raise UnknownSyscallError(f"cannot resolve monitor reference {ref!r}")
+
+    def _primitive_name(self, ref: Any, registry: Dict[str, Any], kind: str) -> str:
+        """Resolve a syscall's primitive reference (name string, the
+        primitive object, or a component exposing ``_vm_name``) to the
+        name of an entry in ``registry``."""
+        if isinstance(ref, str):
+            if ref not in registry:
+                raise UnknownSyscallError(f"unknown {kind} {ref!r}")
+            return ref
+        vm_name = getattr(ref, "_vm_name", None)
+        if isinstance(vm_name, str):
+            if vm_name not in registry:
+                raise UnknownSyscallError(
+                    f"component {vm_name!r} is not attached to a {kind}"
+                )
+            return vm_name
+        name = getattr(ref, "name", None)
+        if isinstance(name, str) and name in registry:
+            return name
+        raise UnknownSyscallError(f"cannot resolve {kind} reference {ref!r}")
 
     def _component_name(self, ref: Any) -> str:
         if isinstance(ref, str):
@@ -431,6 +512,40 @@ class Kernel:
             field=fieldname,
         )
 
+    # -- wait-queue core: shared blocked-state bookkeeping ---------------------------
+
+    def _mark_blocked(
+        self,
+        thread: SimThread,
+        on: str,
+        kind: str = "monitor",
+        arg: Any = None,
+    ) -> None:
+        """Park ``thread`` as BLOCKED on primitive ``on`` (the thread must
+        already sit in that primitive's wait queue).  Shared by every
+        primitive so the blocked-interval accounting is uniform."""
+        thread.blocked_on = on
+        thread.blocked_kind = kind
+        thread.blocked_arg = arg
+        thread.state = ThreadState.BLOCKED
+        thread.blocked_since = self.time
+
+    def _clear_blocked(self, thread: SimThread) -> int:
+        """Unpark ``thread`` from BLOCKED (the caller has already removed
+        it from its wait queue): close the blocked interval and reset the
+        primitive bookkeeping.  Returns the ticks spent blocked."""
+        thread.blocked_on = None
+        thread.blocked_kind = "monitor"
+        thread.blocked_arg = None
+        thread.acquire_deadline = None
+        thread.state = ThreadState.RUNNABLE
+        blocked_for = 0
+        if thread.blocked_since is not None:
+            blocked_for = self.time - thread.blocked_since
+            thread.blocked_ticks += blocked_for
+            thread.blocked_since = None
+        return blocked_for
+
     # -- lock machinery -------------------------------------------------------------
 
     def _grant_lock(self, monitor: MonitorObject) -> None:
@@ -459,13 +574,7 @@ class Kernel:
             depth = 1
             monitor.acquire_by(chosen_name, 1)
             thread.push_hold(monitor.name)
-        thread.blocked_on = None
-        thread.state = ThreadState.RUNNABLE
-        blocked_for = 0
-        if thread.blocked_since is not None:
-            blocked_for = self.time - thread.blocked_since
-            thread.blocked_ticks += blocked_for
-            thread.blocked_since = None
+        blocked_for = self._clear_blocked(thread)
         self.emit(
             chosen_name,
             EventKind.MONITOR_ACQUIRE,
@@ -505,9 +614,7 @@ class Kernel:
             return
         # Contended (or the policy must arbitrate among queued threads).
         monitor.add_blocked(thread.name)
-        thread.blocked_on = name
-        thread.state = ThreadState.BLOCKED
-        thread.blocked_since = self.time
+        self._mark_blocked(thread, name)
         self._grant_lock(monitor)
 
     def _sys_release(self, thread: SimThread, call: Release) -> None:
@@ -607,16 +714,14 @@ class Kernel:
         waiter = self.threads[waiter_name]
         waiter.waiting_on = None
         waiter.reacquiring = True
-        waiter.blocked_on = monitor.name
-        waiter.state = ThreadState.BLOCKED
         waiter.wait_deadline = None
         if reason is WakeReason.INTERRUPT:
             waiter.pending_interrupt = True
         if waiter.waiting_since is not None:
             waiter.waiting_ticks += self.time - waiter.waiting_since
             waiter.waiting_since = None
-        waiter.blocked_since = self.time
         monitor.add_blocked(waiter_name)
+        self._mark_blocked(waiter, monitor.name)
         self.emit(
             waiter_name,
             EventKind.MONITOR_NOTIFIED,
@@ -726,6 +831,448 @@ class Kernel:
         )
         thread.send_value = None
 
+    # -- counting semaphores (S1..S3) -------------------------------------------------
+
+    def _sys_sem_acquire(self, thread: SimThread, call: SemAcquire) -> None:
+        name = self._primitive_name(call.semaphore, self.semaphores, "semaphore")
+        sem = self.semaphores[name]
+        n = call.n
+        if n < 1:
+            thread.throw_exc = ValueError(
+                f"thread {thread.name!r} asked semaphore {name!r} for {n} permits"
+            )
+            return
+        timeout = call.timeout
+        if timeout is not None and timeout < 0:
+            thread.throw_exc = ValueError(
+                f"negative acquire timeout {timeout!r} in thread {thread.name!r}"
+            )
+            return
+        comp, meth = thread.current_frame()
+        self.emit(
+            thread.name,
+            EventKind.SEM_REQUEST,
+            monitor=name,
+            component=comp,
+            method=meth,
+            n=n,
+            **({"timeout": timeout} if timeout is not None else {}),
+        )
+        if thread.interrupted:
+            # j.u.c Semaphore.acquire() is interruptible: arriving with the
+            # interrupt status set throws immediately and clears it.
+            thread.interrupted = False
+            thread.throw_exc = InterruptedError(
+                f"thread {thread.name!r} called acquire() on {name!r} with "
+                f"its interrupt flag set"
+            )
+            return
+        if not sem.queue and sem.permits >= n:
+            sem.permits -= n
+            sem.hold(thread.name, n)
+            self.emit(
+                thread.name,
+                EventKind.SEM_ACQUIRE,
+                monitor=name,
+                n=n,
+                available=sem.permits,
+                blocked_for=0,
+            )
+            thread.send_value = True
+            return
+        # Contended (or the policy must arbitrate among queued acquirers).
+        sem.queue.add(thread.name)
+        self._mark_blocked(thread, name, kind="semaphore", arg=n)
+        if timeout is not None:
+            # tryAcquire(n, timeout) on virtual time; resolves False at the
+            # deadline if the permits were never granted.
+            thread.acquire_deadline = self.time + timeout
+        self._grant_sem(sem)
+
+    def _grant_sem(self, sem: SemaphoreObject) -> None:
+        """Grant permits to queued acquirers while they fit.  The lock
+        policy selects each candidate; a selected candidate needing more
+        permits than are available stops the loop (no barging past it)."""
+        while sem.queue and sem.permits > 0:
+            candidate = sem.queue.peek_select(self.lock_policy, self.rng)
+            thread = self.threads[candidate]
+            need = int(thread.blocked_arg or 1)
+            if need > sem.permits:
+                return
+            sem.queue.remove(candidate)
+            sem.permits -= need
+            sem.hold(candidate, need)
+            blocked_for = self._clear_blocked(thread)
+            thread.send_value = True
+            self.emit(
+                candidate,
+                EventKind.SEM_ACQUIRE,
+                monitor=sem.name,
+                n=need,
+                available=sem.permits,
+                blocked_for=blocked_for,
+            )
+
+    def _sys_sem_release(self, thread: SimThread, call: SemRelease) -> None:
+        name = self._primitive_name(call.semaphore, self.semaphores, "semaphore")
+        sem = self.semaphores[name]
+        n = call.n
+        if n < 1:
+            thread.throw_exc = ValueError(
+                f"thread {thread.name!r} released {n} permits to semaphore {name!r}"
+            )
+            return
+        # No ownership requirement (j.u.c Semaphore.release()): any thread
+        # may add permits — which is exactly why a *dropped* release
+        # (lost-permit) has no local symptom at the dropping thread.
+        sem.permits += n
+        sem.unhold(thread.name, n)
+        comp, meth = thread.current_frame()
+        self.emit(
+            thread.name,
+            EventKind.SEM_RELEASE,
+            monitor=name,
+            component=comp,
+            method=meth,
+            n=n,
+            available=sem.permits,
+        )
+        thread.send_value = None
+        self._grant_sem(sem)
+
+    # -- read-write locks (R1..R4) ----------------------------------------------------
+
+    def _rw_read_admissible(self, lock: RwLockObject) -> bool:
+        """May a reader be admitted right now?  No active writer, and —
+        under writer preference — no queued writer either."""
+        if lock.writer is not None:
+            return False
+        if lock.preference == "writer" and lock.write_queue:
+            return False
+        return True
+
+    def _sys_rw_acquire(self, thread: SimThread, call: RwAcquire) -> None:
+        name = self._primitive_name(call.lock, self.rwlocks, "rw-lock")
+        lock = self.rwlocks[name]
+        mode = call.mode
+        if mode not in ("read", "write"):
+            thread.throw_exc = ValueError(
+                f"rw-lock mode must be 'read' or 'write', got {mode!r}"
+            )
+            return
+        comp, meth = thread.current_frame()
+        self.emit(
+            thread.name,
+            EventKind.RW_REQUEST,
+            monitor=name,
+            component=comp,
+            method=meth,
+            mode=mode,
+        )
+        if thread.interrupted:
+            thread.interrupted = False
+            thread.throw_exc = InterruptedError(
+                f"thread {thread.name!r} acquired rw-lock {name!r} with its "
+                f"interrupt flag set"
+            )
+            return
+        if mode == "read":
+            if lock.writer == thread.name:
+                # The j.u.c downgrade: a write holder may always take a
+                # read hold; it never blocks (R4, not R1->R2).
+                lock.readers[thread.name] = lock.readers.get(thread.name, 0) + 1
+                self.emit(
+                    thread.name,
+                    EventKind.RW_DOWNGRADE,
+                    monitor=name,
+                    read_depth=lock.readers[thread.name],
+                )
+                thread.send_value = None
+                return
+            if thread.name in lock.readers:
+                lock.readers[thread.name] += 1
+                self.emit(
+                    thread.name,
+                    EventKind.RW_ACQUIRE,
+                    monitor=name,
+                    mode="read",
+                    reentrant=True,
+                )
+                thread.send_value = None
+                return
+            if self._rw_read_admissible(lock) and not lock.read_queue:
+                lock.readers[thread.name] = 1
+                self.emit(
+                    thread.name,
+                    EventKind.RW_ACQUIRE,
+                    monitor=name,
+                    mode="read",
+                    readers=len(lock.readers),
+                    blocked_for=0,
+                )
+                thread.send_value = None
+                return
+            lock.read_queue.add(thread.name)
+            self._mark_blocked(thread, name, kind="rwlock", arg="read")
+        else:
+            if lock.writer == thread.name:
+                lock.writer_depth += 1
+                self.emit(
+                    thread.name,
+                    EventKind.RW_ACQUIRE,
+                    monitor=name,
+                    mode="write",
+                    reentrant=True,
+                )
+                thread.send_value = None
+                return
+            if (
+                lock.writer is None
+                and not lock.readers
+                and not lock.write_queue
+            ):
+                lock.writer = thread.name
+                lock.writer_depth = 1
+                self.emit(
+                    thread.name,
+                    EventKind.RW_ACQUIRE,
+                    monitor=name,
+                    mode="write",
+                    blocked_for=0,
+                )
+                thread.send_value = None
+                return
+            # A read holder requesting write lands here too: the j.u.c
+            # read->write upgrade is unsupported and blocks forever on its
+            # own read hold — a self-edge in the wait-for graph.
+            lock.write_queue.add(thread.name)
+            self._mark_blocked(thread, name, kind="rwlock", arg="write")
+        self._grant_rw(lock)
+
+    def _grant_rw(self, lock: RwLockObject) -> None:
+        """Admit queued acquirers according to the lock's preference.
+        Loops until nobody else may proceed: one writer when the lock is
+        fully free, else every admissible reader."""
+        granted = True
+        while granted:
+            granted = False
+            if (
+                lock.write_queue
+                and lock.writer is None
+                and not lock.readers
+                and not (lock.preference == "reader" and lock.read_queue)
+            ):
+                chosen = lock.write_queue.pop_select(self.lock_policy, self.rng)
+                writer = self.threads[chosen]
+                lock.writer = chosen
+                lock.writer_depth = 1
+                blocked_for = self._clear_blocked(writer)
+                writer.send_value = None
+                self.emit(
+                    chosen,
+                    EventKind.RW_ACQUIRE,
+                    monitor=lock.name,
+                    mode="write",
+                    blocked_for=blocked_for,
+                )
+                granted = True
+                continue
+            if lock.read_queue and self._rw_read_admissible(lock):
+                chosen = lock.read_queue.pop_select(self.lock_policy, self.rng)
+                reader = self.threads[chosen]
+                lock.readers[chosen] = lock.readers.get(chosen, 0) + 1
+                blocked_for = self._clear_blocked(reader)
+                reader.send_value = None
+                self.emit(
+                    chosen,
+                    EventKind.RW_ACQUIRE,
+                    monitor=lock.name,
+                    mode="read",
+                    readers=len(lock.readers),
+                    blocked_for=blocked_for,
+                )
+                granted = True
+
+    def _sys_rw_release(self, thread: SimThread, call: RwRelease) -> None:
+        name = self._primitive_name(call.lock, self.rwlocks, "rw-lock")
+        lock = self.rwlocks[name]
+        comp, meth = thread.current_frame()
+        if lock.writer == thread.name:
+            # Write holds unwind before read holds taken under them, so a
+            # downgrade sequence (write, read, release, release) leaves
+            # the read hold active after the first release — j.u.c order.
+            lock.writer_depth -= 1
+            if lock.writer_depth > 0:
+                self.emit(
+                    thread.name,
+                    EventKind.RW_RELEASE,
+                    monitor=name,
+                    mode="write",
+                    reentrant=True,
+                )
+                thread.send_value = None
+                return
+            lock.writer = None
+            self.emit(
+                thread.name,
+                EventKind.RW_RELEASE,
+                monitor=name,
+                component=comp,
+                method=meth,
+                mode="write",
+            )
+            thread.send_value = None
+            self._grant_rw(lock)
+            return
+        if thread.name in lock.readers:
+            lock.readers[thread.name] -= 1
+            if lock.readers[thread.name] > 0:
+                self.emit(
+                    thread.name,
+                    EventKind.RW_RELEASE,
+                    monitor=name,
+                    mode="read",
+                    reentrant=True,
+                )
+                thread.send_value = None
+                return
+            del lock.readers[thread.name]
+            self.emit(
+                thread.name,
+                EventKind.RW_RELEASE,
+                monitor=name,
+                component=comp,
+                method=meth,
+                mode="read",
+                readers=len(lock.readers),
+            )
+            thread.send_value = None
+            self._grant_rw(lock)
+            return
+        raise IllegalMonitorStateError(
+            f"thread {thread.name!r} released rw-lock {name!r} it does not hold"
+        )
+
+    # -- cyclic barriers (B1..B2) -------------------------------------------------------
+
+    def _sys_barrier_await(self, thread: SimThread, call: BarrierAwait) -> None:
+        name = self._primitive_name(call.barrier, self.barriers, "barrier")
+        barrier = self.barriers[name]
+        comp, meth = thread.current_frame()
+        if barrier.broken:
+            self.emit(
+                thread.name,
+                EventKind.BARRIER_AWAIT,
+                monitor=name,
+                component=comp,
+                method=meth,
+                broken=True,
+            )
+            thread.throw_exc = BrokenBarrierError(
+                f"thread {thread.name!r} arrived at broken barrier {name!r}"
+            )
+            return
+        if thread.interrupted:
+            # await() with the interrupt status set throws immediately and
+            # breaks the barrier for everyone already parked at it.
+            thread.interrupted = False
+            thread.throw_exc = InterruptedError(
+                f"thread {thread.name!r} called await() on {name!r} with "
+                f"its interrupt flag set"
+            )
+            self._break_barrier(barrier, by=thread.name)
+            return
+        index = len(barrier.waiters)
+        self.emit(
+            thread.name,
+            EventKind.BARRIER_AWAIT,
+            monitor=name,
+            component=comp,
+            method=meth,
+            index=index,
+            parties=barrier.parties,
+            line=self._yield_location(thread),
+        )
+        if index == barrier.parties - 1:
+            self._trip_barrier(barrier, last=thread)
+            return
+        barrier.waiters.add(thread.name)
+        barrier.arrival[thread.name] = index
+        thread.waiting_on = name
+        thread.waiting_kind = "barrier"
+        thread.state = ThreadState.WAITING
+        thread.waiting_since = self.time
+        thread.waits_entered += 1
+
+    def _end_barrier_wait(self, barrier: BarrierObject, waiter: SimThread) -> int:
+        """Remove ``waiter`` from the barrier and close its waiting
+        interval; returns its arrival index."""
+        barrier.waiters.remove(waiter.name)
+        index = barrier.arrival.pop(waiter.name, 0)
+        waiter.waiting_on = None
+        waiter.waiting_kind = "monitor"
+        waiter.state = ThreadState.RUNNABLE
+        if waiter.waiting_since is not None:
+            waiter.waiting_ticks += self.time - waiter.waiting_since
+            waiter.waiting_since = None
+        return index
+
+    def _trip_barrier(self, barrier: BarrierObject, last: SimThread) -> None:
+        """The final party arrived: release every waiter (B2) and start the
+        next generation."""
+        generation = barrier.generation
+        released = list(barrier.waiters)
+        self.emit(
+            last.name,
+            EventKind.BARRIER_TRIP,
+            monitor=barrier.name,
+            generation=generation,
+            parties=barrier.parties,
+            released=released + [last.name],
+        )
+        for name in released:
+            waiter = self.threads[name]
+            index = self._end_barrier_wait(barrier, waiter)
+            waiter.send_value = index
+            self.emit(
+                name,
+                EventKind.BARRIER_RESUME,
+                monitor=barrier.name,
+                generation=generation,
+                index=index,
+            )
+        last.send_value = barrier.parties - 1
+        self.emit(
+            last.name,
+            EventKind.BARRIER_RESUME,
+            monitor=barrier.name,
+            generation=generation,
+            index=barrier.parties - 1,
+        )
+        barrier.generation = generation + 1
+        barrier.arrival.clear()
+
+    def _break_barrier(self, barrier: BarrierObject, by: str) -> None:
+        """Break the barrier (a waiter or arrival was interrupted): every
+        parked waiter resumes with ``BrokenBarrierError``, and the barrier
+        rejects all future arrivals — j.u.c semantics without ``reset()``."""
+        barrier.broken = True
+        parked = list(barrier.waiters)
+        self.emit(
+            by,
+            EventKind.BARRIER_BROKEN,
+            monitor=barrier.name,
+            generation=barrier.generation,
+            waiters=parked,
+        )
+        for name in parked:
+            waiter = self.threads[name]
+            self._end_barrier_wait(barrier, waiter)
+            waiter.throw_exc = BrokenBarrierError(
+                f"barrier {barrier.name!r} broke while thread {name!r} "
+                f"awaited it"
+            )
+
     # -- environment faults: spurious wakeups, interrupts, timed waits ---------------
 
     def spurious_wake(self, monitor_name: str, waiter_name: str) -> None:
@@ -789,22 +1336,58 @@ class Kernel:
             name, EventKind.INTERRUPT, by=by, thread_state=thread.state.value
         )
         if thread.state is ThreadState.WAITING and thread.waiting_on:
+            if thread.waiting_kind == "barrier":
+                # Interrupting a barrier waiter *breaks* the barrier: the
+                # interrupted thread gets InterruptedError, every other
+                # waiter gets BrokenBarrierError (j.u.c CyclicBarrier).
+                barrier = self.barriers[thread.waiting_on]
+                self._end_barrier_wait(barrier, thread)
+                thread.throw_exc = InterruptedError(
+                    f"thread {name!r} interrupted while awaiting barrier "
+                    f"{barrier.name!r}"
+                )
+                self._break_barrier(barrier, by=name)
+                return
             monitor = self.monitors[thread.waiting_on]
             monitor.remove_waiter(name)
             self._wake_waiter(monitor, name, by=by, reason=WakeReason.INTERRUPT)
             self._grant_lock(monitor)
             return
         if thread.state is ThreadState.BLOCKED and thread.blocked_on:
+            if thread.blocked_kind == "semaphore":
+                sem = self.semaphores[thread.blocked_on]
+                sem.queue.remove(name)
+                self._clear_blocked(thread)
+                thread.throw_exc = InterruptedError(
+                    f"thread {name!r} interrupted while acquiring semaphore "
+                    f"{sem.name!r}"
+                )
+                # Removing the acquirer may unblock a later, smaller one.
+                self._grant_sem(sem)
+                return
+            if thread.blocked_kind == "rwlock":
+                lock = self.rwlocks[thread.blocked_on]
+                queue = (
+                    lock.write_queue
+                    if thread.blocked_arg == "write"
+                    else lock.read_queue
+                )
+                queue.remove(name)
+                self._clear_blocked(thread)
+                thread.throw_exc = InterruptedError(
+                    f"thread {name!r} interrupted while acquiring rw-lock "
+                    f"{lock.name!r} for {thread.blocked_arg}"
+                )
+                # A removed queued writer may re-admit readers under
+                # writer preference.
+                self._grant_rw(lock)
+                return
             if thread.reacquiring:
                 thread.pending_interrupt = True
                 return
             monitor = self.monitors[thread.blocked_on]
             monitor.remove_blocked(name)
-            thread.blocked_on = None
-            thread.state = ThreadState.RUNNABLE
-            if thread.blocked_since is not None:
-                thread.blocked_ticks += self.time - thread.blocked_since
-                thread.blocked_since = None
+            self._clear_blocked(thread)
             thread.throw_exc = InterruptedError(
                 f"thread {name!r} interrupted while blocked acquiring "
                 f"{monitor.name!r}"
@@ -847,6 +1430,52 @@ class Kernel:
         for name in expired:
             self.expire_wait(name)
 
+    def expire_acquire(self, name: str, by: str = "<timer>") -> None:
+        """Fail thread ``name``'s timed semaphore acquire: the thread
+        resumes with ``False`` (``tryAcquire`` on virtual time), mirroring
+        :meth:`expire_wait` (used for natural virtual-time expiry and by
+        fault-plan ``timeout`` rules forcing one)."""
+        thread = self.threads.get(name)
+        if (
+            thread is None
+            or thread.state is not ThreadState.BLOCKED
+            or thread.blocked_kind != "semaphore"
+        ):
+            raise UnknownSyscallError(
+                f"cannot expire acquire of {name!r}: not blocked on a semaphore"
+            )
+        assert thread.blocked_on is not None
+        sem = self.semaphores[thread.blocked_on]
+        sem.queue.remove(thread.name)
+        deadline = thread.acquire_deadline
+        self._clear_blocked(thread)
+        thread.send_value = False
+        self.emit(
+            thread.name,
+            EventKind.WAIT_TIMEOUT,
+            monitor=sem.name,
+            by=by,
+            deadline=deadline,
+            primitive="semaphore",
+        )
+        # The expired acquirer may have been the head of the queue
+        # holding back smaller requests.
+        self._grant_sem(sem)
+
+    def _expire_timed_acquires(self) -> None:
+        """Fail every timed semaphore acquire whose deadline has been
+        reached."""
+        expired = [
+            t.name
+            for t in self.threads.values()
+            if t.state is ThreadState.BLOCKED
+            and t.blocked_kind == "semaphore"
+            and t.acquire_deadline is not None
+            and self.time >= t.acquire_deadline
+        ]
+        for name in expired:
+            self.expire_acquire(name)
+
     # -- native observability counters --------------------------------------------------
 
     def thread_stats(self) -> Dict[str, Dict[str, int]]:
@@ -867,24 +1496,31 @@ class Kernel:
 
     # -- diagnosis ----------------------------------------------------------------------
 
-    def _wait_for_cycle(self) -> List[str]:
-        """Find a cycle in the blocked-on graph: thread -> owner of the
-        monitor it is blocked on.  Returns the cycle's thread names, or []."""
-        edges: Dict[str, str] = {}
+    def _blocked_edges(self) -> Dict[str, List[str]]:
+        """The wait-for graph over BLOCKED threads: monitor acquirers wait
+        on the single owner; semaphore acquirers wait on *every* permit
+        holder; rw acquirers wait on the writer and all active readers."""
+        edges: Dict[str, List[str]] = {}
         for thread in self.threads.values():
-            if thread.state is ThreadState.BLOCKED and thread.blocked_on:
+            if thread.state is not ThreadState.BLOCKED or not thread.blocked_on:
+                continue
+            if thread.blocked_kind == "semaphore":
+                succ = list(self.semaphores[thread.blocked_on].holders)
+            elif thread.blocked_kind == "rwlock":
+                succ = list(self.rwlocks[thread.blocked_on].holders())
+            else:
                 owner = self.monitors[thread.blocked_on].owner
-                if owner is not None:
-                    edges[thread.name] = owner
-        for start in edges:
-            seen: List[str] = []
-            node = start
-            while node in edges and node not in seen:
-                seen.append(node)
-                node = edges[node]
-            if node in seen:
-                return seen[seen.index(node):]
-        return []
+                succ = [owner] if owner is not None else []
+            if succ:
+                edges[thread.name] = succ
+        return edges
+
+    def _wait_for_cycle(self) -> List[str]:
+        """Find a cycle in the wait-for graph (thread -> threads holding
+        what it is blocked on).  Returns the cycle's thread names, or [].
+        Exploration follows thread-insertion order, so monitor-only graphs
+        yield exactly the cycles the pre-wait-queue chain walk found."""
+        return find_cycle(self._blocked_edges())
 
     # -- the run loop ----------------------------------------------------------------------
 
@@ -1001,6 +1637,16 @@ class Kernel:
             self._sys_call_begin(thread, syscall)
         elif isinstance(syscall, CallEnd):
             self._sys_call_end(thread, syscall)
+        elif isinstance(syscall, SemAcquire):
+            self._sys_sem_acquire(thread, syscall)
+        elif isinstance(syscall, SemRelease):
+            self._sys_sem_release(thread, syscall)
+        elif isinstance(syscall, RwAcquire):
+            self._sys_rw_acquire(thread, syscall)
+        elif isinstance(syscall, RwRelease):
+            self._sys_rw_release(thread, syscall)
+        elif isinstance(syscall, BarrierAwait):
+            self._sys_barrier_await(thread, syscall)
         else:
             raise UnknownSyscallError(f"thread {thread.name!r} yielded {syscall!r}")
 
@@ -1010,6 +1656,7 @@ class Kernel:
             self.fault_injector.on_step(self)
         self._maybe_spurious_wakeup()
         self._expire_timed_waits()
+        self._expire_timed_acquires()
         runnable = self._runnable()
         if not runnable:
             if self.auto_tick and self._clock_waiters:
@@ -1022,14 +1669,21 @@ class Kernel:
                 for t in self.threads.values()
                 if t.state is ThreadState.WAITING and t.wait_deadline is not None
             ]
+            timed += [
+                t.acquire_deadline
+                for t in self.threads.values()
+                if t.state is ThreadState.BLOCKED
+                and t.acquire_deadline is not None
+            ]
             if timed:
-                # Quiescent but for timed waiters: advance virtual time to
-                # the earliest deadline (the virtual-time analogue of
-                # auto_tick) instead of declaring the run STUCK.
+                # Quiescent but for timed waiters/acquirers: advance
+                # virtual time to the earliest deadline (the virtual-time
+                # analogue of auto_tick) instead of declaring STUCK.
                 target = min(timed)
                 if target > self.time:
                     self.time = target
                 self._expire_timed_waits()
+                self._expire_timed_acquires()
                 return True
             return False
         names = [t.name for t in runnable]

@@ -21,7 +21,10 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .waitq import WaitQueue
 
 __all__ = ["SelectionPolicy", "MonitorObject", "select_index"]
 
@@ -64,6 +67,11 @@ def select_index(
 class MonitorObject:
     """The synchronization state of one object.
 
+    Both queues are :class:`~repro.vm.waitq.WaitQueue` instances — the
+    primitive-agnostic wait-queue core shared with semaphores, rw-locks,
+    and barriers; they behave exactly like the arrival-ordered
+    ``List[str]`` they replaced for iteration, indexing, and equality.
+
     Attributes:
         name: unique monitor name within the kernel.
         owner: name of the owning thread, or ``None`` when the lock is free
@@ -78,8 +86,8 @@ class MonitorObject:
     name: str
     owner: Optional[str] = None
     entry_count: int = 0
-    entry_set: List[str] = field(default_factory=list)
-    wait_set: List[str] = field(default_factory=list)
+    entry_set: "WaitQueue" = field(default_factory=lambda: _new_queue())
+    wait_set: "WaitQueue" = field(default_factory=lambda: _new_queue())
 
     def is_free(self) -> bool:
         return self.owner is None
@@ -94,13 +102,13 @@ class MonitorObject:
         self.entry_count = count
 
     def add_blocked(self, thread: str) -> None:
-        self.entry_set.append(thread)
+        self.entry_set.add(thread)
 
     def remove_blocked(self, thread: str) -> None:
         self.entry_set.remove(thread)
 
     def add_waiter(self, thread: str) -> None:
-        self.wait_set.append(thread)
+        self.wait_set.add(thread)
 
     def remove_waiter(self, thread: str) -> None:
         self.wait_set.remove(thread)
@@ -109,15 +117,13 @@ class MonitorObject:
         self, policy: SelectionPolicy, rng: Optional[random.Random]
     ) -> str:
         """Choose (and remove) the next entry-set thread to grant the lock."""
-        index = select_index(policy, len(self.entry_set), rng)
-        return self.entry_set.pop(index)
+        return self.entry_set.pop_select(policy, rng)
 
     def select_waiter(
         self, policy: SelectionPolicy, rng: Optional[random.Random]
     ) -> str:
         """Choose (and remove) the waiter a ``notify`` will wake."""
-        index = select_index(policy, len(self.wait_set), rng)
-        return self.wait_set.pop(index)
+        return self.wait_set.pop_select(policy, rng)
 
     def snapshot(self) -> dict:
         """A plain-data view for diagnostics and exploration hashing."""
@@ -125,6 +131,12 @@ class MonitorObject:
             "name": self.name,
             "owner": self.owner,
             "entry_count": self.entry_count,
-            "entry_set": tuple(self.entry_set),
-            "wait_set": tuple(self.wait_set),
+            "entry_set": self.entry_set.snapshot(),
+            "wait_set": self.wait_set.snapshot(),
         }
+
+
+def _new_queue() -> "WaitQueue":
+    from .waitq import WaitQueue
+
+    return WaitQueue()

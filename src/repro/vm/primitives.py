@@ -1,0 +1,156 @@
+"""First-class synchronization primitives beyond monitors.
+
+State objects for the three primitives the kernel promotes to first-class
+VM effects — counting semaphores, read-write locks, and cyclic barriers —
+each parking its suspended threads in the same
+:class:`~repro.vm.waitq.WaitQueue` core the monitor entry/wait sets use,
+so the kernel's selection policies, interrupt paths, and timed-wait
+machinery apply uniformly.
+
+The semantics mirror ``java.util.concurrent``:
+
+* :class:`SemaphoreObject` — ``Semaphore``: no ownership (any thread may
+  release), interruptible acquire, ``tryAcquire(n, timeout)`` expiring on
+  virtual time.
+* :class:`RwLockObject` — ``ReentrantReadWriteLock``: reentrant per mode,
+  write→read downgrade allowed (never blocks), read→write upgrade not
+  supported (it blocks forever, visible to the deadlock analyses as a
+  self-edge).  ``preference`` selects writer preference (a queued writer
+  shuts off reader admission — the fair-ish default) or reader
+  preference (readers barge whenever no writer is active, the
+  §5.2.1-style writer-starvation configuration).
+* :class:`BarrierObject` — ``CyclicBarrier``: generation counter, breaks
+  on interrupt (``BrokenBarrierError`` for everyone else) and stays
+  broken, as without ``reset()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .waitq import WaitQueue
+
+__all__ = ["SemaphoreObject", "RwLockObject", "BarrierObject", "RW_PREFERENCES"]
+
+#: valid RwLockObject.preference values
+RW_PREFERENCES = ("writer", "reader")
+
+
+@dataclass
+class SemaphoreObject:
+    """A counting semaphore.
+
+    Attributes:
+        name: unique name within the kernel (shared namespace with
+            monitors, rw-locks, and barriers).
+        permits: permits currently available.
+        queue: threads blocked in ``SemAcquire``, in arrival order; the
+            permits each needs ride on the thread's ``blocked_arg``.
+        holders: thread -> net permits acquired (for wait-for-graph
+            edges and observability; not ownership — releases by
+            non-holders are legal, as in ``java.util.concurrent``).
+    """
+
+    name: str
+    permits: int = 1
+    queue: WaitQueue = field(default_factory=WaitQueue)
+    holders: Dict[str, int] = field(default_factory=dict)
+
+    def hold(self, thread: str, n: int) -> None:
+        self.holders[thread] = self.holders.get(thread, 0) + n
+
+    def unhold(self, thread: str, n: int) -> None:
+        """Reduce ``thread``'s recorded holding by up to ``n`` permits
+        (a release of permits the thread never acquired is legal and
+        simply is not attributed)."""
+        have = self.holders.get(thread, 0)
+        left = have - n
+        if left > 0:
+            self.holders[thread] = left
+        else:
+            self.holders.pop(thread, None)
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "permits": self.permits,
+            "queue": self.queue.snapshot(),
+            "holders": dict(self.holders),
+        }
+
+
+@dataclass
+class RwLockObject:
+    """A read-write lock with configurable reader/writer preference.
+
+    Attributes:
+        name: unique name within the kernel.
+        preference: ``"writer"`` (a queued writer blocks new reader
+            admission) or ``"reader"`` (readers are admitted whenever no
+            writer is active — writers can starve).
+        readers: thread -> reentrant read-hold depth of active readers.
+        writer: the active writer, or ``None``.
+        writer_depth: reentrant write-hold depth of the writer.
+        read_queue / write_queue: blocked acquirers per mode, in arrival
+            order.
+    """
+
+    name: str
+    preference: str = "writer"
+    readers: Dict[str, int] = field(default_factory=dict)
+    writer: Optional[str] = None
+    writer_depth: int = 0
+    read_queue: WaitQueue = field(default_factory=WaitQueue)
+    write_queue: WaitQueue = field(default_factory=WaitQueue)
+
+    def holders(self) -> Dict[str, int]:
+        """Every thread holding the lock in any mode (for wait-for
+        edges): the writer plus all active readers."""
+        held = dict(self.readers)
+        if self.writer is not None:
+            held[self.writer] = held.get(self.writer, 0) + self.writer_depth
+        return held
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "preference": self.preference,
+            "readers": dict(self.readers),
+            "writer": self.writer,
+            "writer_depth": self.writer_depth,
+            "read_queue": self.read_queue.snapshot(),
+            "write_queue": self.write_queue.snapshot(),
+        }
+
+
+@dataclass
+class BarrierObject:
+    """A cyclic barrier.
+
+    Attributes:
+        name: unique name within the kernel.
+        parties: arrivals required to trip a generation.
+        waiters: threads suspended at the barrier, in arrival order.
+        arrival: thread -> 0-based arrival index within this generation
+            (the value its ``BarrierAwait`` resolves to).
+        generation: completed-generation counter; each trip increments.
+        broken: a waiter was interrupted — every current and future
+            awaiter receives ``BrokenBarrierError`` (no ``reset()``).
+    """
+
+    name: str
+    parties: int = 2
+    waiters: WaitQueue = field(default_factory=WaitQueue)
+    arrival: Dict[str, int] = field(default_factory=dict)
+    generation: int = 0
+    broken: bool = False
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "parties": self.parties,
+            "waiters": self.waiters.snapshot(),
+            "generation": self.generation,
+            "broken": self.broken,
+        }

@@ -26,6 +26,11 @@ __all__ = [
     "Wait",
     "Notify",
     "NotifyAll",
+    "SemAcquire",
+    "SemRelease",
+    "RwAcquire",
+    "RwRelease",
+    "BarrierAwait",
     "Read",
     "Write",
     "Tick",
@@ -118,6 +123,68 @@ class Write(Syscall):
 
     component: Any
     field: str
+
+
+@dataclass(frozen=True)
+class SemAcquire(Syscall):
+    """Acquire ``n`` permits from a counting semaphore (fires S1, then S2
+    when granted).  Interruptible, like ``java.util.concurrent.Semaphore
+    .acquire()``.
+
+    Resolves to ``True`` when the permits were acquired.  With a
+    ``timeout`` (virtual-time units, ``tryAcquire(n, timeout)``) the
+    syscall instead resolves to ``False`` once the deadline passes
+    without a grant; ``None`` waits forever.
+    """
+
+    semaphore: Any  # semaphore name or a component exposing _vm_name
+    n: int = 1
+    timeout: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SemRelease(Syscall):
+    """Return ``n`` permits to a counting semaphore (fires S3).  Like
+    ``java.util.concurrent.Semaphore.release()``, no ownership is
+    required — any thread may release, which is exactly what makes a
+    dropped release (``lost-permit``) undetectable locally."""
+
+    semaphore: Any
+    n: int = 1
+
+
+@dataclass(frozen=True)
+class RwAcquire(Syscall):
+    """Acquire a read-write lock in ``mode`` (``"read"`` or ``"write"``;
+    fires R1, then R2 when granted — or R4 when a write holder acquires
+    read, the ``ReentrantReadWriteLock`` downgrade, which never blocks).
+    Reentrant per mode; interruptible while blocked."""
+
+    lock: Any
+    mode: str = "read"
+
+
+@dataclass(frozen=True)
+class RwRelease(Syscall):
+    """Release the innermost hold on a read-write lock (fires R3).  The
+    mode is inferred from the holds: a write hold is released before read
+    holds acquired under it (downgrade unwinding)."""
+
+    lock: Any
+
+
+@dataclass(frozen=True)
+class BarrierAwait(Syscall):
+    """Arrive at a cyclic barrier and suspend until all parties have
+    arrived (fires B1; the trip is B2).  Resolves to the 0-based arrival
+    index within the generation, matching the monitor-built
+    :class:`~repro.components.CyclicBarrier` so the two are
+    differentially comparable.  If a waiter is interrupted the barrier
+    *breaks*: the interrupted thread sees ``InterruptedError``, every
+    other waiter (and all later arrivals) sees ``BrokenBarrierError`` —
+    ``java.util.concurrent.CyclicBarrier`` semantics."""
+
+    barrier: Any
 
 
 @dataclass(frozen=True)

@@ -108,6 +108,18 @@ class SimThread:
     pending_interrupt: bool = False
     wait_deadline: Optional[int] = None
     waits_entered: int = 0
+    #: which primitive's wait queue the thread is parked in while BLOCKED
+    #: ("monitor" | "semaphore" | "rwlock") or WAITING ("monitor" |
+    #: "barrier").  Monitors are the default so monitor-only bookkeeping
+    #: is untouched by the wait-queue generalization.
+    blocked_kind: str = "monitor"
+    waiting_kind: str = "monitor"
+    #: what the blocked thread asked its primitive for: permits needed
+    #: (semaphore) or the requested mode "read"/"write" (rw-lock).
+    blocked_arg: Any = None
+    #: virtual-time deadline of a timed semaphore acquire, kept separate
+    #: from ``wait_deadline`` (which belongs to monitor timed waits).
+    acquire_deadline: Optional[int] = None
 
     def innermost_monitor(self) -> Optional[str]:
         """Name of the monitor of the innermost synchronized block, or

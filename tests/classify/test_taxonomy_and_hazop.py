@@ -22,8 +22,18 @@ class TestFailureClass:
             c
             for c in FailureClass
             if c.mode is not FailureMode.ENVIRONMENTAL_FIRING
+            and c.transition.startswith("T")
         ]
         assert len(table1) == 10
+
+    def test_eighteen_primitive_classes(self):
+        primitive = [
+            c for c in FailureClass if not c.transition.startswith("T")
+        ]
+        assert len(primitive) == 18
+        assert {c.transition[0] for c in primitive} == {"S", "R", "B"}
+        assert FailureClass.FF_S1.code == "FF-S1"
+        assert FailureClass.EF_B2.code == "EF-B2"
 
     def test_three_environment_classes(self):
         env = [
@@ -175,6 +185,7 @@ class TestDeriveTable1:
             c
             for c in FailureClass
             if c.mode is not FailureMode.ENVIRONMENTAL_FIRING
+            and c.transition.startswith("T")
         }
 
     def test_incomplete_join_rejected(self):

@@ -70,6 +70,14 @@ class TestDiscovery:
         assert OPERATORS["notify_single"].expected == ("FF-T5",)
         assert OPERATORS["dup_notify"].expected == ()  # control
         assert set(OPERATORS["lock_shuffle"].expected) == {"FF-T2", "FF-T4"}
+        assert OPERATORS["sem_release_drop"].expected == ("FF-S3",)
+
+    def test_expected_codes_resolve_to_taxonomy_classes(self):
+        from repro.classify.taxonomy import FailureClass
+
+        for op in OPERATORS.values():
+            for code in op.expected:
+                assert FailureClass.from_code(code).code == code
 
 
 class TestApplication:
@@ -149,6 +157,27 @@ class TestApplication:
         mutated = apply_site(node, MutationSite("drop_release", "transfer", 0))
         after = yields_of(method(mutated, "transfer")).count("Release")
         assert after == before - 1 == 1
+
+    def test_sem_release_drop_site_on_native_semaphore(self):
+        from repro.components import NativeSemaphore
+
+        labels = {s.label for s in discover_sites(class_ast(NativeSemaphore))}
+        assert "sem_release_drop@release#0" in labels
+
+    def test_sem_release_drop_leaks_permit_but_stays_generator(self):
+        from repro.components import NativeSemaphore
+
+        node = class_ast(NativeSemaphore)
+        mutated = apply_site(
+            node, MutationSite("sem_release_drop", "release", 0)
+        )
+        release = method(mutated, "release")
+        # the SemRelease syscall is gone...
+        assert "SemRelease" not in yields_of(release)
+        # ...but a (dead) yield keeps the method a generator, so the
+        # `yield from` call protocol survives — the LostPermitSemaphore shape
+        assert any(isinstance(n, ast.Yield) for n in ast.walk(release))
+        assert any(isinstance(n, ast.Return) for n in ast.walk(release))
 
 
 class TestErrors:

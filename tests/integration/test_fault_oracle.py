@@ -156,6 +156,37 @@ def _nowait_kernel(cls, scheduler) -> Kernel:
     return kernel
 
 
+def _sem_kernel(cls, scheduler) -> Kernel:
+    """Permit-pool shape: 3 workers cycling through one permit.  A leaky
+    release (FF-S3) drains the pool and strands the later workers."""
+    kernel = Kernel(scheduler=scheduler, max_steps=3000)
+    sem = kernel.register(cls())
+
+    def worker():
+        yield from sem.acquire()
+        yield Yield()
+        yield from sem.release()
+
+    for i in range(3):
+        kernel.spawn(worker, name=f"u{i}")
+    return kernel
+
+
+def _barrier_kernel(cls, scheduler) -> Kernel:
+    """Barrier rendezvous: 3 parties arrive once.  An off-by-one parties
+    count (FF-B1) parks all of them forever."""
+    kernel = Kernel(scheduler=scheduler, max_steps=3000)
+    barrier = kernel.register(cls(3))
+
+    def party():
+        index = yield from barrier.arrive()
+        return index
+
+    for i in range(3):
+        kernel.spawn(party, name=f"t{i}")
+    return kernel
+
+
 def _faulted(build, plan):
     """Wrap a kernel builder so every kernel runs under a deterministic
     environment-fault plan (the EV classes need the environment to
@@ -207,6 +238,13 @@ KERNELS = {
         (),
         None,
     ),
+    # first-class-primitive exemplars: the failure is visible in the
+    # final primitive state (stuck acquirer / parked parties), which the
+    # symptom tracker maps to lost-permit / writer-starvation /
+    # barrier-starve
+    "LostPermitSemaphore": (_sem_kernel, (), None),
+    "WriterStarvingRwLock": (_rw_kernel, (), "w0"),
+    "LeakyBarrier": (_barrier_kernel, (), None),
 }
 
 
@@ -268,6 +306,9 @@ def test_dynamic_exemplar_flagged(name):
 #: (guards the oracle against flagging workload noise as detection)
 CONTRAST = {
     "ReaderPreferenceRW": "ReadersWriters",
+    "LostPermitSemaphore": "NativeSemaphore",
+    "WriterStarvingRwLock": "NativeReadWriteLock",
+    "LeakyBarrier": "NativeBarrier",
     "NoWaitProducerConsumer": "ProducerConsumer",
     "NoNotifyProducerConsumer": "ProducerConsumer",
     "IfGuardProducerConsumer": "ProducerConsumer",

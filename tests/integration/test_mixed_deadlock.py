@@ -1,0 +1,62 @@
+"""A mixed-primitive deadlock, end to end: detect, save, replay.
+
+The ``mixed-deadlock`` workload closes one wait-for cycle through two
+*different* primitive kinds — ``t1`` holds the only semaphore permit and
+blocks entering monitor ``m``; ``t2`` owns ``m`` and blocks acquiring the
+permit.  Neither the monitor-only chain walk nor a semaphore-only view
+sees a cycle; only the extended wait-for graph (monitor edges + permit-
+holder edges) closes it.  The saved trace artifact replays to the same
+deadlock, byte for byte.
+"""
+
+from repro.detect.online import DetectorPipeline, default_detectors
+from repro.detect.waitgraph import OnlineWaitGraphDetector
+from repro.engine.workloads import WORKLOADS
+from repro.vm import RunStatus
+from repro.vm.scheduler import NameReplayScheduler, RoundRobinScheduler
+from repro.vm.serialize import load_schedule, save_trace
+
+mixed_deadlock = WORKLOADS["mixed-deadlock"]
+
+
+def events_of(trace):
+    return [
+        (e.thread, e.kind, e.monitor, e.method, tuple(sorted(e.detail.items())))
+        for e in trace
+    ]
+
+
+def test_kernel_diagnoses_mixed_cycle():
+    result = mixed_deadlock(RoundRobinScheduler()).run()
+    assert result.status is RunStatus.DEADLOCK
+    assert set(result.deadlock_cycle) == {"t1", "t2"}
+
+
+def test_extended_waitgraph_detects_the_cycle_online():
+    detector = OnlineWaitGraphDetector()
+    pipeline = DetectorPipeline(default_detectors() + [detector])
+    kernel = mixed_deadlock(RoundRobinScheduler())
+    pipeline.attach(kernel)
+    result = kernel.run()
+    assert result.status is RunStatus.DEADLOCK
+    # the live streaming cycle matches the kernel's quiescence diagnosis
+    assert set(detector.live_cycle) == {"t1", "t2"}
+    assert set(detector.finish()) == {"t1", "t2"}
+    report = pipeline.report(result)
+    assert report.classification.failures  # the deadlock is classified
+
+
+def test_artifact_replays_to_the_same_deadlock(tmp_path):
+    original = mixed_deadlock(RoundRobinScheduler()).run()
+    assert original.status is RunStatus.DEADLOCK
+
+    path = tmp_path / "mixed-deadlock.jsonl"
+    save_trace(original.trace, path, schedule=original.schedule_log)
+
+    replayed = mixed_deadlock(
+        NameReplayScheduler(load_schedule(path), strict=True)
+    ).run()
+    assert replayed.status is RunStatus.DEADLOCK
+    assert replayed.deadlock_cycle == original.deadlock_cycle
+    assert events_of(replayed.trace) == events_of(original.trace)
+    assert replayed.schedule_log == original.schedule_log

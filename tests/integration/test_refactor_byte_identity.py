@@ -1,0 +1,77 @@
+"""Byte-identity pin for the wait-queue refactor.
+
+The wait-queue core generalizes the kernel's monitor bookkeeping to
+serve semaphores, rw-locks, and barriers.  The refactor's contract is
+that it is *invisible* where it adds nothing: monitor-only workloads
+must produce byte-identical traces (including the schedule log) and
+identical detection summaries before and after.
+
+The digests below were captured against the pre-refactor seed kernel
+(PR 9 head, commit e48802b) by running exactly this harness.  If this
+test fails, the refactor changed observable monitor behaviour — that is
+a regression, not an expected update; do not re-pin without
+understanding why the bytes moved.
+"""
+
+import hashlib
+
+from repro.detect.online import DetectorPipeline, default_detectors
+from repro.engine.workloads import WORKLOADS
+from repro.vm.scheduler import FifoScheduler, RandomScheduler
+from repro.vm.serialize import dumps_trace
+
+#: (workload, scheduler spec) -> sha256 of dumps_trace + summary repr
+PINNED = {
+    ("pc-ok", "fifo"):
+        "883181719bd5e8b0a0a2a064aa36c06aa8395cfa58dd7587976a669884842e71",
+    ("pc-ok", "random:0"):
+        "29abfd143bf29f1eca58ef639879a5c8adaf4a2e566cebaa44974e771aaef443",
+    ("pc-ok", "random:1"):
+        "c46b86e1f1cac4f27a50a068f455087cf3d019f7330e397f133a58bd0b368d6c",
+    ("pc-bug", "fifo"):
+        "226aa969ef3cc9196508da09138c3528793ba1c54c26b2fefdc8ed81271cfaea",
+    ("pc-bug", "random:0"):
+        "105948f8516c2d357f9b2259c83fb4aedee01948535c28545268de1643f774c7",
+    ("pc-bug", "random:7"):
+        "e63fc5d3d776088c6a55fd76d8310b715849111b67907534cec1a4609c6c9c8a",
+    ("pc-no-notify", "fifo"):
+        "b2ccf8c3d698366c2031e472da27fcc00ea282e55c7ad0361964b92b426117b2",
+    ("deadlock-pair", "fifo"):
+        "ecb6c9a577cc682a7af7a28006a5b1043cd256bfb5581cfbd65b1dd7f42eedcd",
+    ("deadlock-pair", "random:3"):
+        "37caab0e67decc1dca3bd7f1a5a7b401597df666cac6cebd8d0328ff42196ed2",
+    ("racing-locks", "fifo"):
+        "4777b9a35f7ee2b6aa603337dcfb9b259dcb1c1fc77ae84bc4d92e498d11bb53",
+    ("racing-locks", "random:2"):
+        "31f03de03c6945abb646137b54020845e867292beb516c1dba87fc646233ca85",
+}
+
+
+def _scheduler(spec: str):
+    if spec == "fifo":
+        return FifoScheduler()
+    kind, _, seed = spec.partition(":")
+    assert kind == "random"
+    return RandomScheduler(int(seed))
+
+
+def digest(workload: str, spec: str) -> str:
+    """sha256 over the serialized trace (with schedule log) and the
+    detection-summary repr — any drift in event content, ordering, RNG
+    draws, or detector verdicts changes this digest."""
+    kernel = WORKLOADS[workload](_scheduler(spec))
+    pipeline = DetectorPipeline(default_detectors())
+    pipeline.attach(kernel)
+    result = kernel.run()
+    blob = dumps_trace(result.trace, schedule=result.schedule_log)
+    blob += "\n" + repr(pipeline.summary(result))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def test_monitor_only_workloads_byte_identical():
+    mismatches = {
+        key: digest(*key)
+        for key, pinned in PINNED.items()
+        if digest(*key) != pinned
+    }
+    assert not mismatches, f"digests moved: {mismatches}"

@@ -12,7 +12,18 @@ from repro.obs.live.chrome import (
 from repro.obs.spans import SpanTracer
 from repro.vm import Kernel, RoundRobinScheduler, RunStatus
 from repro.vm.scheduler import FifoScheduler
-from repro.vm.syscalls import Acquire, Notify, Release, Wait, Yield
+from repro.vm.syscalls import (
+    Acquire,
+    BarrierAwait,
+    Notify,
+    Release,
+    RwAcquire,
+    RwRelease,
+    SemAcquire,
+    SemRelease,
+    Wait,
+    Yield,
+)
 
 
 def wait_notify_kernel():
@@ -153,3 +164,105 @@ class TestSpansAndFile:
         path = write_chrome_trace(result.trace, tmp_path / "run.chrome.json")
         parsed = json.loads(path.read_text())
         assert parsed == to_chrome_trace(result.trace)
+
+
+def sem_kernel():
+    kernel = Kernel(scheduler=RoundRobinScheduler())
+    kernel.new_semaphore("s", permits=1)
+
+    def worker():
+        yield SemAcquire("s")
+        yield Yield()
+        yield SemRelease("s")
+
+    kernel.spawn(worker, name="u0")
+    kernel.spawn(worker, name="u1")
+    return kernel
+
+
+def rw_kernel():
+    kernel = Kernel(scheduler=RoundRobinScheduler())
+    kernel.new_rwlock("rw")
+
+    def reader():
+        yield RwAcquire("rw", "read")
+        yield Yield()
+        yield RwRelease("rw")
+
+    def writer():
+        yield RwAcquire("rw", "write")
+        yield Yield()
+        yield RwRelease("rw")
+
+    kernel.spawn(reader, name="r0")
+    kernel.spawn(reader, name="r1")
+    kernel.spawn(writer, name="w0")
+    return kernel
+
+
+def barrier_kernel():
+    kernel = Kernel(scheduler=RoundRobinScheduler())
+    kernel.new_barrier("b", parties=2)
+
+    def party():
+        yield BarrierAwait("b")
+        yield Yield()
+        yield BarrierAwait("b")
+
+    kernel.spawn(party, name="t0")
+    kernel.spawn(party, name="t1")
+    return kernel
+
+
+def counters(events, name):
+    return [e for e in events if e["ph"] == "C" and e["name"] == name]
+
+
+class TestPrimitiveTracks:
+    def test_semaphore_permit_counter(self):
+        result = sem_kernel().run()
+        assert result.ok
+        events = to_chrome_trace(result.trace)["traceEvents"]
+        samples = counters(events, "s permits")
+        # 2 acquires + 2 releases, each sampling the pool
+        assert len(samples) == 4
+        values = [e["args"]["permits"] for e in samples]
+        assert min(values) == 0 and values[-1] == 1
+        assert all(e["pid"] == PID_MONITORS for e in samples)
+
+    def test_barrier_generation_counter(self):
+        result = barrier_kernel().run()
+        assert result.ok
+        events = to_chrome_trace(result.trace)["traceEvents"]
+        samples = counters(events, "b generation")
+        assert [e["args"]["generation"] for e in samples] == [1, 2]
+
+    def test_rw_held_by_tracks_with_mode(self):
+        result = rw_kernel().run()
+        assert result.ok
+        events = to_chrome_trace(result.trace)["traceEvents"]
+        read_holds = [
+            s
+            for s in slices(events, pid=PID_MONITORS)
+            if s["name"].startswith("held by r") and "(read)" in s["name"]
+        ]
+        write_holds = slices(events, pid=PID_MONITORS, name="held by w0 (write)")
+        assert len(read_holds) == 2
+        assert len(write_holds) == 1
+        # readers overlap each other; the writer overlaps neither
+        (w,) = write_holds
+        for r in read_holds:
+            assert r["ts"] + r["dur"] <= w["ts"] or w["ts"] + w["dur"] <= r["ts"]
+
+    def test_blocked_semaphore_acquirer_renders_blocked_slice(self):
+        kernel = Kernel(scheduler=RoundRobinScheduler(), max_steps=100)
+        kernel.new_semaphore("s", permits=0)
+
+        def stuck():
+            yield SemAcquire("s")
+
+        kernel.spawn(stuck, name="u")
+        result = kernel.run()
+        assert result.status is RunStatus.STUCK
+        events = to_chrome_trace(result.trace)["traceEvents"]
+        assert slices(events, pid=PID_THREADS, name="blocked")

@@ -612,6 +612,39 @@ class TestRegistryList:
         with pytest.raises(SystemExit):
             main(["registry", "list", "gizmos"])
 
+    def test_primitive_components_listed(self, capsys):
+        """The first-class-primitive components (native references and
+        their faulty exemplars) surface alongside the monitor-built ones."""
+        assert main(["registry", "list", "components"]) == 0
+        names = capsys.readouterr().out.split()
+        for name in (
+            "NativeSemaphore",
+            "NativeReadWriteLock",
+            "NativeBarrier",
+            "LostPermitSemaphore",
+            "WriterStarvingRwLock",
+            "LeakyBarrier",
+        ):
+            assert name in names
+
+    def test_primitive_workloads_listed(self, capsys):
+        assert main(["registry", "list", "workloads"]) == 0
+        names = capsys.readouterr().out.split()
+        for name in ("sem", "barrier-meet", "mixed-deadlock"):
+            assert name in names
+
+    def test_misspelled_primitive_component_suggests(self):
+        """A near-miss component name gets a did-you-mean pointing at the
+        newly registered primitive component."""
+        from repro.run.config import RunConfig, RunConfigError
+
+        with pytest.raises(RunConfigError) as err:
+            RunConfig(
+                workload="sem", component="NativeSemaphor"
+            ).validate()
+        assert "did you mean" in str(err.value)
+        assert "NativeSemaphore" in str(err.value)
+
 
 class TestCorpusCLI:
     def test_generate_sweep_report(self, capsys, tmp_path):
